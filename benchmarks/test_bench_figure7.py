@@ -1,0 +1,47 @@
+"""Benchmark: reproduction of Figure 7 (savings vs. timing target).
+
+Prints both series (baseline granularity 10u and 40u) and checks the zone
+structure described in the paper:
+
+* Figure 7(a), g=10u: at the tight end the DP may have no feasible solution
+  at all (zone I); in the loose tail the two schemes converge (zone III) and
+  the DP is allowed to win occasionally;
+* Figure 7(b), g=40u: RIP never loses by more than noise, and the average
+  improvement over the loose half of the sweep is clearly positive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure7 import Figure7Config, run_figure7
+from repro.experiments.report import format_figure7
+
+from benchmarks.conftest import FULL_SCALE, protocol_config
+
+
+def _config() -> Figure7Config:
+    return Figure7Config(
+        protocol=protocol_config(),
+        num_points=40 if FULL_SCALE else 16,
+    )
+
+
+def test_figure7_reproduction(benchmark, scale_label):
+    result = benchmark.pedantic(lambda: run_figure7(_config()), rounds=1, iterations=1)
+    print(f"\n[Figure 7 — {scale_label}]")
+    print(format_figure7(result))
+
+    coarse = result.series[40.0]
+    improvements_coarse = [p.improvement_percent for p in coarse if p.improvement_percent is not None]
+    assert improvements_coarse, "expected comparable points for the g=40u baseline"
+    # Figure 7(b): RIP never loses badly against the coarse library...
+    assert min(improvements_coarse) >= -5.0
+    # ...and wins clearly somewhere in the sweep.
+    assert max(improvements_coarse) > 10.0
+
+    fine = result.series[10.0]
+    comparable = [p.improvement_percent for p in fine if p.improvement_percent is not None]
+    assert comparable, "expected comparable points for the g=10u baseline"
+    # Figure 7(a) zone III: at the loosest targets the schemes converge.
+    assert abs(comparable[-1]) < 15.0

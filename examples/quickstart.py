@@ -1,0 +1,69 @@
+"""Quickstart: insert repeaters into one global net with RIP.
+
+Generates a random 0.18 µm global net (the same statistics as the paper's
+experiments), computes its minimum achievable delay, then runs the hybrid RIP
+flow for a 1.3x timing budget and compares the result against the classic
+power-aware DP baseline.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import NODE_180NM, RandomNetGenerator, Rip
+from repro.core.solution import InsertionSolution
+from repro.core.evaluate import evaluate_solution
+from repro.dp import DelayOptimalDp, PowerAwareDp, uniform_candidates
+from repro.net import NetGenerationConfig
+from repro.tech import RepeaterLibrary
+from repro.utils.units import to_nanoseconds
+
+
+def main() -> None:
+    technology = NODE_180NM
+
+    # 1. A routed global net: a long one (8-10 segments) on metal4/metal5,
+    #    with one forbidden zone, following the paper's Section 6 statistics.
+    net = RandomNetGenerator(
+        technology, NetGenerationConfig(min_segments=8, max_segments=10), seed=2005
+    ).generate()
+    print(net.describe())
+
+    # 2. The minimum achievable delay anchors the timing budget.
+    tau_min = DelayOptimalDp(technology).minimum_delay(
+        net,
+        RepeaterLibrary.uniform(10.0, 400.0, 10.0),
+        uniform_candidates(net, 50.0e-6),
+    )
+    timing_target = 1.3 * tau_min
+    print(f"minimum delay {to_nanoseconds(tau_min):.3f} ns, "
+          f"target {to_nanoseconds(timing_target):.3f} ns")
+
+    # 3. The hybrid RIP flow: coarse DP -> analytical REFINE -> concise DP.
+    result = Rip(technology).run(net, timing_target)
+    print("\nRIP solution:")
+    print(" ", result.solution.describe())
+    print(f"  delay {to_nanoseconds(result.delay):.3f} ns, "
+          f"power {result.metrics.repeater_power * 1e3:.3f} mW, "
+          f"runtime {result.runtime_seconds * 1e3:.0f} ms")
+
+    # 4. The baseline: Lillis-style power-aware DP with a size-10 library.
+    baseline_library = RepeaterLibrary.uniform_count(10.0, 40.0, 10)
+    frontier = PowerAwareDp(technology).run(
+        net, baseline_library, uniform_candidates(net, 200.0e-6)
+    )
+    point = frontier.best_for_delay(timing_target)
+    if point is None:
+        print("\nBaseline DP could not meet the target with its library.")
+        return
+    baseline = InsertionSolution.from_dp(point.solution)
+    metrics = evaluate_solution(net, technology, baseline, timing_target=timing_target)
+    print("\nBaseline DP (library size 10, granularity 40u):")
+    print(" ", baseline.describe())
+    print(f"  delay {to_nanoseconds(metrics.delay):.3f} ns, "
+          f"power {metrics.repeater_power * 1e3:.3f} mW")
+
+    saving = (point.total_width - result.total_width) / point.total_width * 100.0
+    print(f"\nRIP saves {saving:.1f}% repeater power at the same timing budget.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment used for development has no ``wheel`` package, so
+PEP 660 editable installs (which build a wheel) are unavailable;
+``pip install -e . --no-build-isolation --no-use-pep517`` falls back to the
+legacy ``setup.py develop`` path, which needs this file.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

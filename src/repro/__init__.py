@@ -1,0 +1,59 @@
+"""repro — reproduction of "RIP: An Efficient Hybrid Repeater Insertion Scheme
+for Low Power" (Liu, Peng, Papaefthymiou — DATE 2005).
+
+The package is organised bottom-up:
+
+* :mod:`repro.tech` — technology models (repeater constants, wire layers,
+  power constants, repeater libraries);
+* :mod:`repro.net` — the multi-layer two-pin interconnect model with
+  forbidden zones, plus random net generation and JSON I/O;
+* :mod:`repro.delay`, :mod:`repro.power`, :mod:`repro.rc` — delay and power
+  substrates (Elmore, moments, two-pole, MNA simulation);
+* :mod:`repro.dp` — the van Ginneken / Lillis dynamic-programming engines;
+* :mod:`repro.analytical` — KKT width solvers and location derivatives;
+* :mod:`repro.core` — algorithm REFINE and the hybrid RIP flow (the paper's
+  contribution);
+* :mod:`repro.tree` — the paper's future-work extension to interconnect trees;
+* :mod:`repro.experiments` — reproductions of Table 1, Table 2 and Figure 7.
+
+Quick start::
+
+    from repro import NODE_180NM, RandomNetGenerator, Rip
+    from repro.dp import DelayOptimalDp, uniform_candidates
+    from repro.tech import RepeaterLibrary
+
+    tech = NODE_180NM
+    net = RandomNetGenerator(tech, seed=1).generate()
+    tau_min = DelayOptimalDp(tech).minimum_delay(
+        net, RepeaterLibrary.uniform(10, 400, 10), uniform_candidates(net, 200e-6))
+    result = Rip(tech).run(net, timing_target=1.2 * tau_min)
+    print(result.solution.describe())
+"""
+
+from repro.tech import NODE_180NM, NODE_130NM, NODE_90NM, NODE_65NM, RepeaterLibrary, Technology
+from repro.net import ForbiddenZone, RandomNetGenerator, TwoPinNet, WireSegment
+from repro.core import InsertionSolution, Refine, Rip, RipConfig, evaluate_solution
+from repro.dp import DelayOptimalDp, PowerAwareDp
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NODE_180NM",
+    "NODE_130NM",
+    "NODE_90NM",
+    "NODE_65NM",
+    "RepeaterLibrary",
+    "Technology",
+    "ForbiddenZone",
+    "RandomNetGenerator",
+    "TwoPinNet",
+    "WireSegment",
+    "InsertionSolution",
+    "Refine",
+    "Rip",
+    "RipConfig",
+    "evaluate_solution",
+    "DelayOptimalDp",
+    "PowerAwareDp",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Allow ``python -m repro`` to invoke the CLI."""
+
+from repro.cli.main import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""Analytical repeater-insertion machinery.
+
+This package contains the continuous-domain mathematics of Section 4 of the
+paper: the KKT width conditions (Eq. 5/8) with two solvers, the left/right
+location derivatives of the total delay (Eq. 17/18), plus the textbook
+closed-form (Bakoglu-style) repeater insertion for uniform lines that serves
+as an analytical sanity baseline in tests and examples.
+"""
+
+from repro.analytical.bakoglu import (
+    UniformLineDesign,
+    delay_optimal_uniform_insertion,
+    uniform_buffered_delay,
+)
+from repro.analytical.derivatives import (
+    LocationDerivatives,
+    delay_width_gradient,
+    location_derivatives,
+    stage_lumped_rc,
+)
+from repro.analytical.width_solver import (
+    DualBisectionWidthSolver,
+    NewtonKktWidthSolver,
+    WidthSolution,
+)
+
+__all__ = [
+    "UniformLineDesign",
+    "delay_optimal_uniform_insertion",
+    "uniform_buffered_delay",
+    "LocationDerivatives",
+    "delay_width_gradient",
+    "location_derivatives",
+    "stage_lumped_rc",
+    "DualBisectionWidthSolver",
+    "NewtonKktWidthSolver",
+    "WidthSolution",
+]

@@ -1,0 +1,166 @@
+"""Closed-form (Bakoglu-style) repeater insertion for uniform lines.
+
+For a *uniform* wire of total resistance ``R`` and capacitance ``C`` driven
+through repeaters with unit constants ``Rs``/``Co``/``Cp``, the classic
+analytical result [4] says the delay-optimal design uses
+
+* ``k_opt = sqrt(0.4 * R * C / (0.7 * Rs * (Co + Cp)))`` stages and
+* repeaters of width ``h_opt = sqrt(Rs * C / (R * Co))``
+
+uniformly spaced along the line.  Real nets in this repository are not
+uniform and have forbidden zones, so the closed form is not used by RIP
+itself; it provides (a) an independent sanity check of the Elmore evaluator
+and the DP engine on uniform nets, and (b) a quick initial guess for
+examples and studies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.tech.technology import Technology
+from repro.utils.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class UniformLineDesign:
+    """Closed-form repeater insertion result for a uniform line.
+
+    Attributes
+    ----------
+    num_repeaters:
+        Number of *inserted* repeaters (stages minus one), after rounding.
+    width:
+        Width of every repeater, units of ``u``.
+    positions:
+        Repeater positions along the line, meters from the driver.
+    estimated_delay:
+        Elmore delay estimate of the resulting design, seconds.
+    """
+
+    num_repeaters: int
+    width: float
+    positions: Tuple[float, ...]
+    estimated_delay: float
+
+
+def uniform_buffered_delay(
+    technology: Technology,
+    total_resistance: float,
+    total_capacitance: float,
+    num_stages: int,
+    width: float,
+    *,
+    driver_width: float | None = None,
+    receiver_width: float | None = None,
+) -> float:
+    """Elmore delay of a uniform line split into ``num_stages`` equal stages.
+
+    All inserted repeaters share ``width``; the driver/receiver default to
+    that same width, which matches the assumptions of the closed form.
+    """
+    require_positive(num_stages, "num_stages")
+    require_positive(width, "width")
+    repeater = technology.repeater
+    driver = width if driver_width is None else driver_width
+    receiver = width if receiver_width is None else receiver_width
+
+    stage_resistance = total_resistance / num_stages
+    stage_capacitance = total_capacitance / num_stages
+
+    delay = 0.0
+    for stage in range(num_stages):
+        source_width = driver if stage == 0 else width
+        load_width = receiver if stage == num_stages - 1 else width
+        load_cap = repeater.input_capacitance(load_width)
+        delay += (
+            repeater.intrinsic_delay
+            + repeater.drive_resistance(source_width) * (stage_capacitance + load_cap)
+            + stage_resistance * load_cap
+            + 0.5 * stage_resistance * stage_capacitance
+        )
+    return delay
+
+
+def delay_optimal_uniform_insertion(
+    technology: Technology,
+    total_length: float,
+    resistance_per_meter: float,
+    capacitance_per_meter: float,
+) -> UniformLineDesign:
+    """Delay-optimal closed-form repeater insertion for a uniform line."""
+    require_positive(total_length, "total_length")
+    require_positive(resistance_per_meter, "resistance_per_meter")
+    require_positive(capacitance_per_meter, "capacitance_per_meter")
+
+    repeater = technology.repeater
+    total_resistance = resistance_per_meter * total_length
+    total_capacitance = capacitance_per_meter * total_length
+
+    stages_continuous = math.sqrt(
+        (0.4 * total_resistance * total_capacitance)
+        / (0.7 * repeater.unit_resistance
+           * (repeater.unit_input_capacitance + repeater.unit_output_capacitance))
+    )
+    num_stages = max(1, round(stages_continuous))
+
+    width_continuous = math.sqrt(
+        (repeater.unit_resistance * total_capacitance)
+        / (total_resistance * repeater.unit_input_capacitance)
+    )
+    width = repeater.clamp_width(width_continuous)
+
+    num_repeaters = num_stages - 1
+    positions = tuple(
+        total_length * (index + 1) / num_stages for index in range(num_repeaters)
+    )
+    estimated_delay = uniform_buffered_delay(
+        technology,
+        total_resistance,
+        total_capacitance,
+        num_stages,
+        width,
+    )
+    return UniformLineDesign(
+        num_repeaters=num_repeaters,
+        width=width,
+        positions=positions,
+        estimated_delay=estimated_delay,
+    )
+
+
+def power_optimal_width_sweep(
+    technology: Technology,
+    total_resistance: float,
+    total_capacitance: float,
+    num_stages: int,
+    timing_target: float,
+    *,
+    width_step: float = 1.0,
+    max_width: float | None = None,
+) -> Tuple[float, List[Tuple[float, float]]]:
+    """Smallest uniform width meeting ``timing_target`` for a fixed stage count.
+
+    A simple sweep used by examples to illustrate the delay/width trade-off
+    of uniform designs; returns the chosen width and the swept
+    ``(width, delay)`` curve.  Raises ``ValueError`` when no width meets the
+    target (the caller should increase the stage count).
+    """
+    require_positive(timing_target, "timing_target")
+    limit = technology.repeater.max_width if max_width is None else max_width
+    curve: List[Tuple[float, float]] = []
+    width = technology.repeater.min_width
+    best: float | None = None
+    while width <= limit:
+        delay = uniform_buffered_delay(
+            technology, total_resistance, total_capacitance, num_stages, width
+        )
+        curve.append((width, delay))
+        if delay <= timing_target and best is None:
+            best = width
+        width += width_step
+    require(best is not None, "no uniform width meets the timing target; add stages")
+    assert best is not None
+    return best, curve

@@ -1,0 +1,368 @@
+"""Continuous repeater-width solvers for fixed repeater locations.
+
+Given a net, a timing target and the *positions* of ``n`` repeaters, Section
+4.2 of the paper characterises the power-optimal continuous widths by the KKT
+system
+
+* ``tau_total(w) = tau_t``                                   (Eq. 5)
+* ``1 + lambda * d tau_total / d w_i = 0`` for every repeater (Eq. 7/8)
+
+Two solvers are provided.
+
+:class:`NewtonKktWidthSolver` attacks the ``(n+1)``-variable nonlinear system
+directly with a damped Newton-Raphson iteration, exactly as the paper's
+REFINE pseudocode states.
+
+:class:`DualBisectionWidthSolver` (the default used by REFINE) exploits the
+structure instead: for a fixed multiplier ``lambda`` the stationarity
+condition can be solved per repeater,
+
+``w_i = sqrt( Rs * (C_i + Co * w_{i+1}) / (Co * (R_{i-1} + Rs / w_{i-1}) + 1/lambda) )``,
+
+which converges quickly under a Gauss-Seidel sweep, and the resulting total
+delay is monotonically decreasing in ``lambda``; an outer bisection then
+pins ``tau_total(lambda) = tau_t``.  This variant has no convergence basin
+issues, which matters because REFINE calls the solver at every iteration
+from fairly arbitrary starting points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analytical.derivatives import delay_width_gradient, stage_lumped_rc
+from repro.delay.elmore import buffered_net_delay
+from repro.net.twopin import TwoPinNet
+from repro.tech.technology import Technology
+from repro.utils.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class WidthSolution:
+    """Result of a continuous width solve at fixed repeater positions.
+
+    Attributes
+    ----------
+    widths:
+        Optimal continuous repeater widths (units of ``u``).
+    lagrange_multiplier:
+        The multiplier ``lambda`` of the timing constraint.
+    delay:
+        Elmore delay of the net with these widths, seconds.
+    total_width:
+        Sum of the widths (the power proxy).
+    feasible:
+        ``False`` when the timing target cannot be met at these positions
+        even with the largest allowed widths; the returned widths are then
+        the delay-minimising ones.
+    iterations:
+        Number of outer iterations the solver used.
+    """
+
+    widths: Tuple[float, ...]
+    lagrange_multiplier: float
+    delay: float
+    total_width: float
+    feasible: bool
+    iterations: int
+
+
+class DualBisectionWidthSolver:
+    """Lagrangian-dual width solver (Gauss-Seidel fixed point + bisection)."""
+
+    def __init__(
+        self,
+        technology: Technology,
+        *,
+        min_width: Optional[float] = None,
+        max_width: Optional[float] = None,
+        delay_tolerance: float = 1.0e-4,
+        max_bisection_steps: int = 100,
+        max_inner_sweeps: int = 200,
+        inner_tolerance: float = 1.0e-9,
+    ) -> None:
+        self._technology = technology
+        repeater = technology.repeater
+        self._min_width = repeater.min_width if min_width is None else min_width
+        self._max_width = repeater.max_width if max_width is None else max_width
+        require_positive(self._min_width, "min_width")
+        require(self._max_width > self._min_width, "max_width must exceed min_width")
+        self._delay_tolerance = delay_tolerance
+        self._max_bisection_steps = max_bisection_steps
+        self._max_inner_sweeps = max_inner_sweeps
+        self._inner_tolerance = inner_tolerance
+
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        net: TwoPinNet,
+        positions: Sequence[float],
+        timing_target: float,
+        *,
+        initial_widths: Optional[Sequence[float]] = None,
+    ) -> WidthSolution:
+        """Compute the power-optimal continuous widths at ``positions``."""
+        require_positive(timing_target, "timing_target")
+        n = len(positions)
+        if n == 0:
+            delay = buffered_net_delay(net, self._technology, [], [])
+            return WidthSolution(
+                widths=(),
+                lagrange_multiplier=0.0,
+                delay=delay,
+                total_width=0.0,
+                feasible=delay <= timing_target,
+                iterations=0,
+            )
+
+        stage_resistance, stage_capacitance = stage_lumped_rc(net, positions)
+        start = (
+            np.asarray(initial_widths, dtype=float)
+            if initial_widths is not None
+            else np.full(n, 0.5 * (self._min_width + self._max_width))
+        )
+        require(len(start) == n, "initial_widths must match the number of positions")
+
+        # Delay at the "infinite lambda" end (delay-optimal widths) tells us
+        # whether the target is achievable at all for these positions.
+        lambda_high = self._initial_lambda(net, positions, start) * 1e6
+        widths_fast = self._fixed_point(lambda_high, stage_resistance, stage_capacitance, net, start)
+        delay_fast = buffered_net_delay(net, self._technology, positions, widths_fast)
+        if delay_fast > timing_target * (1.0 + 1e-12):
+            return WidthSolution(
+                widths=tuple(widths_fast),
+                lagrange_multiplier=lambda_high,
+                delay=delay_fast,
+                total_width=float(np.sum(widths_fast)),
+                feasible=False,
+                iterations=0,
+            )
+
+        # Bracket: find a small lambda whose delay exceeds the target.
+        lambda_low = self._initial_lambda(net, positions, start) * 1e-6
+        widths_low = self._fixed_point(lambda_low, stage_resistance, stage_capacitance, net, start)
+        delay_low = buffered_net_delay(net, self._technology, positions, widths_low)
+        guard = 0
+        while delay_low <= timing_target and guard < 60:
+            lambda_low *= 0.1
+            widths_low = self._fixed_point(
+                lambda_low, stage_resistance, stage_capacitance, net, widths_low
+            )
+            delay_low = buffered_net_delay(net, self._technology, positions, widths_low)
+            guard += 1
+        if delay_low <= timing_target:
+            # Even with vanishing widths the net meets timing: the cheapest
+            # legal design is every repeater at its minimum width.
+            widths_min = np.full(n, self._min_width)
+            delay_min = buffered_net_delay(net, self._technology, positions, widths_min)
+            return WidthSolution(
+                widths=tuple(widths_min),
+                lagrange_multiplier=lambda_low,
+                delay=delay_min,
+                total_width=float(np.sum(widths_min)),
+                feasible=delay_min <= timing_target,
+                iterations=guard,
+            )
+
+        # Bisection on log(lambda): delay is monotone decreasing in lambda.
+        widths = widths_low
+        iterations = 0
+        log_low, log_high = np.log(lambda_low), np.log(lambda_high)
+        for iterations in range(1, self._max_bisection_steps + 1):
+            log_mid = 0.5 * (log_low + log_high)
+            lambda_mid = float(np.exp(log_mid))
+            widths = self._fixed_point(
+                lambda_mid, stage_resistance, stage_capacitance, net, widths
+            )
+            delay_mid = buffered_net_delay(net, self._technology, positions, widths)
+            if delay_mid > timing_target:
+                log_low = log_mid
+            else:
+                log_high = log_mid
+            if abs(delay_mid - timing_target) <= self._delay_tolerance * timing_target:
+                break
+
+        lambda_final = float(np.exp(log_high))
+        widths = self._fixed_point(lambda_final, stage_resistance, stage_capacitance, net, widths)
+        delay_final = buffered_net_delay(net, self._technology, positions, widths)
+        return WidthSolution(
+            widths=tuple(widths),
+            lagrange_multiplier=lambda_final,
+            delay=delay_final,
+            total_width=float(np.sum(widths)),
+            feasible=delay_final <= timing_target * (1.0 + 1e-9),
+            iterations=iterations,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _initial_lambda(
+        self, net: TwoPinNet, positions: Sequence[float], widths: np.ndarray
+    ) -> float:
+        """Order-of-magnitude estimate of lambda from the width gradient."""
+        gradient = delay_width_gradient(net, self._technology, positions, widths)
+        scale = float(np.mean(np.abs(gradient)))
+        if scale <= 0.0:  # pragma: no cover - degenerate nets
+            scale = 1e-12
+        return 1.0 / scale
+
+    def _fixed_point(
+        self,
+        lam: float,
+        stage_resistance: np.ndarray,
+        stage_capacitance: np.ndarray,
+        net: TwoPinNet,
+        start: np.ndarray,
+    ) -> np.ndarray:
+        """Gauss-Seidel iteration of Eq. (8) at fixed ``lambda``."""
+        repeater = self._technology.repeater
+        unit_resistance = repeater.unit_resistance
+        unit_cap = repeater.unit_input_capacitance
+        n = len(start)
+        widths = np.clip(start.astype(float).copy(), self._min_width, self._max_width)
+
+        for _ in range(self._max_inner_sweeps):
+            largest_change = 0.0
+            for i in range(n):
+                upstream_width = net.driver_width if i == 0 else widths[i - 1]
+                downstream_width = net.receiver_width if i == n - 1 else widths[i + 1]
+                numerator = unit_resistance * (
+                    stage_capacitance[i + 1] + unit_cap * downstream_width
+                )
+                denominator = (
+                    unit_cap * (stage_resistance[i] + unit_resistance / upstream_width)
+                    + 1.0 / lam
+                )
+                new_width = float(np.sqrt(numerator / denominator))
+                new_width = min(max(new_width, self._min_width), self._max_width)
+                largest_change = max(largest_change, abs(new_width - widths[i]))
+                widths[i] = new_width
+            if largest_change <= self._inner_tolerance * max(1.0, float(np.max(widths))):
+                break
+        return widths
+
+
+class NewtonKktWidthSolver:
+    """Damped Newton-Raphson on the full KKT system (the paper's stated method)."""
+
+    def __init__(
+        self,
+        technology: Technology,
+        *,
+        min_width: Optional[float] = None,
+        max_width: Optional[float] = None,
+        max_iterations: int = 100,
+        tolerance: float = 1.0e-10,
+    ) -> None:
+        self._technology = technology
+        repeater = technology.repeater
+        self._min_width = repeater.min_width if min_width is None else min_width
+        self._max_width = repeater.max_width if max_width is None else max_width
+        self._max_iterations = max_iterations
+        self._tolerance = tolerance
+        # The dual solver provides the starting point and the feasibility
+        # verdict; Newton then polishes the KKT residuals.
+        self._fallback = DualBisectionWidthSolver(
+            technology, min_width=self._min_width, max_width=self._max_width
+        )
+
+    def solve(
+        self,
+        net: TwoPinNet,
+        positions: Sequence[float],
+        timing_target: float,
+        *,
+        initial_widths: Optional[Sequence[float]] = None,
+    ) -> WidthSolution:
+        """Solve the KKT system; falls back to the dual solution if Newton diverges."""
+        warm = self._fallback.solve(
+            net, positions, timing_target, initial_widths=initial_widths
+        )
+        n = len(positions)
+        if n == 0 or not warm.feasible:
+            return warm
+
+        repeater = self._technology.repeater
+        unit_resistance = repeater.unit_resistance
+        unit_cap = repeater.unit_input_capacitance
+        stage_resistance, stage_capacitance = stage_lumped_rc(net, positions)
+
+        widths = np.asarray(warm.widths, dtype=float)
+        lam = max(warm.lagrange_multiplier, 1e-30)
+
+        def residuals(w: np.ndarray, multiplier: float) -> np.ndarray:
+            gradient = delay_width_gradient(net, self._technology, positions, w)
+            res = np.empty(n + 1)
+            res[:n] = 1.0 + multiplier * gradient
+            res[n] = buffered_net_delay(net, self._technology, positions, w) - timing_target
+            return res
+
+        def jacobian(w: np.ndarray, multiplier: float) -> np.ndarray:
+            gradient = delay_width_gradient(net, self._technology, positions, w)
+            matrix = np.zeros((n + 1, n + 1))
+            extended = [net.driver_width, *w, net.receiver_width]
+            for i in range(1, n + 1):
+                width = extended[i]
+                downstream_width = extended[i + 1]
+                row = i - 1
+                matrix[row, row] = (
+                    2.0
+                    * multiplier
+                    * unit_resistance
+                    * (stage_capacitance[i] + unit_cap * downstream_width)
+                    / width**3
+                )
+                if i - 1 >= 1:
+                    matrix[row, row - 1] = (
+                        -multiplier * unit_cap * unit_resistance / extended[i - 1] ** 2
+                    )
+                if i + 1 <= n:
+                    matrix[row, row + 1] = -multiplier * unit_resistance * unit_cap / width**2
+                matrix[row, n] = gradient[row]
+            matrix[n, :n] = gradient
+            matrix[n, n] = 0.0
+            return matrix
+
+        converged = False
+        iterations = 0
+        for iterations in range(1, self._max_iterations + 1):
+            res = residuals(widths, lam)
+            norm = float(np.max(np.abs(res[:n]))) + float(abs(res[n]) / timing_target)
+            if norm <= self._tolerance * 10.0 + 1e-12:
+                converged = True
+                break
+            try:
+                step = np.linalg.solve(jacobian(widths, lam), -res)
+            except np.linalg.LinAlgError:  # pragma: no cover - singular Jacobian
+                break
+            damping = 1.0
+            for _ in range(30):
+                new_widths = np.clip(
+                    widths + damping * step[:n], self._min_width, self._max_width
+                )
+                new_lambda = lam + damping * step[n]
+                if new_lambda <= 0.0:
+                    damping *= 0.5
+                    continue
+                new_res = residuals(new_widths, new_lambda)
+                if np.linalg.norm(new_res) < np.linalg.norm(res):
+                    widths, lam = new_widths, new_lambda
+                    break
+                damping *= 0.5
+            else:
+                break
+
+        if not converged:
+            return warm
+
+        delay = buffered_net_delay(net, self._technology, positions, widths)
+        return WidthSolution(
+            widths=tuple(float(w) for w in widths),
+            lagrange_multiplier=float(lam),
+            delay=delay,
+            total_width=float(np.sum(widths)),
+            feasible=delay <= timing_target * (1.0 + 1e-6),
+            iterations=iterations,
+        )

@@ -1,0 +1,5 @@
+"""Command-line interface (``rip`` console script / ``python -m repro``)."""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,269 @@
+"""``rip`` command-line tool.
+
+Sub-commands:
+
+* ``rip generate-net``  — generate a random net (paper Section 6 statistics)
+  and write it to a JSON file;
+* ``rip insert``        — run RIP (or the DP baseline) on a net file for a
+  timing target and print the resulting repeater assignment;
+* ``rip evaluate``      — evaluate an explicit repeater assignment on a net;
+* ``rip experiment``    — reproduce Table 1, Table 2 or Figure 7 and print
+  the report.
+
+All physical quantities on the command line use engineering units
+(micrometers, nanoseconds); internally everything is SI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.rip import Rip, RipConfig
+from repro.core.solution import InsertionSolution
+from repro.core.evaluate import evaluate_solution
+from repro.dp.candidates import uniform_candidates
+from repro.dp.powerdp import PowerAwareDp
+from repro.dp.vanginneken import DelayOptimalDp
+from repro.experiments import (
+    Figure7Config,
+    ProtocolConfig,
+    Table1Config,
+    Table2Config,
+    format_figure7,
+    format_table1,
+    format_table2,
+    run_figure7,
+    run_table1,
+    run_table2,
+)
+from repro.net.generator import NetGenerationConfig, RandomNetGenerator
+from repro.net.io import load_net, save_net
+from repro.tech.library import RepeaterLibrary
+from repro.tech.nodes import available_nodes, get_node
+from repro.utils.units import from_microns, from_nanoseconds, to_nanoseconds
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser of the ``rip`` tool."""
+    parser = argparse.ArgumentParser(
+        prog="rip",
+        description="Hybrid low-power repeater insertion (DATE 2005 reproduction).",
+    )
+    parser.add_argument(
+        "--technology",
+        default="cmos180",
+        choices=available_nodes(),
+        help="technology node to use (default: cmos180)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate-net", help="generate a random net as JSON")
+    generate.add_argument("output", help="path of the JSON net file to write")
+    generate.add_argument("--seed", type=int, default=1, help="random seed")
+    generate.add_argument("--segments", type=int, default=None, help="fixed number of segments")
+    generate.add_argument("--zones", type=int, default=1, help="number of forbidden zones")
+
+    insert = subparsers.add_parser("insert", help="insert repeaters into a net")
+    insert.add_argument("net", help="JSON net file (see generate-net)")
+    insert.add_argument(
+        "--target-ns", type=float, default=None, help="timing target in nanoseconds"
+    )
+    insert.add_argument(
+        "--target-factor",
+        type=float,
+        default=1.2,
+        help="timing target as a multiple of the net's minimum delay (default 1.2)",
+    )
+    insert.add_argument(
+        "--scheme",
+        choices=("rip", "dp"),
+        default="rip",
+        help="insertion scheme: the hybrid RIP flow or the baseline DP",
+    )
+    insert.add_argument(
+        "--dp-granularity",
+        type=float,
+        default=10.0,
+        help="width granularity (u) of the baseline DP library (scheme=dp)",
+    )
+
+    evaluate = subparsers.add_parser("evaluate", help="evaluate an explicit solution")
+    evaluate.add_argument("net", help="JSON net file")
+    evaluate.add_argument(
+        "--repeater",
+        action="append",
+        default=[],
+        metavar="POS_UM:WIDTH_U",
+        help="repeater as position_um:width_u (repeatable)",
+    )
+    evaluate.add_argument(
+        "--target-ns", type=float, default=None, help="timing target in nanoseconds"
+    )
+
+    experiment = subparsers.add_parser("experiment", help="reproduce a table or figure")
+    experiment.add_argument("which", choices=("table1", "table2", "figure7"))
+    experiment.add_argument("--nets", type=int, default=20, help="number of random nets")
+    experiment.add_argument("--targets", type=int, default=20, help="timing targets per net")
+    experiment.add_argument("--seed", type=int, default=2005, help="population seed")
+    experiment.add_argument("--csv", default=None, help="also write the rows as CSV to this path")
+
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+def _cmd_generate(args: argparse.Namespace) -> int:
+    technology = get_node(args.technology)
+    config = NetGenerationConfig(num_forbidden_zones=args.zones)
+    if args.segments is not None:
+        config = NetGenerationConfig(
+            min_segments=args.segments,
+            max_segments=args.segments,
+            num_forbidden_zones=args.zones,
+        )
+    generator = RandomNetGenerator(technology, config=config, seed=args.seed)
+    net = generator.generate()
+    save_net(net, args.output)
+    print(net.describe())
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _resolve_target(args: argparse.Namespace, technology, net) -> float:
+    if args.target_ns is not None:
+        return from_nanoseconds(args.target_ns)
+    library = RepeaterLibrary.uniform(10.0, 400.0, 10.0)
+    candidates = uniform_candidates(net, 50.0e-6)
+    tau_min = DelayOptimalDp(technology).minimum_delay(net, library, candidates)
+    target = args.target_factor * tau_min
+    print(
+        f"minimum delay {to_nanoseconds(tau_min):.3f} ns; "
+        f"using target {to_nanoseconds(target):.3f} ns "
+        f"({args.target_factor:.2f} x minimum)"
+    )
+    return target
+
+
+def _print_solution(net, technology, solution: InsertionSolution, target: float) -> None:
+    metrics = evaluate_solution(net, technology, solution, timing_target=target)
+    print(solution.describe())
+    print(
+        f"delay {to_nanoseconds(metrics.delay):.3f} ns "
+        f"(target {to_nanoseconds(target):.3f} ns, "
+        f"{'met' if metrics.meets_timing else 'VIOLATED'}), "
+        f"total width {metrics.total_width:.1f}u, "
+        f"repeater power {metrics.repeater_power * 1e3:.3f} mW"
+    )
+
+
+def _cmd_insert(args: argparse.Namespace) -> int:
+    technology = get_node(args.technology)
+    net = load_net(args.net)
+    print(net.describe())
+    target = _resolve_target(args, technology, net)
+
+    if args.scheme == "rip":
+        result = Rip(technology, RipConfig()).run(net, target)
+        _print_solution(net, technology, result.solution, target)
+        print(
+            f"RIP runtime {result.runtime_seconds:.3f}s, "
+            f"refined width {result.refined.total_width:.1f}u, "
+            f"final library {[f'{w:.0f}u' for w in result.final_library.widths]}"
+        )
+        return 0 if result.feasible else 2
+
+    library = RepeaterLibrary.uniform(10.0, 400.0, args.dp_granularity)
+    candidates = uniform_candidates(net, 200.0e-6)
+    dp_result = PowerAwareDp(technology).run(net, library, candidates)
+    point = dp_result.best_for_delay(target)
+    if point is None:
+        print("the DP baseline found no solution meeting the target")
+        return 2
+    _print_solution(net, technology, InsertionSolution.from_dp(point.solution), target)
+    print(f"DP runtime {dp_result.statistics.runtime_seconds:.3f}s")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    technology = get_node(args.technology)
+    net = load_net(args.net)
+    positions: List[float] = []
+    widths: List[float] = []
+    for spec in args.repeater:
+        try:
+            position_um, width_u = spec.split(":")
+            positions.append(from_microns(float(position_um)))
+            widths.append(float(width_u))
+        except ValueError:
+            print(f"malformed --repeater {spec!r}; expected POS_UM:WIDTH_U", file=sys.stderr)
+            return 2
+    solution = InsertionSolution.from_lists(positions, widths)
+    target = from_nanoseconds(args.target_ns) if args.target_ns is not None else None
+    metrics = evaluate_solution(net, technology, solution, timing_target=target)
+    print(net.describe())
+    print(solution.describe())
+    print(
+        f"delay {to_nanoseconds(metrics.delay):.3f} ns, total width {metrics.total_width:.1f}u, "
+        f"repeater power {metrics.repeater_power * 1e3:.3f} mW, "
+        f"legal {metrics.legal}"
+        + (
+            f", meets timing {metrics.meets_timing}"
+            if metrics.timing_target is not None
+            else ""
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    technology = get_node(args.technology)
+    protocol = ProtocolConfig(
+        technology=technology,
+        num_nets=args.nets,
+        targets_per_net=args.targets,
+        seed=args.seed,
+    )
+    if args.which == "table1":
+        result = run_table1(Table1Config(protocol=protocol))
+        print(format_table1(result))
+        rows_csv = None
+        if args.csv:
+            from repro.experiments.report import table1_headers, table1_rows, to_csv
+
+            rows_csv = to_csv(table1_headers(result), table1_rows(result))
+    elif args.which == "table2":
+        result = run_table2(Table2Config(protocol=protocol))
+        print(format_table2(result))
+        rows_csv = None
+        if args.csv:
+            from repro.experiments.report import TABLE2_HEADERS, table2_rows, to_csv
+
+            rows_csv = to_csv(TABLE2_HEADERS, table2_rows(result))
+    else:
+        result = run_figure7(Figure7Config(protocol=protocol))
+        print(format_figure7(result))
+        rows_csv = None
+        if args.csv:
+            from repro.experiments.report import FIGURE7_HEADERS, figure7_rows, to_csv
+
+            first_granularity = sorted(result.series)[0]
+            rows_csv = to_csv(FIGURE7_HEADERS, figure7_rows(result, first_granularity))
+    if args.csv and rows_csv is not None:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(rows_csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``rip`` tool."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate-net": _cmd_generate,
+        "insert": _cmd_insert,
+        "evaluate": _cmd_evaluate,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)

@@ -1,0 +1,29 @@
+"""The paper's primary contribution: algorithm REFINE and the hybrid RIP flow.
+
+Typical use::
+
+    from repro.core import Rip
+    from repro.tech import NODE_180NM
+
+    rip = Rip(NODE_180NM)
+    result = rip.run(net, timing_target)
+    print(result.solution.positions, result.solution.widths)
+"""
+
+from repro.core.solution import InsertionSolution
+from repro.core.evaluate import SolutionMetrics, evaluate_solution
+from repro.core.refine import Refine, RefineConfig, RefineResult
+from repro.core.rip import PreparedNet, Rip, RipConfig, RipResult
+
+__all__ = [
+    "InsertionSolution",
+    "SolutionMetrics",
+    "evaluate_solution",
+    "Refine",
+    "RefineConfig",
+    "RefineResult",
+    "PreparedNet",
+    "Rip",
+    "RipConfig",
+    "RipResult",
+]

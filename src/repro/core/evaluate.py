@@ -1,0 +1,85 @@
+"""Evaluation of repeater-insertion solutions: delay, power, legality."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.solution import InsertionSolution
+from repro.delay.elmore import buffered_net_delay, stage_delays
+from repro.net.twopin import TwoPinNet
+from repro.power.model import solution_power_report
+from repro.tech.technology import Technology
+
+
+@dataclass(frozen=True)
+class SolutionMetrics:
+    """Everything the experiments report about one solution on one net.
+
+    Attributes
+    ----------
+    delay:
+        Elmore delay of the buffered net, seconds.
+    total_width:
+        Total repeater width (power proxy).
+    repeater_power:
+        Physical repeater power in watts (Eq. 4 with the technology's power
+        constants).
+    num_repeaters:
+        Number of inserted repeaters.
+    max_stage_delay:
+        Largest single-stage delay; a diagnostic for badly balanced designs.
+    legal:
+        ``True`` when every repeater sits on a legal position of the net
+        (outside forbidden zones, strictly between the terminals).
+    timing_target:
+        The target this solution was evaluated against, if any.
+    meets_timing:
+        ``delay <= timing_target`` (``None`` when no target was supplied).
+    """
+
+    delay: float
+    total_width: float
+    repeater_power: float
+    num_repeaters: int
+    max_stage_delay: float
+    legal: bool
+    timing_target: Optional[float] = None
+    meets_timing: Optional[bool] = None
+
+    @property
+    def slack(self) -> Optional[float]:
+        """Timing slack (target minus delay), seconds; ``None`` without a target."""
+        if self.timing_target is None:
+            return None
+        return self.timing_target - self.delay
+
+
+def evaluate_solution(
+    net: TwoPinNet,
+    technology: Technology,
+    solution: InsertionSolution,
+    *,
+    timing_target: Optional[float] = None,
+) -> SolutionMetrics:
+    """Evaluate ``solution`` on ``net`` with the Elmore/power models of the paper."""
+    per_stage = stage_delays(net, technology, solution.positions, solution.widths)
+    delay = sum(per_stage)
+    power = solution_power_report(technology, solution.widths)
+    legal = all(net.is_legal_position(position) for position in solution.positions)
+    meets = None if timing_target is None else delay <= timing_target
+    return SolutionMetrics(
+        delay=delay,
+        total_width=solution.total_width,
+        repeater_power=power.repeater_power,
+        num_repeaters=solution.num_repeaters,
+        max_stage_delay=max(per_stage) if per_stage else 0.0,
+        legal=legal,
+        timing_target=timing_target,
+        meets_timing=meets,
+    )
+
+
+def solution_delay(net: TwoPinNet, technology: Technology, solution: InsertionSolution) -> float:
+    """Convenience wrapper: just the Elmore delay of ``solution`` on ``net``."""
+    return buffered_net_delay(net, technology, solution.positions, solution.widths)

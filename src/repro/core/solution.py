@@ -1,0 +1,95 @@
+"""The repeater-insertion solution object shared across algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.dp.state import DpSolution
+from repro.net.twopin import TwoPinNet
+from repro.utils.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class InsertionSolution:
+    """A repeater assignment: sorted positions and matching widths.
+
+    This is the lingua franca between the DP engines (which produce discrete
+    solutions), REFINE (which produces continuous ones) and the evaluator.
+    Widths may be any positive real here; discreteness is a property of how
+    the solution was produced, not of the container.
+    """
+
+    positions: Tuple[float, ...]
+    widths: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        require(
+            len(self.positions) == len(self.widths),
+            "positions and widths must have the same length",
+        )
+        previous = -float("inf")
+        for position in self.positions:
+            require(position >= previous, "positions must be sorted ascending")
+            previous = position
+        for width in self.widths:
+            require_positive(width, "width")
+        object.__setattr__(self, "positions", tuple(float(p) for p in self.positions))
+        object.__setattr__(self, "widths", tuple(float(w) for w in self.widths))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_repeaters(self) -> int:
+        """Number of inserted repeaters."""
+        return len(self.positions)
+
+    @property
+    def total_width(self) -> float:
+        """Sum of repeater widths — the power proxy of Eq. (4)."""
+        return float(sum(self.widths))
+
+    @classmethod
+    def empty(cls) -> "InsertionSolution":
+        """The solution with no repeaters at all."""
+        return cls(positions=(), widths=())
+
+    @classmethod
+    def from_dp(cls, solution: DpSolution) -> "InsertionSolution":
+        """Convert a DP engine result into an :class:`InsertionSolution`."""
+        return cls(positions=solution.positions, widths=solution.widths)
+
+    @classmethod
+    def from_lists(
+        cls, positions: Sequence[float], widths: Sequence[float]
+    ) -> "InsertionSolution":
+        """Build a solution from parallel sequences (sorted by position)."""
+        paired = sorted(zip(positions, widths), key=lambda item: item[0])
+        return cls(
+            positions=tuple(p for p, _ in paired),
+            widths=tuple(w for _, w in paired),
+        )
+
+    # ------------------------------------------------------------------ #
+    def with_widths(self, widths: Sequence[float]) -> "InsertionSolution":
+        """Return a copy with the same positions and new widths."""
+        return InsertionSolution(positions=self.positions, widths=tuple(widths))
+
+    def with_positions(self, positions: Sequence[float]) -> "InsertionSolution":
+        """Return a copy with new positions and the same widths."""
+        return InsertionSolution.from_lists(positions, self.widths)
+
+    def legalized(self, net: TwoPinNet) -> "InsertionSolution":
+        """Snap every repeater onto a legal position of ``net``."""
+        return InsertionSolution.from_lists(
+            [net.legalize(position) for position in self.positions], self.widths
+        )
+
+    def describe(self) -> str:
+        """Short human-readable summary used by the CLI."""
+        if not self.positions:
+            return "no repeaters"
+        entries = ", ".join(
+            f"{width:.1f}u @ {position * 1e6:.0f}um"
+            for position, width in zip(self.positions, self.widths)
+        )
+        return f"{self.num_repeaters} repeaters (total {self.total_width:.1f}u): {entries}"

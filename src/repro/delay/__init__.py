@@ -1,0 +1,40 @@
+"""Delay models for buffered interconnect.
+
+The paper's analysis and algorithms use the Elmore delay of the switch-level
+RC stage model (Section 4.1, Eq. 1-2); this package implements that model
+plus the higher-accuracy estimates the paper mentions as drop-in
+replacements (moment matching / two-pole) and a slew estimate.
+"""
+
+from repro.delay.stage import (
+    StageBreakdown,
+    stage_delay,
+    stage_delay_breakdown,
+    wire_elmore_delay,
+)
+from repro.delay.elmore import (
+    ElmoreDelayModel,
+    buffered_net_delay,
+    stage_delays,
+    unbuffered_net_delay,
+)
+from repro.delay.moments import ladder_moments, net_transfer_moments
+from repro.delay.twopole import d2m_delay, two_pole_delay
+from repro.delay.slew import elmore_slew, stage_output_slew
+
+__all__ = [
+    "StageBreakdown",
+    "stage_delay",
+    "stage_delay_breakdown",
+    "wire_elmore_delay",
+    "ElmoreDelayModel",
+    "buffered_net_delay",
+    "stage_delays",
+    "unbuffered_net_delay",
+    "ladder_moments",
+    "net_transfer_moments",
+    "d2m_delay",
+    "two_pole_delay",
+    "elmore_slew",
+    "stage_output_slew",
+]

@@ -1,0 +1,115 @@
+"""Elmore delay of a fully buffered two-pin net (Eq. 2 of the paper).
+
+The functions here evaluate a complete repeater-insertion solution — a sorted
+list of repeater positions and the matching list of widths — on a
+:class:`~repro.net.twopin.TwoPinNet`.  They are the single source of truth
+for "what is the delay of this solution": the DP engine, the analytical
+solver, REFINE and the experiment harness all report delays computed here, so
+algorithms are compared on exactly the same model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.delay.stage import stage_delay
+from repro.net.twopin import TwoPinNet
+from repro.tech.technology import Technology
+from repro.utils.validation import require, require_positive
+
+
+def _check_solution(
+    net: TwoPinNet, positions: Sequence[float], widths: Sequence[float]
+) -> None:
+    require(
+        len(positions) == len(widths),
+        f"positions ({len(positions)}) and widths ({len(widths)}) must have the same length",
+    )
+    previous = 0.0
+    for position in positions:
+        require(
+            0.0 <= position <= net.total_length,
+            f"repeater position {position} outside the net [0, {net.total_length}]",
+        )
+        require(position >= previous, "repeater positions must be sorted ascending")
+        previous = position
+    for width in widths:
+        require_positive(width, "repeater width")
+
+
+def stage_delays(
+    net: TwoPinNet,
+    technology: Technology,
+    positions: Sequence[float],
+    widths: Sequence[float],
+) -> List[float]:
+    """Per-stage Elmore delays of a buffered net.
+
+    Stage ``0`` is driven by the net driver; stage ``i`` (``i >= 1``) by the
+    ``i``-th inserted repeater; the final stage is loaded by the receiver's
+    input capacitance.  The list has ``len(positions) + 1`` entries.
+    """
+    _check_solution(net, positions, widths)
+    repeater = technology.repeater
+
+    driver_widths = [net.driver_width, *widths]
+    cut_points = [0.0, *positions, net.total_length]
+    load_widths = [*widths, net.receiver_width]
+
+    delays: List[float] = []
+    for stage_index, driver_width in enumerate(driver_widths):
+        start = cut_points[stage_index]
+        end = cut_points[stage_index + 1]
+        pieces = net.pieces_between(start, end)
+        load_capacitance = repeater.input_capacitance(load_widths[stage_index])
+        delays.append(stage_delay(repeater, driver_width, pieces, load_capacitance))
+    return delays
+
+
+def buffered_net_delay(
+    net: TwoPinNet,
+    technology: Technology,
+    positions: Sequence[float],
+    widths: Sequence[float],
+) -> float:
+    """Total Elmore delay (seconds) of the net with the given repeaters (Eq. 2)."""
+    return sum(stage_delays(net, technology, positions, widths))
+
+
+def unbuffered_net_delay(net: TwoPinNet, technology: Technology) -> float:
+    """Elmore delay of the net with no repeaters at all."""
+    return buffered_net_delay(net, technology, [], [])
+
+
+class ElmoreDelayModel:
+    """Object-oriented façade over the module-level delay functions.
+
+    Several components (the DP engine, REFINE, the evaluator) need "a delay
+    model" as a dependency; passing this small object keeps their signatures
+    stable if an alternative delay model (e.g. the two-pole estimate) is used
+    instead, as the paper suggests is possible.
+    """
+
+    def __init__(self, technology: Technology) -> None:
+        self._technology = technology
+
+    @property
+    def technology(self) -> Technology:
+        """The technology whose constants the model uses."""
+        return self._technology
+
+    def net_delay(
+        self, net: TwoPinNet, positions: Sequence[float], widths: Sequence[float]
+    ) -> float:
+        """Total delay of a buffered net."""
+        return buffered_net_delay(net, self._technology, positions, widths)
+
+    def stage_delays(
+        self, net: TwoPinNet, positions: Sequence[float], widths: Sequence[float]
+    ) -> List[float]:
+        """Per-stage delays of a buffered net."""
+        return stage_delays(net, self._technology, positions, widths)
+
+    def unbuffered_delay(self, net: TwoPinNet) -> float:
+        """Delay of the bare net (no repeaters)."""
+        return unbuffered_net_delay(net, self._technology)

@@ -1,0 +1,43 @@
+"""Simple slew (transition-time) estimates.
+
+The paper's optimisation does not constrain slew, but real repeater-insertion
+flows check that no stage's output transition becomes so slow that the
+short-circuit-power assumption (Section 4.1) breaks down.  These helpers give
+the standard Elmore-based 10%-90% estimate so examples and the evaluator can
+report it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.delay.stage import WirePiece, stage_delay
+from repro.tech.repeater import RepeaterParameters
+from repro.utils.validation import require_non_negative
+
+#: ratio between the 10%-90% transition time and the Elmore constant of a
+#: single-pole response: ln(0.9/0.1).
+LN9 = math.log(9.0)
+
+
+def elmore_slew(elmore_delay: float) -> float:
+    """10%-90% transition time of a single-pole stage with the given Elmore delay.
+
+    The 50% point of a single-pole response sits at ``ln(2) * tau`` while the
+    10%-90% swing takes ``ln(9) * tau``; given the Elmore *delay* (interpreted
+    as the time constant) the slew estimate is ``ln(9)/1 * tau``.
+    """
+    require_non_negative(elmore_delay, "elmore_delay")
+    return LN9 * elmore_delay
+
+
+def stage_output_slew(
+    repeater: RepeaterParameters,
+    driver_width: float,
+    pieces: Sequence[WirePiece],
+    load_capacitance: float,
+) -> float:
+    """Estimated 10%-90% output slew of one repeater stage."""
+    tau = stage_delay(repeater, driver_width, pieces, load_capacitance, include_intrinsic=False)
+    return elmore_slew(tau)

@@ -1,0 +1,132 @@
+"""Elmore delay of a single repeater stage (Eq. 1 of the paper).
+
+A *stage* is one driving repeater (or the net's driver), the chain of wire
+pieces up to the next repeater (or the receiver), and the input capacitance of
+that next repeater.  The driving repeater of width ``w`` is modelled as an
+ideal switch with output resistance ``Rs / w`` and output parasitic
+capacitance ``Cp * w``; each wire piece uses the lumped-RC pi model; the
+receiving repeater is a capacitor ``Co * w_next``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.tech.repeater import RepeaterParameters
+from repro.utils.validation import require_non_negative, require_positive
+
+WirePiece = Tuple[float, float, float]
+"""A ``(resistance_per_meter, capacitance_per_meter, length)`` triple."""
+
+
+def wire_elmore_delay(pieces: Sequence[WirePiece], load_capacitance: float) -> float:
+    """Distributed Elmore delay of a wire driving ``load_capacitance``.
+
+    Each piece contributes ``R_piece * (C_piece / 2 + C_downstream)`` where
+    ``C_downstream`` is all wire capacitance after the piece plus the load —
+    exactly the last two terms of Eq. (1) when the driver resistance is
+    excluded.
+    """
+    require_non_negative(load_capacitance, "load_capacitance")
+    downstream_cap = load_capacitance
+    for _, capacitance_per_meter, length in pieces:
+        downstream_cap += capacitance_per_meter * length
+
+    delay = 0.0
+    for resistance_per_meter, capacitance_per_meter, length in pieces:
+        piece_resistance = resistance_per_meter * length
+        piece_capacitance = capacitance_per_meter * length
+        downstream_cap -= piece_capacitance
+        delay += piece_resistance * (0.5 * piece_capacitance + downstream_cap)
+    return delay
+
+
+@dataclass(frozen=True)
+class StageBreakdown:
+    """Per-term breakdown of a stage's Elmore delay.
+
+    Attributes map one-to-one onto the four terms of Eq. (1):
+
+    * ``intrinsic``: ``Rs * Cp`` — the repeater driving its own drain cap.
+    * ``drive``: ``(Rs / w) * (C_wire + C_load)`` — the driver resistance
+      charging everything downstream.
+    * ``wire_to_load``: ``R_wire * C_load`` — the wire resistance charging the
+      receiving repeater's gate.
+    * ``wire_distributed``: the distributed wire RC delay.
+    """
+
+    intrinsic: float
+    drive: float
+    wire_to_load: float
+    wire_distributed: float
+
+    @property
+    def total(self) -> float:
+        """Total stage delay in seconds."""
+        return self.intrinsic + self.drive + self.wire_to_load + self.wire_distributed
+
+
+def stage_delay_breakdown(
+    repeater: RepeaterParameters,
+    driver_width: float,
+    pieces: Sequence[WirePiece],
+    load_capacitance: float,
+    *,
+    include_intrinsic: bool = True,
+) -> StageBreakdown:
+    """Breakdown of the Elmore delay of one stage.
+
+    Parameters
+    ----------
+    repeater:
+        Unit-size repeater constants of the technology.
+    driver_width:
+        Width of the stage's driving repeater (or of the net driver for the
+        first stage), in units of ``u``.
+    pieces:
+        Wire pieces between the driving and receiving repeater, in
+        downstream order (may be empty for back-to-back repeaters).
+    load_capacitance:
+        Input capacitance of the receiving repeater (``Co * w_next``), or of
+        the receiver for the last stage; any extra fixed pin capacitance can
+        simply be added by the caller.
+    include_intrinsic:
+        Include the width-independent ``Rs * Cp`` self-loading term.  The
+        term is constant per stage, so analyses that only care about deltas
+        may drop it.
+    """
+    require_positive(driver_width, "driver_width")
+    require_non_negative(load_capacitance, "load_capacitance")
+
+    wire_capacitance = sum(c * l for _, c, l in pieces)
+    wire_resistance = sum(r * l for r, _, l in pieces)
+
+    intrinsic = repeater.intrinsic_delay if include_intrinsic else 0.0
+    drive = repeater.drive_resistance(driver_width) * (wire_capacitance + load_capacitance)
+    wire_to_load = wire_resistance * load_capacitance
+    wire_distributed = wire_elmore_delay(pieces, 0.0)
+    return StageBreakdown(
+        intrinsic=intrinsic,
+        drive=drive,
+        wire_to_load=wire_to_load,
+        wire_distributed=wire_distributed,
+    )
+
+
+def stage_delay(
+    repeater: RepeaterParameters,
+    driver_width: float,
+    pieces: Sequence[WirePiece],
+    load_capacitance: float,
+    *,
+    include_intrinsic: bool = True,
+) -> float:
+    """Elmore delay (seconds) of one repeater stage — Eq. (1) of the paper."""
+    return stage_delay_breakdown(
+        repeater,
+        driver_width,
+        pieces,
+        load_capacitance,
+        include_intrinsic=include_intrinsic,
+    ).total

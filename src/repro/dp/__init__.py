@@ -1,0 +1,38 @@
+"""Dynamic-programming buffering engines.
+
+Two engines live here:
+
+* :class:`DelayOptimalDp` — the classic van Ginneken bottom-up DP [11, 20]
+  that minimises the Elmore delay of a two-pin net.  RIP uses it to compute
+  the minimum achievable delay ``tau_min`` of a net (the reference point for
+  the timing targets of the experiments) and as a fallback initial solution.
+* :class:`PowerAwareDp` — the Lillis-style power/delay DP [14] the paper
+  compares against, which tracks the total inserted width and returns the
+  whole delay/width trade-off frontier so that one run answers every timing
+  target.
+
+Candidate-location construction (uniform pitch outside forbidden zones, and
+the fine windows around REFINE's locations used by RIP step 3) is in
+:mod:`repro.dp.candidates`.
+"""
+
+from repro.dp.candidates import merge_candidates, uniform_candidates, window_candidates
+from repro.dp.state import BufferAssignment, DpSolution
+from repro.dp.frontier import DelayWidthFrontier, FrontierPoint
+from repro.dp.pruning import PruningConfig
+from repro.dp.powerdp import PowerAwareDp, PowerDpResult
+from repro.dp.vanginneken import DelayOptimalDp
+
+__all__ = [
+    "merge_candidates",
+    "uniform_candidates",
+    "window_candidates",
+    "BufferAssignment",
+    "DpSolution",
+    "DelayWidthFrontier",
+    "FrontierPoint",
+    "PruningConfig",
+    "PowerAwareDp",
+    "PowerDpResult",
+    "DelayOptimalDp",
+]

@@ -1,0 +1,67 @@
+"""Candidate repeater locations for the DP engines.
+
+The paper uses two constructions:
+
+* **uniform candidates** — positions every ``pitch`` meters along the net,
+  excluding forbidden zones (the baseline DP and RIP's coarse first pass use
+  a 200 µm pitch);
+* **window candidates** — for RIP's final pass, the locations found by
+  REFINE plus ``window`` extra positions before and after each of them at a
+  fine pitch (the paper uses 10 positions either side at 50 µm).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.net.twopin import TwoPinNet
+from repro.utils.validation import require, require_positive
+
+
+def uniform_candidates(net: TwoPinNet, pitch: float) -> List[float]:
+    """Uniformly spaced legal candidate positions along ``net``.
+
+    Candidates start one pitch away from the driver and stop before the
+    receiver; positions inside forbidden zones are dropped.
+    """
+    require_positive(pitch, "pitch")
+    return net.legal_positions(pitch)
+
+
+def window_candidates(
+    net: TwoPinNet,
+    centers: Sequence[float],
+    *,
+    window: int = 10,
+    pitch: float = 50.0e-6,
+    include_centers: bool = True,
+) -> List[float]:
+    """Fine-pitch candidate positions clustered around ``centers``.
+
+    For every center ``x`` the candidates are ``x + k * pitch`` for
+    ``k = -window .. window`` (``k = 0`` only when ``include_centers``),
+    restricted to legal positions of the net.  Duplicates across overlapping
+    windows are merged.
+    """
+    require(window >= 0, "window must be >= 0")
+    require_positive(pitch, "pitch")
+    positions: List[float] = []
+    for center in centers:
+        for step in range(-window, window + 1):
+            if step == 0 and not include_centers:
+                continue
+            candidate = center + step * pitch
+            if net.is_legal_position(candidate):
+                positions.append(candidate)
+    return merge_candidates(positions)
+
+
+def merge_candidates(positions: Iterable[float], *, tolerance: float = 1e-9) -> List[float]:
+    """Sort candidate positions and merge near-duplicates (within ``tolerance``)."""
+    ordered = sorted(positions)
+    merged: List[float] = []
+    for position in ordered:
+        if merged and abs(position - merged[-1]) <= tolerance:
+            continue
+        merged.append(position)
+    return merged

@@ -1,0 +1,97 @@
+"""Delay / total-width trade-off frontier produced by the power-aware DP.
+
+One DP run over a net and a library produces the complete set of
+non-dominated ``(delay, total_width)`` points at the driver.  The experiment
+harness exploits this heavily: the paper sweeps twenty timing targets per
+net, and the baseline DP answer for every one of them is a single lookup in
+the frontier of a single run.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dp.state import DpSolution
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One non-dominated point of the delay/width trade-off.
+
+    Attributes
+    ----------
+    delay:
+        Elmore delay of the buffered net, seconds.
+    total_width:
+        Total inserted repeater width (power proxy).
+    solution:
+        The full repeater assignment achieving this point.
+    """
+
+    delay: float
+    total_width: float
+    solution: DpSolution
+
+
+class DelayWidthFrontier:
+    """Sorted, non-dominated set of ``(delay, total_width)`` solutions."""
+
+    def __init__(self, points: Sequence[FrontierPoint]) -> None:
+        cleaned = self._prune(points)
+        self._points: Tuple[FrontierPoint, ...] = tuple(cleaned)
+        self._delays: List[float] = [point.delay for point in cleaned]
+
+    @staticmethod
+    def _prune(points: Sequence[FrontierPoint]) -> List[FrontierPoint]:
+        ordered = sorted(points, key=lambda point: (point.delay, point.total_width))
+        front: List[FrontierPoint] = []
+        best_width = float("inf")
+        for point in ordered:
+            if point.total_width < best_width - 1e-12:
+                front.append(point)
+                best_width = point.total_width
+        return front
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    @property
+    def points(self) -> Tuple[FrontierPoint, ...]:
+        """All frontier points sorted by increasing delay (decreasing width)."""
+        return self._points
+
+    def is_empty(self) -> bool:
+        """True when the DP produced no solution at all."""
+        return not self._points
+
+    def min_delay(self) -> float:
+        """Smallest achievable delay with this library/location set."""
+        if not self._points:
+            raise ValueError("the frontier is empty")
+        return self._points[0].delay
+
+    def min_width_solution(self) -> FrontierPoint:
+        """The cheapest solution irrespective of delay (loosest timing)."""
+        if not self._points:
+            raise ValueError("the frontier is empty")
+        return self._points[-1]
+
+    def best_for_delay(self, timing_target: float) -> Optional[FrontierPoint]:
+        """Cheapest (minimum total width) point with ``delay <= timing_target``.
+
+        Returns ``None`` when no point meets the target — i.e. the DP, with
+        the library and candidate locations it was given, violates the timing
+        constraint (the paper's ``V_DP`` column counts exactly these cases).
+        """
+        index = bisect_right(self._delays, timing_target)
+        if index == 0:
+            return None
+        # Widths decrease with delay along the pruned frontier, so the last
+        # point meeting the target is the cheapest one.
+        return self._points[index - 1]

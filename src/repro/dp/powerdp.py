@@ -1,0 +1,274 @@
+"""Power-aware dynamic-programming repeater insertion (the baseline of [14]).
+
+The engine walks the net from the receiver towards the driver.  At every
+candidate location it either inserts one repeater from the library or leaves
+the location empty; between locations it accumulates the wire's Elmore
+contribution.  Each partial solution is summarised by the triple
+
+``(C, D, W)`` = (capacitance seen looking downstream,
+                 delay from here to the receiver,
+                 total width inserted so far)
+
+and dominated triples are pruned.  At the driver the source stage is added
+and the full delay/width frontier is returned, so one run serves every
+timing target for this net and library.
+
+All per-state arithmetic is vectorised with numpy: a "level" (the set of
+surviving states at one candidate location) is a handful of parallel arrays,
+and back-pointers into the previous level allow the winning solution to be
+reconstructed at the end.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dp.candidates import merge_candidates
+from repro.dp.frontier import DelayWidthFrontier, FrontierPoint
+from repro.dp.pruning import PruningConfig, prune_states
+from repro.dp.state import DpSolution
+from repro.net.twopin import TwoPinNet
+from repro.tech.library import RepeaterLibrary
+from repro.tech.technology import Technology
+from repro.utils.validation import require
+
+
+def traverse_wire(
+    net: TwoPinNet,
+    upstream: float,
+    downstream: float,
+    caps: np.ndarray,
+    delays: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Move DP states upstream across the wire interval ``[upstream, downstream]``.
+
+    Returns updated copies of ``(caps, delays)``: every wire piece adds its
+    pi-model Elmore contribution ``R * (C/2 + C_downstream)`` to the delay and
+    its capacitance to the load, processed from the downstream end towards
+    the upstream end.  Shared by the power-aware and the delay-optimal DP.
+    """
+    if downstream <= upstream:
+        return caps, delays
+    caps = caps.copy()
+    delays = delays.copy()
+    for resistance_per_meter, capacitance_per_meter, length in reversed(
+        net.pieces_between(upstream, downstream)
+    ):
+        piece_resistance = resistance_per_meter * length
+        piece_capacitance = capacitance_per_meter * length
+        delays += piece_resistance * (0.5 * piece_capacitance + caps)
+        caps += piece_capacitance
+    return caps, delays
+
+
+@dataclass
+class _Level:
+    """Book-keeping for one candidate location: how each survivor was produced."""
+
+    position: float
+    parents: np.ndarray
+    decisions: np.ndarray
+
+
+@dataclass(frozen=True)
+class DpStatistics:
+    """Instrumentation of one DP run (used by the ablation benchmarks)."""
+
+    num_candidates: int
+    library_size: int
+    states_generated: int
+    max_front_size: int
+    runtime_seconds: float
+
+
+@dataclass
+class PowerDpResult:
+    """Outcome of one power-aware DP run on a net.
+
+    Attributes
+    ----------
+    frontier:
+        The non-dominated delay/width trade-off at the driver.
+    statistics:
+        Instrumentation (state counts, runtime) of the run.
+    """
+
+    frontier: DelayWidthFrontier
+    statistics: DpStatistics
+
+    def best_for_delay(self, timing_target: float) -> Optional[FrontierPoint]:
+        """Cheapest solution meeting ``timing_target`` (``None`` if infeasible)."""
+        return self.frontier.best_for_delay(timing_target)
+
+    def min_delay(self) -> float:
+        """Smallest delay achievable with the library/locations of this run."""
+        return self.frontier.min_delay()
+
+
+class PowerAwareDp:
+    """Lillis-style power-aware repeater-insertion DP on a two-pin net."""
+
+    def __init__(
+        self,
+        technology: Technology,
+        pruning: Optional[PruningConfig] = None,
+    ) -> None:
+        self._technology = technology
+        self._pruning = pruning or PruningConfig()
+
+    @property
+    def technology(self) -> Technology:
+        """Technology whose repeater constants the DP uses."""
+        return self._technology
+
+    def run(
+        self,
+        net: TwoPinNet,
+        library: RepeaterLibrary,
+        candidate_positions: Sequence[float],
+    ) -> PowerDpResult:
+        """Run the DP and return the full delay/width frontier.
+
+        ``candidate_positions`` may be unsorted and may contain illegal
+        positions (inside forbidden zones or outside the net); those are
+        silently dropped, which lets callers pass the raw output of REFINE
+        without re-legalising.
+        """
+        started = time.perf_counter()
+        repeater = self._technology.repeater
+        unit_resistance = repeater.unit_resistance
+        unit_input_cap = repeater.unit_input_capacitance
+        intrinsic = repeater.intrinsic_delay
+
+        positions = merge_candidates(
+            position
+            for position in candidate_positions
+            if net.is_legal_position(position)
+        )
+
+        # State arrays at the current point (initially: at the receiver).
+        caps = np.array([unit_input_cap * net.receiver_width])
+        delays = np.array([0.0])
+        widths = np.array([0.0])
+        back = np.array([-1], dtype=np.int64)
+
+        levels: List[_Level] = []
+        states_generated = 1
+        max_front = 1
+        previous_point = net.total_length
+
+        library_widths = np.asarray(library.widths, dtype=float)
+
+        for position in reversed(positions):
+            caps, delays = traverse_wire(net, position, previous_point, caps, delays)
+            previous_point = position
+
+            count = len(caps)
+            branches = len(library_widths) + 1
+            new_caps = np.empty(count * branches)
+            new_delays = np.empty(count * branches)
+            new_widths = np.empty(count * branches)
+            new_parents = np.empty(count * branches, dtype=np.int64)
+            new_decisions = np.empty(count * branches)
+
+            # branch 0: leave the location empty
+            new_caps[:count] = caps
+            new_delays[:count] = delays
+            new_widths[:count] = widths
+            new_parents[:count] = back
+            new_decisions[:count] = 0.0
+
+            for branch, width in enumerate(library_widths, start=1):
+                lo = branch * count
+                hi = lo + count
+                new_caps[lo:hi] = unit_input_cap * width
+                new_delays[lo:hi] = intrinsic + (unit_resistance / width) * caps + delays
+                new_widths[lo:hi] = widths + width
+                new_parents[lo:hi] = back
+                new_decisions[lo:hi] = width
+
+            states_generated += count * branches
+            keep = prune_states(new_caps, new_delays, new_widths, self._pruning)
+            caps = new_caps[keep]
+            delays = new_delays[keep]
+            widths = new_widths[keep]
+            levels.append(
+                _Level(
+                    position=position,
+                    parents=new_parents[keep],
+                    decisions=new_decisions[keep],
+                )
+            )
+            back = np.arange(len(keep), dtype=np.int64)
+            max_front = max(max_front, len(keep))
+
+        caps, delays = traverse_wire(net, 0.0, previous_point, caps, delays)
+        final_delays = delays + intrinsic + (unit_resistance / net.driver_width) * caps
+
+        frontier = self._build_frontier(final_delays, widths, back, levels)
+        statistics = DpStatistics(
+            num_candidates=len(positions),
+            library_size=len(library_widths),
+            states_generated=states_generated,
+            max_front_size=max_front,
+            runtime_seconds=time.perf_counter() - started,
+        )
+        return PowerDpResult(frontier=frontier, statistics=statistics)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _build_frontier(
+        self,
+        final_delays: np.ndarray,
+        widths: np.ndarray,
+        back: np.ndarray,
+        levels: List[_Level],
+    ) -> DelayWidthFrontier:
+        """Reconstruct the non-dominated final states into full solutions."""
+        order = np.lexsort((widths, final_delays))
+        points: List[FrontierPoint] = []
+        best_width = np.inf
+        for row in order:
+            if widths[row] >= best_width - 1e-12:
+                continue
+            best_width = widths[row]
+            positions, repeater_widths = self._backtrack(int(back[row]), levels)
+            solution = DpSolution.from_lists(
+                positions=positions,
+                widths=repeater_widths,
+                delay=float(final_delays[row]),
+                total_width=float(widths[row]),
+            )
+            points.append(
+                FrontierPoint(
+                    delay=float(final_delays[row]),
+                    total_width=float(widths[row]),
+                    solution=solution,
+                )
+            )
+        return DelayWidthFrontier(points)
+
+    @staticmethod
+    def _backtrack(pointer: int, levels: List[_Level]) -> Tuple[List[float], List[float]]:
+        """Walk the back-pointers of one final state into (positions, widths)."""
+        positions: List[float] = []
+        widths: List[float] = []
+        level_index = len(levels) - 1
+        while level_index >= 0 and pointer >= 0:
+            level = levels[level_index]
+            decision = float(level.decisions[pointer])
+            if decision > 0.0:
+                positions.append(level.position)
+                widths.append(decision)
+            pointer = int(level.parents[pointer])
+            level_index -= 1
+        require(
+            pointer < 0 or level_index < 0,
+            "inconsistent DP back-pointers; this is a bug in the DP engine",
+        )
+        return positions, widths

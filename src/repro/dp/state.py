@@ -1,0 +1,71 @@
+"""Result value objects shared by the DP engines and the rest of the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class BufferAssignment:
+    """One inserted repeater: where it sits and how wide it is.
+
+    Attributes
+    ----------
+    position:
+        Distance from the driver along the net, meters.
+    width:
+        Repeater width in units of the minimal width ``u``.
+    """
+
+    position: float
+    width: float
+
+
+@dataclass(frozen=True)
+class DpSolution:
+    """A complete repeater-insertion solution with its evaluated metrics.
+
+    Attributes
+    ----------
+    assignments:
+        The inserted repeaters, ordered from the driver towards the receiver.
+    delay:
+        Elmore delay of the buffered net in seconds (driver to receiver).
+    total_width:
+        Sum of the inserted repeater widths (the power proxy).
+    """
+
+    assignments: Tuple[BufferAssignment, ...]
+    delay: float
+    total_width: float
+
+    @property
+    def positions(self) -> Tuple[float, ...]:
+        """Repeater positions, driver side first."""
+        return tuple(assignment.position for assignment in self.assignments)
+
+    @property
+    def widths(self) -> Tuple[float, ...]:
+        """Repeater widths, driver side first."""
+        return tuple(assignment.width for assignment in self.assignments)
+
+    @property
+    def num_repeaters(self) -> int:
+        """Number of inserted repeaters."""
+        return len(self.assignments)
+
+    @classmethod
+    def from_lists(
+        cls,
+        positions: Sequence[float],
+        widths: Sequence[float],
+        delay: float,
+        total_width: float,
+    ) -> "DpSolution":
+        """Build a solution from parallel position/width sequences."""
+        assignments = tuple(
+            BufferAssignment(position=float(p), width=float(w))
+            for p, w in zip(positions, widths)
+        )
+        return cls(assignments=assignments, delay=delay, total_width=total_width)

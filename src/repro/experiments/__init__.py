@@ -1,0 +1,65 @@
+"""Reproductions of the paper's evaluation (Section 6).
+
+Three experiments are implemented, one per table/figure:
+
+* :mod:`repro.experiments.table1`  — Table 1: per-net power savings of RIP
+  over the baseline DP with library size 10 at granularities 10u/20u/40u,
+  plus the count of timing violations of the g=10u DP.
+* :mod:`repro.experiments.figure7` — Figure 7(a)/(b): power savings versus
+  timing target for the g=10u and g=40u baselines on a single net.
+* :mod:`repro.experiments.table2`  — Table 2: quality/runtime trade-off of
+  the baseline DP as its width granularity shrinks from 40u to 10u, and the
+  speedup of RIP at comparable quality.
+
+All experiments share the workload protocol in
+:mod:`repro.experiments.protocol` (random nets exactly as Section 6
+describes, twenty timing targets between 1.05 and 2.05 times the minimum
+delay of each net) and the plain-text/CSV reporting in
+:mod:`repro.experiments.report`.
+"""
+
+from repro.experiments.protocol import (
+    ExperimentProtocol,
+    NetCase,
+    ProtocolConfig,
+    timing_targets,
+)
+from repro.experiments.table1 import Table1Config, Table1Result, Table1Row, run_table1
+from repro.experiments.table2 import Table2Config, Table2Result, Table2Row, run_table2
+from repro.experiments.figure7 import (
+    Figure7Config,
+    Figure7Point,
+    Figure7Result,
+    run_figure7,
+)
+from repro.experiments.report import (
+    format_figure7,
+    format_table,
+    format_table1,
+    format_table2,
+    to_csv,
+)
+
+__all__ = [
+    "ExperimentProtocol",
+    "NetCase",
+    "ProtocolConfig",
+    "timing_targets",
+    "Table1Config",
+    "Table1Result",
+    "Table1Row",
+    "run_table1",
+    "Table2Config",
+    "Table2Result",
+    "Table2Row",
+    "run_table2",
+    "Figure7Config",
+    "Figure7Point",
+    "Figure7Result",
+    "run_figure7",
+    "format_figure7",
+    "format_table",
+    "format_table1",
+    "format_table2",
+    "to_csv",
+]

@@ -1,0 +1,185 @@
+"""Plain-text and CSV rendering of experiment results.
+
+The benchmark harness and the CLI print these tables; EXPERIMENTS.md quotes
+them.  No plotting library is assumed — Figure 7 is rendered as a numeric
+series plus a small ASCII sparkline, which is enough to see the zone
+structure the paper describes.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Sequence
+
+from repro.experiments.figure7 import Figure7Result
+from repro.experiments.table1 import Table1Result
+from repro.experiments.table2 import Table2Result
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a list of rows as an aligned monospace table."""
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in materialised:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as CSV text (no external dependencies, RFC-4180-lite)."""
+    buffer = io.StringIO()
+    buffer.write(",".join(str(h) for h in headers) + "\n")
+    for row in rows:
+        buffer.write(",".join(str(cell) for cell in row) + "\n")
+    return buffer.getvalue()
+
+
+# --------------------------------------------------------------------------- #
+# Table 1
+# --------------------------------------------------------------------------- #
+def table1_rows(result: Table1Result) -> List[List[object]]:
+    """Row data of the reproduced Table 1 (one row per net plus the average)."""
+    granularities = result.granularities
+    rows: List[List[object]] = []
+    for row in result.rows:
+        cells: List[object] = [row.net_name]
+        for g in granularities:
+            cells.append(f"{row.delta_max[g]:.2f}")
+            if g == min(granularities):
+                cells.append(row.violations[g])
+            else:
+                cells.append(f"{row.delta_mean[g]:.2f}")
+        cells.append(row.rip_violations)
+        rows.append(cells)
+    average: List[object] = ["Ave"]
+    for g in granularities:
+        average.append(f"{result.average_delta_max[g]:.2f}")
+        if g == min(granularities):
+            average.append(f"{result.average_violations[g]:.1f}")
+        else:
+            average.append(f"{result.average_delta_mean[g]:.2f}")
+    average.append(f"{result.average_rip_violations():.1f}")
+    rows.append(average)
+    return rows
+
+
+def table1_headers(result: Table1Result) -> List[str]:
+    """Column headers matching :func:`table1_rows`."""
+    headers = ["Net"]
+    for g in result.granularities:
+        headers.append(f"dMax(g={g:.0f}u)%")
+        if g == min(result.granularities):
+            headers.append("V_DP")
+        else:
+            headers.append(f"dMean(g={g:.0f}u)%")
+    headers.append("V_RIP")
+    return headers
+
+
+def format_table1(result: Table1Result) -> str:
+    """Human-readable reproduction of Table 1."""
+    body = format_table(table1_headers(result), table1_rows(result))
+    summary = (
+        f"\n{len(result.rows)} nets, runtime {result.total_runtime_seconds:.1f}s. "
+        "Paper averages: dMax(10u)=20.3%, V_DP=6, dMax(20u)=11.8%, dMean(20u)=3.6%, "
+        "dMax(40u)=23.9%, dMean(40u)=9.5%."
+    )
+    return body + summary
+
+
+# --------------------------------------------------------------------------- #
+# Table 2
+# --------------------------------------------------------------------------- #
+def table2_rows(result: Table2Result) -> List[List[object]]:
+    """Row data of the reproduced Table 2."""
+    rows: List[List[object]] = []
+    for row in result.rows:
+        rows.append(
+            [
+                f"{row.granularity:.0f}",
+                row.library_size,
+                f"{row.average_saving_percent:.1f}",
+                f"{row.dp_runtime_seconds:.3f}",
+                f"{row.rip_runtime_seconds:.3f}",
+                f"{row.speedup:.1f}",
+            ]
+        )
+    return rows
+
+
+TABLE2_HEADERS = ["gDP(u)", "|lib|", "delta(%)", "T_DP(s)", "T_RIP(s)", "Speedup"]
+
+
+def format_table2(result: Table2Result) -> str:
+    """Human-readable reproduction of Table 2."""
+    body = format_table(TABLE2_HEADERS, table2_rows(result))
+    summary = (
+        f"\n{result.num_nets} nets x {result.targets_per_net} targets, "
+        f"runtime {result.total_runtime_seconds:.1f}s. "
+        "Paper: delta 14.2/7.8/4.0/0.3 %, speedup 6/11/34/203."
+    )
+    return body + summary
+
+
+# --------------------------------------------------------------------------- #
+# Figure 7
+# --------------------------------------------------------------------------- #
+def _sparkline(values: Sequence[object]) -> str:
+    """Tiny ASCII sparkline; ``None`` renders as a gap ('x' = DP infeasible)."""
+    glyphs = " .:-=+*#%@"
+    numeric = [v for v in values if v is not None]
+    if not numeric:
+        return ""
+    low = min(min(numeric), 0.0)
+    high = max(max(numeric), 1e-9)
+    span = max(high - low, 1e-9)
+    chars = []
+    for value in values:
+        if value is None:
+            chars.append("x")
+        else:
+            index = int((value - low) / span * (len(glyphs) - 1))
+            chars.append(glyphs[index])
+    return "".join(chars)
+
+
+def figure7_rows(result: Figure7Result, granularity: float) -> List[List[object]]:
+    """Row data for one Figure 7 series."""
+    rows: List[List[object]] = []
+    for point in result.series[granularity]:
+        rows.append(
+            [
+                f"{point.target_factor:.3f}",
+                f"{point.timing_target * 1e9:.3f}",
+                "-" if point.dp_width is None else f"{point.dp_width:.0f}",
+                "-" if point.rip_width is None else f"{point.rip_width:.0f}",
+                "-" if point.improvement_percent is None else f"{point.improvement_percent:.2f}",
+            ]
+        )
+    return rows
+
+
+FIGURE7_HEADERS = ["target/tau_min", "target(ns)", "W_DP(u)", "W_RIP(u)", "improvement(%)"]
+
+
+def format_figure7(result: Figure7Result) -> str:
+    """Human-readable reproduction of Figure 7 (both series)."""
+    blocks = []
+    for granularity, points in sorted(result.series.items()):
+        infeasible, better, other = result.zone_counts(granularity)
+        spark = _sparkline([p.improvement_percent for p in points])
+        blocks.append(
+            f"Figure 7, baseline granularity {granularity:.0f}u on {result.net_name} "
+            f"(tau_min {result.tau_min * 1e9:.3f} ns)\n"
+            f"  zones: DP infeasible at {infeasible} targets, RIP better at {better}, "
+            f"tie/worse at {other}\n"
+            f"  improvement vs target (tight -> loose): [{spark}]\n"
+            + format_table(FIGURE7_HEADERS, figure7_rows(result, granularity))
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,26 @@
+"""Interconnect data model: wire segments, forbidden zones, two-pin nets.
+
+This is the "realistic interconnect model" of the paper's Section 3: a net is
+a linear chain of wire segments with distinct per-segment RC (as produced by a
+router switching layers), possibly passing through macro-blocks in which no
+repeater may be placed (forbidden zones), driven by a driver of width ``wd``
+and loaded by a receiver of width ``wr``.
+"""
+
+from repro.net.segment import WireSegment
+from repro.net.zones import ForbiddenZone
+from repro.net.twopin import TwoPinNet
+from repro.net.generator import NetGenerationConfig, RandomNetGenerator
+from repro.net.io import net_from_dict, net_to_dict, load_net, save_net
+
+__all__ = [
+    "WireSegment",
+    "ForbiddenZone",
+    "TwoPinNet",
+    "NetGenerationConfig",
+    "RandomNetGenerator",
+    "net_from_dict",
+    "net_to_dict",
+    "load_net",
+    "save_net",
+]

@@ -1,0 +1,81 @@
+"""Serialisation of nets to and from plain dictionaries / JSON files.
+
+The on-disk format is deliberately simple (a flat JSON object) so that nets
+can be produced by other tools, checked into test fixtures, or exchanged
+between the CLI sub-commands (``rip generate-net`` writes the same format
+``rip insert`` reads).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.net.segment import WireSegment
+from repro.net.twopin import TwoPinNet
+from repro.net.zones import ForbiddenZone
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def net_to_dict(net: TwoPinNet) -> Dict[str, Any]:
+    """Convert a net to a JSON-serialisable dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": net.name,
+        "driver_width": net.driver_width,
+        "receiver_width": net.receiver_width,
+        "segments": [
+            {
+                "length": segment.length,
+                "resistance_per_meter": segment.resistance_per_meter,
+                "capacitance_per_meter": segment.capacitance_per_meter,
+                "layer": segment.layer,
+            }
+            for segment in net.segments
+        ],
+        "forbidden_zones": [
+            {"start": zone.start, "end": zone.end} for zone in net.forbidden_zones
+        ],
+    }
+
+
+def net_from_dict(data: Dict[str, Any]) -> TwoPinNet:
+    """Reconstruct a net from a dictionary produced by :func:`net_to_dict`."""
+    version = data.get("format_version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported net format version {version!r}")
+    segments = tuple(
+        WireSegment(
+            length=float(entry["length"]),
+            resistance_per_meter=float(entry["resistance_per_meter"]),
+            capacitance_per_meter=float(entry["capacitance_per_meter"]),
+            layer=str(entry.get("layer", "")),
+        )
+        for entry in data["segments"]
+    )
+    zones = tuple(
+        ForbiddenZone(float(entry["start"]), float(entry["end"]))
+        for entry in data.get("forbidden_zones", [])
+    )
+    return TwoPinNet(
+        segments=segments,
+        driver_width=float(data["driver_width"]),
+        receiver_width=float(data["receiver_width"]),
+        forbidden_zones=zones,
+        name=str(data.get("name", "net")),
+    )
+
+
+def save_net(net: TwoPinNet, path: PathLike) -> None:
+    """Write ``net`` to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(net_to_dict(net), indent=2), encoding="utf-8")
+
+
+def load_net(path: PathLike) -> TwoPinNet:
+    """Read a net previously written with :func:`save_net`."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return net_from_dict(data)

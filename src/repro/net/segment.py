@@ -1,0 +1,76 @@
+"""A single wire segment of a routed net."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.wire import WireLayer
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class WireSegment:
+    """One segment of a routed interconnect.
+
+    A routed two-pin net is a chain of such segments; each has its own RC
+    because the router may change layer (and hence sheet resistance and
+    coupling environment) along the way.
+
+    Attributes
+    ----------
+    length:
+        Segment length in meters.
+    resistance_per_meter:
+        Wire resistance of this segment in ohms per meter.
+    capacitance_per_meter:
+        Wire capacitance of this segment in farads per meter.
+    layer:
+        Optional name of the routing layer, for reporting only.
+    """
+
+    length: float
+    resistance_per_meter: float
+    capacitance_per_meter: float
+    layer: str = ""
+
+    def __post_init__(self) -> None:
+        require_positive(self.length, "length")
+        require_positive(self.resistance_per_meter, "resistance_per_meter")
+        require_positive(self.capacitance_per_meter, "capacitance_per_meter")
+
+    @classmethod
+    def on_layer(cls, layer: WireLayer, length: float) -> "WireSegment":
+        """Create a segment of ``length`` meters routed on ``layer``."""
+        return cls(
+            length=length,
+            resistance_per_meter=layer.resistance_per_meter,
+            capacitance_per_meter=layer.capacitance_per_meter,
+            layer=layer.name,
+        )
+
+    @property
+    def resistance(self) -> float:
+        """Total resistance of the segment in ohms."""
+        return self.resistance_per_meter * self.length
+
+    @property
+    def capacitance(self) -> float:
+        """Total capacitance of the segment in farads."""
+        return self.capacitance_per_meter * self.length
+
+    def split_at(self, offset: float) -> "tuple[WireSegment, WireSegment]":
+        """Split the segment into two at ``offset`` meters from its start.
+
+        Both halves keep the per-meter RC and layer.  ``offset`` must be
+        strictly inside the segment.
+        """
+        require_positive(offset, "offset")
+        require_positive(self.length - offset, "length - offset")
+        head = WireSegment(offset, self.resistance_per_meter, self.capacitance_per_meter, self.layer)
+        tail = WireSegment(
+            self.length - offset,
+            self.resistance_per_meter,
+            self.capacitance_per_meter,
+            self.layer,
+        )
+        return head, tail

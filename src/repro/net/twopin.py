@@ -1,0 +1,254 @@
+"""The multi-layer two-pin interconnect of the paper's Problem LPRI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.segment import WireSegment
+from repro.net.zones import ForbiddenZone, validate_zones
+from repro.utils.validation import require, require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class TwoPinNet:
+    """A routed two-pin net: driver, chain of wire segments, receiver.
+
+    Positions along the net are measured in meters from the driver output
+    (position ``0.0``) to the receiver input (position ``total_length``).
+
+    Attributes
+    ----------
+    segments:
+        The wire segments in routing order (driver side first).
+    driver_width:
+        Width of the net's driver in units of the minimal repeater width
+        (the paper's ``wd``; it is treated exactly like a repeater of fixed
+        width and position 0).
+    receiver_width:
+        Width of the receiver (the paper's ``wr``), which only contributes
+        its input capacitance ``Co * wr`` as the final load.
+    forbidden_zones:
+        Intervals in which no repeater may be placed.
+    name:
+        Optional identifier used in reports.
+    """
+
+    segments: Tuple[WireSegment, ...]
+    driver_width: float
+    receiver_width: float
+    forbidden_zones: Tuple[ForbiddenZone, ...] = ()
+    name: str = "net"
+
+    def __post_init__(self) -> None:
+        require(len(self.segments) > 0, "a net needs at least one wire segment")
+        require_positive(self.driver_width, "driver_width")
+        require_positive(self.receiver_width, "receiver_width")
+        segments = tuple(self.segments)
+        zones = tuple(sorted(self.forbidden_zones, key=lambda z: z.start))
+        object.__setattr__(self, "segments", segments)
+        object.__setattr__(self, "forbidden_zones", zones)
+
+        boundaries = np.concatenate(([0.0], np.cumsum([s.length for s in segments])))
+        res_prefix = np.concatenate(([0.0], np.cumsum([s.resistance for s in segments])))
+        cap_prefix = np.concatenate(([0.0], np.cumsum([s.capacitance for s in segments])))
+        object.__setattr__(self, "_boundaries", boundaries)
+        object.__setattr__(self, "_res_prefix", res_prefix)
+        object.__setattr__(self, "_cap_prefix", cap_prefix)
+
+        validate_zones(zones, float(boundaries[-1]))
+
+    # ------------------------------------------------------------------ #
+    # basic geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def num_segments(self) -> int:
+        """Number of wire segments (the paper's ``m``)."""
+        return len(self.segments)
+
+    @property
+    def total_length(self) -> float:
+        """Total routed length of the net in meters."""
+        return float(self._boundaries[-1])
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        """Positions of the segment boundaries, including 0 and the length."""
+        return self._boundaries.copy()
+
+    @property
+    def total_resistance(self) -> float:
+        """Total wire resistance of the net in ohms."""
+        return float(self._res_prefix[-1])
+
+    @property
+    def total_capacitance(self) -> float:
+        """Total wire capacitance of the net in farads."""
+        return float(self._cap_prefix[-1])
+
+    def _check_position(self, position: float, name: str = "position") -> float:
+        require_non_negative(position, name)
+        require(
+            position <= self.total_length + 1e-12,
+            f"{name} {position} is beyond the net length {self.total_length}",
+        )
+        return min(position, self.total_length)
+
+    def segment_index_at(self, position: float, *, downstream: bool = True) -> int:
+        """Index of the segment adjacent to ``position``.
+
+        At a segment boundary the ``downstream`` flag selects which neighbour
+        is returned: the segment *after* the boundary (towards the receiver)
+        when true, the one *before* it otherwise.
+        """
+        position = self._check_position(position)
+        side = "right" if downstream else "left"
+        index = int(np.searchsorted(self._boundaries, position, side=side)) - 1
+        return min(max(index, 0), self.num_segments - 1)
+
+    def unit_rc_at(self, position: float, *, downstream: bool = True) -> Tuple[float, float]:
+        """Per-meter ``(resistance, capacitance)`` of the wire at ``position``.
+
+        These are the paper's ``(r_i1, c_i1)`` (downstream side) and
+        ``(r_(i-1)k, c_(i-1)k)`` (upstream side) used in the location
+        derivatives of Eq. (17)/(18).
+        """
+        segment = self.segments[self.segment_index_at(position, downstream=downstream)]
+        return segment.resistance_per_meter, segment.capacitance_per_meter
+
+    # ------------------------------------------------------------------ #
+    # RC integrals
+    # ------------------------------------------------------------------ #
+    def _prefix_interp(self, prefix: np.ndarray, position: float) -> float:
+        position = self._check_position(position)
+        index = self.segment_index_at(position, downstream=False)
+        start = self._boundaries[index]
+        segment = self.segments[index]
+        if prefix is self._res_prefix:
+            per_meter = segment.resistance_per_meter
+        else:
+            per_meter = segment.capacitance_per_meter
+        return float(prefix[index] + (position - start) * per_meter)
+
+    def resistance_between(self, start: float, end: float) -> float:
+        """Total wire resistance (ohms) between two positions (order-free)."""
+        low, high = sorted((start, end))
+        return self._prefix_interp(self._res_prefix, high) - self._prefix_interp(
+            self._res_prefix, low
+        )
+
+    def capacitance_between(self, start: float, end: float) -> float:
+        """Total wire capacitance (farads) between two positions (order-free)."""
+        low, high = sorted((start, end))
+        return self._prefix_interp(self._cap_prefix, high) - self._prefix_interp(
+            self._cap_prefix, low
+        )
+
+    def pieces_between(self, start: float, end: float) -> List[Tuple[float, float, float]]:
+        """Uniform-RC wire pieces covering ``[start, end]``, in downstream order.
+
+        Each piece is a ``(resistance_per_meter, capacitance_per_meter,
+        length)`` triple.  Segment boundaries strictly inside the interval
+        split it into pieces; this is the representation the Elmore evaluator
+        and the DP wire-traversal both consume.
+        """
+        start = self._check_position(start, "start")
+        end = self._check_position(end, "end")
+        require(end >= start, "end must be >= start")
+        if end == start:
+            return []
+        pieces: List[Tuple[float, float, float]] = []
+        position = start
+        while position < end - 1e-15:
+            index = self.segment_index_at(position, downstream=True)
+            segment = self.segments[index]
+            segment_end = float(self._boundaries[index + 1])
+            piece_end = min(segment_end, end)
+            length = piece_end - position
+            if length > 1e-15:
+                pieces.append(
+                    (segment.resistance_per_meter, segment.capacitance_per_meter, length)
+                )
+            if piece_end <= position:  # pragma: no cover - numerical safety net
+                break
+            position = piece_end
+        return pieces
+
+    # ------------------------------------------------------------------ #
+    # forbidden zones / legal positions
+    # ------------------------------------------------------------------ #
+    def zone_containing(self, position: float) -> Optional[ForbiddenZone]:
+        """Return the forbidden zone strictly containing ``position``, if any."""
+        for zone in self.forbidden_zones:
+            if zone.contains(position):
+                return zone
+        return None
+
+    def is_legal_position(self, position: float) -> bool:
+        """True if a repeater may be placed at ``position``.
+
+        Legal positions lie strictly between the driver and the receiver and
+        outside every forbidden zone (zone boundaries are legal).
+        """
+        if position <= 0.0 or position >= self.total_length:
+            return False
+        return self.zone_containing(position) is None
+
+    def legalize(self, position: float, *, prefer_downstream: bool = True) -> float:
+        """Snap ``position`` to the nearest legal position.
+
+        Positions inside a forbidden zone move to the nearer zone edge;
+        positions outside the net clamp to just inside the endpoints.
+        """
+        epsilon = min(1e-9, self.total_length * 1e-6)
+        position = min(max(position, epsilon), self.total_length - epsilon)
+        zone = self.zone_containing(position)
+        if zone is not None:
+            position = zone.clamp_outside(position, prefer_downstream=prefer_downstream)
+            position = min(max(position, epsilon), self.total_length - epsilon)
+        return position
+
+    def legal_positions(self, spacing: float, *, offset: float = 0.0) -> List[float]:
+        """Uniformly spaced legal repeater positions along the net.
+
+        Positions start at ``offset + spacing`` and advance by ``spacing``;
+        positions falling inside forbidden zones are dropped (not snapped),
+        matching the paper's "uniformly distributed ... excluding the
+        forbidden zone" candidate construction.
+        """
+        require_positive(spacing, "spacing")
+        positions: List[float] = []
+        position = offset + spacing
+        while position < self.total_length - 1e-12:
+            if self.is_legal_position(position):
+                positions.append(position)
+            position += spacing
+        return positions
+
+    # ------------------------------------------------------------------ #
+    # convenience
+    # ------------------------------------------------------------------ #
+    def with_zones(self, zones: Sequence[ForbiddenZone]) -> "TwoPinNet":
+        """Return a copy of the net with a different set of forbidden zones."""
+        return TwoPinNet(
+            segments=self.segments,
+            driver_width=self.driver_width,
+            receiver_width=self.receiver_width,
+            forbidden_zones=tuple(zones),
+            name=self.name,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary used by the CLI and reports."""
+        zones = ", ".join(
+            f"[{zone.start * 1e6:.0f}um, {zone.end * 1e6:.0f}um]" for zone in self.forbidden_zones
+        )
+        return (
+            f"{self.name}: {self.num_segments} segments, "
+            f"length {self.total_length * 1e6:.0f}um, "
+            f"R {self.total_resistance:.1f} ohm, C {self.total_capacitance * 1e15:.1f} fF, "
+            f"driver {self.driver_width:.0f}u, receiver {self.receiver_width:.0f}u"
+            + (f", forbidden zones: {zones}" if zones else "")
+        )

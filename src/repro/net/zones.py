@@ -1,0 +1,84 @@
+"""Forbidden zones: intervals of a net in which no repeater may be placed.
+
+A routed global net frequently crosses macro-blocks (RAMs, IP blocks, ...).
+The wire continues over the block on upper metal layers, but there is no free
+silicon underneath to place a repeater, so the interval of the net covered by
+the block is *forbidden* for repeater placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.utils.validation import require, require_non_negative
+
+
+@dataclass(frozen=True)
+class ForbiddenZone:
+    """A closed interval ``[start, end]`` of net positions with no legal sites.
+
+    Positions are distances in meters from the driver along the routed net.
+    A repeater may sit exactly on a zone boundary (the edge of the macro) but
+    not strictly inside it.
+    """
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.start, "start")
+        require_non_negative(self.end, "end")
+        require(self.end > self.start, f"zone end ({self.end}) must exceed start ({self.start})")
+
+    @property
+    def length(self) -> float:
+        """Length of the zone in meters."""
+        return self.end - self.start
+
+    @property
+    def center(self) -> float:
+        """Midpoint of the zone."""
+        return 0.5 * (self.start + self.end)
+
+    def contains(self, position: float, *, tolerance: float = 0.0) -> bool:
+        """True if ``position`` lies strictly inside the zone.
+
+        ``tolerance`` shrinks the zone on both sides so that positions within
+        ``tolerance`` of a boundary count as legal; this absorbs floating
+        point noise when snapping candidate locations to zone edges.
+        """
+        return (self.start + tolerance) < position < (self.end - tolerance)
+
+    def overlaps(self, other: "ForbiddenZone") -> bool:
+        """True if this zone and ``other`` share more than a single point."""
+        return self.start < other.end and other.start < self.end
+
+    def clamp_outside(self, position: float, *, prefer_downstream: bool = True) -> float:
+        """Return ``position`` unchanged if legal, else the nearer zone edge.
+
+        Ties (the exact centre) go downstream when ``prefer_downstream``.
+        """
+        if not self.contains(position):
+            return position
+        to_start = position - self.start
+        to_end = self.end - position
+        if to_end < to_start or (to_end == to_start and prefer_downstream):
+            return self.end
+        return self.start
+
+
+def validate_zones(zones: Sequence[ForbiddenZone], net_length: float) -> None:
+    """Check that ``zones`` fit within a net of ``net_length`` and do not overlap."""
+    ordered = sorted(zones, key=lambda z: z.start)
+    for zone in ordered:
+        require(
+            zone.end <= net_length + 1e-12,
+            f"forbidden zone [{zone.start}, {zone.end}] extends past the net length {net_length}",
+        )
+    for first, second in zip(ordered, ordered[1:]):
+        require(
+            not first.overlaps(second),
+            f"forbidden zones [{first.start}, {first.end}] and "
+            f"[{second.start}, {second.end}] overlap",
+        )

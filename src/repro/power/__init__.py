@@ -1,0 +1,18 @@
+"""Repeater power models (Eq. 3/4 of the paper)."""
+
+from repro.power.model import (
+    PowerReport,
+    repeater_power,
+    solution_power_report,
+    total_width,
+)
+from repro.power.breakdown import StagePowerBreakdown, per_repeater_breakdown
+
+__all__ = [
+    "PowerReport",
+    "repeater_power",
+    "solution_power_report",
+    "total_width",
+    "StagePowerBreakdown",
+    "per_repeater_breakdown",
+]

@@ -1,0 +1,53 @@
+"""Per-repeater power breakdown for reporting and debugging."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.tech.technology import Technology
+
+
+@dataclass(frozen=True)
+class StagePowerBreakdown:
+    """Power attributed to a single inserted repeater.
+
+    Attributes
+    ----------
+    index:
+        Zero-based index of the repeater along the net (driver side first).
+    width:
+        Repeater width in units of ``u``.
+    dynamic_power:
+        Switching power of this repeater's gate capacitance, watts.
+    leakage_power:
+        Leakage power of this repeater, watts.
+    """
+
+    index: int
+    width: float
+    dynamic_power: float
+    leakage_power: float
+
+    @property
+    def total(self) -> float:
+        """Total power of this repeater, watts."""
+        return self.dynamic_power + self.leakage_power
+
+
+def per_repeater_breakdown(
+    technology: Technology, widths: Sequence[float]
+) -> List[StagePowerBreakdown]:
+    """Break a solution's repeater power down per repeater."""
+    breakdown: List[StagePowerBreakdown] = []
+    for index, width in enumerate(widths):
+        gate_capacitance = technology.repeater.unit_input_capacitance * width
+        breakdown.append(
+            StagePowerBreakdown(
+                index=index,
+                width=width,
+                dynamic_power=technology.power.dynamic_power(gate_capacitance),
+                leakage_power=technology.power.leakage_power(width),
+            )
+        )
+    return breakdown

@@ -1,0 +1,90 @@
+"""Net-level repeater power computation.
+
+Section 4.1 of the paper reduces repeater power to an affine function of the
+total repeater width: the dynamic power of the total gate capacitance
+``Co * sum(w_i)`` plus leakage proportional to ``sum(w_i)``.  The
+optimisation algorithms therefore minimise the *total width*; these helpers
+convert widths into watts (and back into the per-component breakdown) for
+reporting and for the physical-power columns of the experiment tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.tech.technology import Technology
+from repro.utils.validation import require_non_negative
+
+
+def total_width(widths: Sequence[float]) -> float:
+    """Total repeater width ``sum(w_i)`` — the power proxy minimised by all algorithms."""
+    total = 0.0
+    for width in widths:
+        require_non_negative(width, "width")
+        total += width
+    return total
+
+
+def repeater_power(technology: Technology, widths: Sequence[float]) -> float:
+    """Total repeater power in watts for the given repeater widths (Eq. 4)."""
+    return technology.repeater_power(total_width(widths))
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Power summary of one repeater-insertion solution.
+
+    Attributes
+    ----------
+    total_width:
+        Sum of repeater widths (units of ``u``); the paper's objective ``p``.
+    dynamic_power:
+        Switching power of the repeater gate capacitance, in watts.
+    leakage_power:
+        Leakage power of the repeaters, in watts.
+    wire_dynamic_power:
+        Switching power of the wire capacitance itself, in watts.  The paper
+        excludes it from the objective because it does not depend on the
+        repeaters; it is reported so users can see total net power.
+    """
+
+    total_width: float
+    dynamic_power: float
+    leakage_power: float
+    wire_dynamic_power: float
+
+    @property
+    def repeater_power(self) -> float:
+        """Repeater-only power (the quantity the algorithms minimise), watts."""
+        return self.dynamic_power + self.leakage_power
+
+    @property
+    def total_power(self) -> float:
+        """Repeater power plus wire switching power, watts."""
+        return self.repeater_power + self.wire_dynamic_power
+
+
+def solution_power_report(
+    technology: Technology,
+    widths: Sequence[float],
+    *,
+    wire_capacitance: float = 0.0,
+) -> PowerReport:
+    """Build a :class:`PowerReport` for a solution.
+
+    ``wire_capacitance`` is the total wire capacitance of the net (farads);
+    pass ``net.total_capacitance`` to include the constant wire switching
+    power in the report.
+    """
+    width_sum = total_width(widths)
+    gate_capacitance = technology.repeater.unit_input_capacitance * width_sum
+    dynamic = technology.power.dynamic_power(gate_capacitance)
+    leakage = technology.power.leakage_power(width_sum)
+    wire_dynamic = technology.power.dynamic_power(wire_capacitance)
+    return PowerReport(
+        total_width=width_sum,
+        dynamic_power=dynamic,
+        leakage_power=leakage,
+        wire_dynamic_power=wire_dynamic,
+    )

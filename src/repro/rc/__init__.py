@@ -1,0 +1,34 @@
+"""General RC-network substrate.
+
+The repeater-insertion algorithms themselves only need the chain-structured
+Elmore formulas in :mod:`repro.delay`, but two other parts of the repository
+need a genuine RC network:
+
+* the **validation** path — an MNA-based transient simulator
+  (:mod:`repro.rc.simulate`) provides golden 50% delays against which the
+  Elmore/two-pole estimates are checked in tests;
+* the **tree extension** (:mod:`repro.tree`) — the paper's stated future work
+  on interconnect trees needs Elmore delays and downstream capacitances on
+  arbitrary RC trees.
+"""
+
+from repro.rc.network import RCTree
+from repro.rc.elmore import tree_elmore_delays, tree_downstream_capacitance
+from repro.rc.moments import tree_moments
+from repro.rc.simulate import (
+    StepResponse,
+    simulate_ladder_step,
+    simulate_tree_step,
+    threshold_crossing,
+)
+
+__all__ = [
+    "RCTree",
+    "tree_elmore_delays",
+    "tree_downstream_capacitance",
+    "tree_moments",
+    "StepResponse",
+    "simulate_ladder_step",
+    "simulate_tree_step",
+    "threshold_crossing",
+]

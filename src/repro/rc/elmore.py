@@ -1,0 +1,39 @@
+"""Elmore delay and downstream capacitance on arbitrary RC trees."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.rc.network import RCTree
+from repro.utils.validation import require_non_negative
+
+
+def tree_downstream_capacitance(tree: RCTree) -> Dict[str, float]:
+    """Capacitance of the subtree rooted at each node (including the node itself)."""
+    downstream: Dict[str, float] = {}
+    for node in reversed(tree.topological_order()):
+        downstream[node] = tree.capacitance(node) + sum(
+            downstream[child] for child in tree.children(node)
+        )
+    return downstream
+
+
+def tree_elmore_delays(tree: RCTree, *, source_resistance: float = 0.0) -> Dict[str, float]:
+    """Elmore delay from the driving source to every node of the tree.
+
+    ``source_resistance`` models the driver's output resistance between the
+    ideal source and the tree root; it multiplies the total tree capacitance
+    and is included in every node's delay.
+    """
+    require_non_negative(source_resistance, "source_resistance")
+    downstream = tree_downstream_capacitance(tree)
+    delays: Dict[str, float] = {}
+    root_delay = source_resistance * downstream[tree.root]
+    delays[tree.root] = root_delay
+    for node in tree.topological_order():
+        if node == tree.root:
+            continue
+        parent = tree.parent(node)
+        assert parent is not None
+        delays[node] = delays[parent] + tree.edge_resistance(node) * downstream[node]
+    return delays

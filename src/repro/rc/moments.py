@@ -1,0 +1,59 @@
+"""Transfer-function moments on arbitrary RC trees.
+
+Generalises :func:`repro.delay.moments.ladder_moments` to trees using the
+classic path-tracing recursion: the ``q``-th moment at a node is
+``-sum_k R_common(node, k) * C_k * m_{q-1}(k)`` where ``R_common`` is the
+resistance shared by the source-to-node and source-to-``k`` paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.rc.network import RCTree
+from repro.utils.validation import require, require_non_negative
+
+
+def tree_moments(
+    tree: RCTree,
+    *,
+    order: int = 2,
+    source_resistance: float = 0.0,
+) -> Dict[str, List[float]]:
+    """Moments ``m_1..m_order`` of every node's transfer function.
+
+    Implemented with the "weighted capacitance" trick: to go from order
+    ``q-1`` to ``q``, replace every capacitance ``C_k`` by ``C_k * m_{q-1}(k)``
+    and run the downstream-capacitance / delay recursion again (negated).
+    """
+    require(order >= 1, "order must be >= 1")
+    require_non_negative(source_resistance, "source_resistance")
+
+    nodes = tree.topological_order()
+    previous: Dict[str, float] = {node: 1.0 for node in nodes}
+    results: Dict[str, List[float]] = {node: [] for node in nodes}
+
+    for _ in range(order):
+        weighted: Dict[str, float] = {}
+        for node in reversed(nodes):
+            weighted[node] = tree.capacitance(node) * previous[node] + sum(
+                weighted[child] for child in tree.children(node)
+            )
+        current: Dict[str, float] = {}
+        current[tree.root] = -source_resistance * weighted[tree.root]
+        for node in nodes:
+            if node == tree.root:
+                continue
+            parent = tree.parent(node)
+            assert parent is not None
+            current[node] = current[parent] - tree.edge_resistance(node) * weighted[node]
+        for node in nodes:
+            results[node].append(current[node])
+        previous = current
+    return results
+
+
+def tree_elmore_from_moments(tree: RCTree, *, source_resistance: float = 0.0) -> Dict[str, float]:
+    """Elmore delays derived as ``-m1``; used to cross-check the direct recursion."""
+    moments = tree_moments(tree, order=1, source_resistance=source_resistance)
+    return {node: -values[0] for node, values in moments.items()}

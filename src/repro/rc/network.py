@@ -1,0 +1,148 @@
+"""A rooted RC tree: grounded capacitors at nodes, resistors on tree edges.
+
+The root models the driving point (typically the output of a driver or
+repeater); a *source resistance* can be supplied to the analysis functions to
+model the driver's output resistance without mutating the tree itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.utils.validation import require, require_non_negative
+
+
+class RCTree:
+    """Mutable rooted tree of resistors and grounded capacitors.
+
+    Nodes are identified by arbitrary hashable names (strings in practice).
+    Every node except the root has exactly one parent, connected through a
+    resistor.  Capacitance can be attached to any node, including the root.
+    """
+
+    def __init__(self, root: str = "root") -> None:
+        self._root = root
+        self._parent: Dict[str, str] = {}
+        self._children: Dict[str, List[str]] = {root: []}
+        self._edge_resistance: Dict[str, float] = {}
+        self._capacitance: Dict[str, float] = {root: 0.0}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> str:
+        """Name of the root (driving-point) node."""
+        return self._root
+
+    def add_node(self, name: str, parent: str, resistance: float, capacitance: float = 0.0) -> None:
+        """Add node ``name`` hanging from ``parent`` through ``resistance`` ohms."""
+        require(name not in self._children, f"node {name!r} already exists")
+        require(parent in self._children, f"parent node {parent!r} does not exist")
+        require_non_negative(resistance, "resistance")
+        require_non_negative(capacitance, "capacitance")
+        self._parent[name] = parent
+        self._children[parent].append(name)
+        self._children[name] = []
+        self._edge_resistance[name] = resistance
+        self._capacitance[name] = capacitance
+
+    def add_capacitance(self, name: str, capacitance: float) -> None:
+        """Add ``capacitance`` farads to the grounded capacitor at ``name``."""
+        require(name in self._children, f"node {name!r} does not exist")
+        require_non_negative(capacitance, "capacitance")
+        self._capacitance[name] += capacitance
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __contains__(self, name: str) -> bool:
+        return name in self._children
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """All node names, root first, in insertion (topological) order."""
+        ordered = [self._root]
+        ordered.extend(name for name in self._parent)
+        return tuple(ordered)
+
+    def parent(self, name: str) -> Optional[str]:
+        """Parent of ``name`` (``None`` for the root)."""
+        if name == self._root:
+            return None
+        return self._parent[name]
+
+    def children(self, name: str) -> Tuple[str, ...]:
+        """Children of ``name``."""
+        return tuple(self._children[name])
+
+    def capacitance(self, name: str) -> float:
+        """Grounded capacitance at ``name`` in farads."""
+        return self._capacitance[name]
+
+    def edge_resistance(self, name: str) -> float:
+        """Resistance of the edge connecting ``name`` to its parent, in ohms."""
+        require(name != self._root, "the root has no parent edge")
+        return self._edge_resistance[name]
+
+    def leaves(self) -> Tuple[str, ...]:
+        """Nodes without children (the sinks of the tree)."""
+        return tuple(name for name in self.nodes if not self._children[name])
+
+    def total_capacitance(self) -> float:
+        """Sum of all grounded capacitance in the tree, farads."""
+        return sum(self._capacitance.values())
+
+    def path_resistance(self, name: str) -> float:
+        """Resistance of the root-to-``name`` path, ohms."""
+        resistance = 0.0
+        node = name
+        while node != self._root:
+            resistance += self._edge_resistance[node]
+            node = self._parent[node]
+        return resistance
+
+    def path_to_root(self, name: str) -> List[str]:
+        """Nodes on the path from ``name`` up to (and including) the root."""
+        path = [name]
+        node = name
+        while node != self._root:
+            node = self._parent[node]
+            path.append(node)
+        return path
+
+    def topological_order(self) -> List[str]:
+        """Nodes ordered parents-before-children (root first)."""
+        order: List[str] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(reversed(self._children[node]))
+        return order
+
+    def iter_edges(self) -> Iterator[Tuple[str, str, float]]:
+        """Iterate over ``(parent, child, resistance)`` edges."""
+        for child, parent in self._parent.items():
+            yield parent, child, self._edge_resistance[child]
+
+    # ------------------------------------------------------------------ #
+    # convenience constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def ladder(cls, resistances: List[float], capacitances: List[float]) -> "RCTree":
+        """Build a simple chain (ladder) tree from parallel R/C lists."""
+        require(
+            len(resistances) == len(capacitances),
+            "resistances and capacitances must have the same length",
+        )
+        tree = cls("n0")
+        previous = "n0"
+        for index, (resistance, capacitance) in enumerate(zip(resistances, capacitances), start=1):
+            name = f"n{index}"
+            tree.add_node(name, previous, resistance, capacitance)
+            previous = name
+        return tree

@@ -1,0 +1,36 @@
+"""Technology models: repeater devices, wire layers, full nodes, libraries.
+
+The paper evaluates RIP on 0.18 µm global interconnect (metal4/metal5).  The
+paper does not tabulate its device constants, so :mod:`repro.tech.nodes`
+provides representative published values for 180 nm (plus scaled 130/90/65 nm
+nodes for scaling studies).  Every algorithm in the library takes an explicit
+:class:`Technology`, so swapping nodes is a one-argument change.
+"""
+
+from repro.tech.repeater import RepeaterParameters
+from repro.tech.wire import WireLayer
+from repro.tech.power import PowerParameters
+from repro.tech.technology import Technology
+from repro.tech.library import RepeaterLibrary
+from repro.tech.nodes import (
+    NODE_180NM,
+    NODE_130NM,
+    NODE_90NM,
+    NODE_65NM,
+    available_nodes,
+    get_node,
+)
+
+__all__ = [
+    "RepeaterParameters",
+    "WireLayer",
+    "PowerParameters",
+    "Technology",
+    "RepeaterLibrary",
+    "NODE_180NM",
+    "NODE_130NM",
+    "NODE_90NM",
+    "NODE_65NM",
+    "available_nodes",
+    "get_node",
+]

@@ -1,0 +1,125 @@
+"""Discrete repeater libraries.
+
+A *repeater library* is the finite set of repeater widths a DP-based inserter
+may choose from.  The paper manipulates three kinds of libraries:
+
+* the **coarse** library used by RIP's first DP pass
+  (5 widths: 80u, 160u, ..., 400u);
+* the **baseline** libraries of the Lillis-style DP it compares against
+  (10 widths at granularity 10u/20u/40u, or a fixed (10u, 400u) range swept
+  over granularities for Table 2);
+* the **design-specific** library RIP builds in step 3 by rounding the
+  REFINE widths to a fine (10u) grid.
+
+:class:`RepeaterLibrary` covers all three through its constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from repro.utils.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class RepeaterLibrary:
+    """An immutable, sorted collection of allowed repeater widths.
+
+    Widths are dimensionless multiples of the minimal repeater width ``u``.
+    """
+
+    widths: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        require(len(self.widths) > 0, "a repeater library must contain at least one width")
+        for width in self.widths:
+            require_positive(width, "width")
+        ordered = tuple(sorted(set(float(w) for w in self.widths)))
+        object.__setattr__(self, "widths", ordered)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_widths(cls, widths: Iterable[float]) -> "RepeaterLibrary":
+        """Build a library from an explicit iterable of widths."""
+        return cls(tuple(widths))
+
+    @classmethod
+    def uniform(cls, min_width: float, max_width: float, granularity: float) -> "RepeaterLibrary":
+        """Build a library with widths ``min, min+g, min+2g, ... <= max``.
+
+        This is the construction used for the DP baselines: e.g.
+        ``uniform(10, 400, 40)`` is the Table 2 library at granularity 40u.
+        """
+        require_positive(min_width, "min_width")
+        require_positive(granularity, "granularity")
+        require(max_width >= min_width, "max_width must be >= min_width")
+        widths = []
+        width = min_width
+        # Tolerate floating point drift at the top of the range.
+        while width <= max_width * (1.0 + 1e-12):
+            widths.append(round(width, 9))
+            width += granularity
+        return cls(tuple(widths))
+
+    @classmethod
+    def uniform_count(cls, min_width: float, granularity: float, count: int) -> "RepeaterLibrary":
+        """Build a library of exactly ``count`` widths starting at ``min_width``.
+
+        This matches the paper's "library of size 10 with granularity g"
+        description: widths are ``min, min+g, ..., min+(count-1)*g``.
+        """
+        require_positive(min_width, "min_width")
+        require_positive(granularity, "granularity")
+        require(count >= 1, "count must be >= 1")
+        return cls(tuple(min_width + i * granularity for i in range(count)))
+
+    @classmethod
+    def paper_coarse(cls) -> "RepeaterLibrary":
+        """The coarse 5-repeater library used by RIP's first DP pass (80u..400u)."""
+        return cls.uniform_count(min_width=80.0, granularity=80.0, count=5)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.widths)
+
+    def __iter__(self):
+        return iter(self.widths)
+
+    def __contains__(self, width: float) -> bool:
+        return any(abs(width - w) <= 1e-9 for w in self.widths)
+
+    @property
+    def min_width(self) -> float:
+        """Smallest width in the library."""
+        return self.widths[0]
+
+    @property
+    def max_width(self) -> float:
+        """Largest width in the library."""
+        return self.widths[-1]
+
+    def nearest(self, width: float) -> float:
+        """Return the library width closest to ``width`` (ties go to the smaller)."""
+        require_positive(width, "width")
+        return min(self.widths, key=lambda w: (abs(w - width), w))
+
+    def round_to_grid(self, width: float, granularity: float) -> float:
+        """Round ``width`` to the nearest multiple of ``granularity`` (>= granularity).
+
+        Used by RIP step 3 when converting the continuous REFINE widths into a
+        design-specific library.  The result is clamped to be at least one
+        granularity step so a vanishing analytical width still yields a legal
+        repeater.
+        """
+        require_positive(granularity, "granularity")
+        steps = max(1, round(width / granularity))
+        return steps * granularity
+
+    def merged_with(self, other: Sequence[float]) -> "RepeaterLibrary":
+        """Return a new library containing this library's widths plus ``other``."""
+        return RepeaterLibrary(tuple(self.widths) + tuple(other))

@@ -1,0 +1,146 @@
+"""Predefined technology nodes.
+
+The paper's experiments use a 0.18 µm process with global nets routed on
+metal4 and metal5, but it does not tabulate the device/wire constants.  The
+values below are representative published numbers for each node (unit-size
+inverter drive resistance of a few kilo-ohms, gate capacitance of a couple of
+femtofarads, global-layer wire resistance of a few tens of milli-ohms per
+micron and capacitance of about 0.2 fF/µm).  Because every experiment in this
+repository compares two algorithms on the *same* technology, the comparative
+results (who wins, by how much, where crossovers occur) are insensitive to
+the exact constants; only absolute delays/powers shift.
+
+The scaled 130/90/65 nm nodes follow simple constant-field scaling trends and
+exist to support technology-scaling studies (see
+``examples/technology_scaling.py``); they are not part of the paper's
+evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.tech.power import PowerParameters
+from repro.tech.repeater import RepeaterParameters
+from repro.tech.technology import Technology
+from repro.tech.wire import WireLayer
+
+#: 0.18 µm node used throughout the paper reproduction.
+#:
+#: The unit-repeater constants and global-layer wire RC are chosen so that the
+#: delay-optimal repeater width on metal4/metal5 lands between roughly 150u
+#: and 200u — consistent with the paper's libraries spanning 10u..400u and
+#: with its observation that a 10u-granularity size-10 library (max 100u)
+#: lacks the large repeaters that tight timing targets need.
+NODE_180NM = Technology(
+    name="cmos180",
+    repeater=RepeaterParameters(
+        unit_resistance=9000.0,          # ohms for a 1u repeater
+        unit_input_capacitance=1.8e-15,  # farads (1.8 fF)
+        unit_output_capacitance=1.6e-15,  # farads (1.6 fF)
+        min_width=1.0,
+        max_width=1000.0,
+    ),
+    layers={
+        "metal4": WireLayer("metal4", resistance_per_meter=4.0e4, capacitance_per_meter=2.0e-10),
+        "metal5": WireLayer("metal5", resistance_per_meter=3.0e4, capacitance_per_meter=2.1e-10),
+        "metal3": WireLayer("metal3", resistance_per_meter=8.0e4, capacitance_per_meter=1.8e-10),
+    },
+    power=PowerParameters(
+        supply_voltage=1.8,
+        clock_frequency=8.0e8,
+        activity_factor=0.15,
+        leakage_per_unit_width=1.0e-8,
+    ),
+    unit_width_meters=0.42e-6,
+)
+
+#: 130 nm node (scaling study only).
+NODE_130NM = Technology(
+    name="cmos130",
+    repeater=RepeaterParameters(
+        unit_resistance=7000.0,
+        unit_input_capacitance=1.5e-15,
+        unit_output_capacitance=1.4e-15,
+        min_width=1.0,
+        max_width=1200.0,
+    ),
+    layers={
+        "metal4": WireLayer("metal4", resistance_per_meter=1.0e5, capacitance_per_meter=2.0e-10),
+        "metal5": WireLayer("metal5", resistance_per_meter=7.0e4, capacitance_per_meter=2.1e-10),
+        "metal6": WireLayer("metal6", resistance_per_meter=4.0e4, capacitance_per_meter=2.2e-10),
+    },
+    power=PowerParameters(
+        supply_voltage=1.3,
+        clock_frequency=1.2e9,
+        activity_factor=0.15,
+        leakage_per_unit_width=3.0e-8,
+    ),
+    unit_width_meters=0.3e-6,
+)
+
+#: 90 nm node (scaling study only).
+NODE_90NM = Technology(
+    name="cmos90",
+    repeater=RepeaterParameters(
+        unit_resistance=8500.0,
+        unit_input_capacitance=1.1e-15,
+        unit_output_capacitance=1.0e-15,
+        min_width=1.0,
+        max_width=1500.0,
+    ),
+    layers={
+        "metal5": WireLayer("metal5", resistance_per_meter=1.4e5, capacitance_per_meter=2.0e-10),
+        "metal6": WireLayer("metal6", resistance_per_meter=9.0e4, capacitance_per_meter=2.1e-10),
+        "metal7": WireLayer("metal7", resistance_per_meter=5.0e4, capacitance_per_meter=2.2e-10),
+    },
+    power=PowerParameters(
+        supply_voltage=1.1,
+        clock_frequency=1.6e9,
+        activity_factor=0.15,
+        leakage_per_unit_width=1.0e-7,
+    ),
+    unit_width_meters=0.22e-6,
+)
+
+#: 65 nm node (scaling study only).
+NODE_65NM = Technology(
+    name="cmos65",
+    repeater=RepeaterParameters(
+        unit_resistance=10000.0,
+        unit_input_capacitance=0.8e-15,
+        unit_output_capacitance=0.75e-15,
+        min_width=1.0,
+        max_width=2000.0,
+    ),
+    layers={
+        "metal6": WireLayer("metal6", resistance_per_meter=1.8e5, capacitance_per_meter=2.0e-10),
+        "metal7": WireLayer("metal7", resistance_per_meter=1.1e5, capacitance_per_meter=2.1e-10),
+        "metal8": WireLayer("metal8", resistance_per_meter=6.0e4, capacitance_per_meter=2.2e-10),
+    },
+    power=PowerParameters(
+        supply_voltage=1.0,
+        clock_frequency=2.0e9,
+        activity_factor=0.15,
+        leakage_per_unit_width=3.0e-7,
+    ),
+    unit_width_meters=0.16e-6,
+)
+
+_NODES: Dict[str, Technology] = {
+    node.name: node for node in (NODE_180NM, NODE_130NM, NODE_90NM, NODE_65NM)
+}
+
+
+def available_nodes() -> Tuple[str, ...]:
+    """Names of the predefined technology nodes."""
+    return tuple(sorted(_NODES))
+
+
+def get_node(name: str) -> Technology:
+    """Return the predefined technology called ``name`` (e.g. ``"cmos180"``)."""
+    try:
+        return _NODES[name]
+    except KeyError:
+        known = ", ".join(available_nodes())
+        raise KeyError(f"unknown technology node {name!r}; available: {known}") from None

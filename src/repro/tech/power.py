@@ -1,0 +1,63 @@
+"""Power-model constants (Eq. 3/4 of the paper).
+
+The repeater power is approximated as dynamic switching power plus leakage:
+
+``P = alpha * Vdd^2 * f * C_total_gate + beta * sum(w_i)``
+
+Because the total gate capacitance is ``Co * sum(w_i)``, the power is an
+affine function ``c + gamma * sum(w_i)`` of the total repeater width, so the
+optimisation objective used throughout the library is simply the total width.
+:class:`PowerParameters` converts a total width back into watts for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require_in_range, require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class PowerParameters:
+    """Constants of the repeater power model.
+
+    Attributes
+    ----------
+    supply_voltage:
+        Supply voltage ``Vdd`` in volts.
+    clock_frequency:
+        Switching (clock) frequency ``f`` in hertz.
+    activity_factor:
+        Signal activity ``alpha`` (average fraction of cycles with a
+        transition), between 0 and 1.
+    leakage_per_unit_width:
+        Leakage power ``beta`` of a unit-width repeater, in watts.
+    short_circuit_fraction:
+        Optional fraction of the dynamic power added to account for
+        short-circuit current; the paper argues this is negligible for
+        advanced technologies, so it defaults to zero.
+    """
+
+    supply_voltage: float
+    clock_frequency: float
+    activity_factor: float
+    leakage_per_unit_width: float
+    short_circuit_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.supply_voltage, "supply_voltage")
+        require_positive(self.clock_frequency, "clock_frequency")
+        require_in_range(self.activity_factor, 0.0, 1.0, "activity_factor")
+        require_non_negative(self.leakage_per_unit_width, "leakage_per_unit_width")
+        require_non_negative(self.short_circuit_fraction, "short_circuit_fraction")
+
+    def dynamic_power(self, capacitance: float) -> float:
+        """Dynamic power (W) of switching ``capacitance`` farads every cycle."""
+        require_non_negative(capacitance, "capacitance")
+        base = self.activity_factor * self.supply_voltage**2 * self.clock_frequency * capacitance
+        return base * (1.0 + self.short_circuit_fraction)
+
+    def leakage_power(self, total_width: float) -> float:
+        """Leakage power (W) of repeaters with total width ``total_width``."""
+        require_non_negative(total_width, "total_width")
+        return self.leakage_per_unit_width * total_width

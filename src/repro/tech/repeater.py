@@ -1,0 +1,81 @@
+"""Switch-level RC model of a repeater (inverter/buffer).
+
+The paper models a repeater of width ``w`` (``w`` is a dimensionless multiple
+of the minimal repeater width ``u``) as
+
+* an output (drive) resistance ``Rs / w``,
+* an input (gate) capacitance ``Co * w``,
+* an output (parasitic drain) capacitance ``Cp * w``,
+
+where ``Rs``, ``Co`` and ``Cp`` are the unit-size constants.  Note that the
+product of the drive resistance and the repeater's own output capacitance is
+width-independent: ``(Rs / w) * (Cp * w) = Rs * Cp``, which is the intrinsic
+delay term in Eq. (1) of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class RepeaterParameters:
+    """Unit-size repeater constants of a technology.
+
+    Attributes
+    ----------
+    unit_resistance:
+        Output resistance ``Rs`` of a unit-width repeater, in ohms.
+    unit_input_capacitance:
+        Input (gate) capacitance ``Co`` of a unit-width repeater, in farads.
+    unit_output_capacitance:
+        Output (drain/parasitic) capacitance ``Cp`` of a unit-width repeater,
+        in farads.
+    min_width:
+        Smallest legal width, in units of ``u`` (normally 1.0).
+    max_width:
+        Largest width the layout rules allow, in units of ``u``.
+    """
+
+    unit_resistance: float
+    unit_input_capacitance: float
+    unit_output_capacitance: float
+    min_width: float = 1.0
+    max_width: float = 1000.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.unit_resistance, "unit_resistance")
+        require_positive(self.unit_input_capacitance, "unit_input_capacitance")
+        require_positive(self.unit_output_capacitance, "unit_output_capacitance")
+        require_positive(self.min_width, "min_width")
+        require_positive(self.max_width, "max_width")
+        if self.max_width < self.min_width:
+            raise ValueError(
+                f"max_width ({self.max_width}) must be >= min_width ({self.min_width})"
+            )
+
+    def drive_resistance(self, width: float) -> float:
+        """Output resistance ``Rs / w`` of a repeater of the given width."""
+        require_positive(width, "width")
+        return self.unit_resistance / width
+
+    def input_capacitance(self, width: float) -> float:
+        """Input capacitance ``Co * w`` of a repeater of the given width."""
+        require_positive(width, "width")
+        return self.unit_input_capacitance * width
+
+    def output_capacitance(self, width: float) -> float:
+        """Output parasitic capacitance ``Cp * w`` of a repeater of the given width."""
+        require_positive(width, "width")
+        return self.unit_output_capacitance * width
+
+    @property
+    def intrinsic_delay(self) -> float:
+        """Width-independent self-loading delay term ``Rs * Cp`` (seconds)."""
+        return self.unit_resistance * self.unit_output_capacitance
+
+    def clamp_width(self, width: float) -> float:
+        """Clamp ``width`` into the legal ``[min_width, max_width]`` range."""
+        return min(max(width, self.min_width), self.max_width)

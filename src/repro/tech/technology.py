@@ -1,0 +1,83 @@
+"""A complete technology: repeater device constants, wire layers, power model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.tech.power import PowerParameters
+from repro.tech.repeater import RepeaterParameters
+from repro.tech.wire import WireLayer
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Everything the repeater-insertion algorithms need to know about a node.
+
+    Attributes
+    ----------
+    name:
+        Node name, e.g. ``"cmos180"``.
+    repeater:
+        Unit-size repeater constants (``Rs``, ``Co``, ``Cp``).
+    layers:
+        Mapping from layer name to :class:`WireLayer`.
+    power:
+        Constants for converting total repeater width into watts.
+    unit_width_meters:
+        Physical transistor width of the minimal ("1u") repeater, used only
+        for reporting.
+    """
+
+    name: str
+    repeater: RepeaterParameters
+    layers: Mapping[str, WireLayer]
+    power: PowerParameters
+    unit_width_meters: float = 0.5e-6
+
+    def __post_init__(self) -> None:
+        require_positive(self.unit_width_meters, "unit_width_meters")
+        if not self.layers:
+            raise ValueError("a technology needs at least one wire layer")
+        # Freeze the mapping so that a Technology is safely shareable.
+        object.__setattr__(self, "layers", dict(self.layers))
+
+    def layer(self, name: str) -> WireLayer:
+        """Return the wire layer called ``name``.
+
+        Raises ``KeyError`` with the list of known layers when absent, which
+        is the typical mistake when moving nets between technologies.
+        """
+        try:
+            return self.layers[name]
+        except KeyError:
+            known = ", ".join(sorted(self.layers))
+            raise KeyError(f"unknown layer {name!r}; available layers: {known}") from None
+
+    @property
+    def layer_names(self) -> Tuple[str, ...]:
+        """Names of the available routing layers, sorted."""
+        return tuple(sorted(self.layers))
+
+    def repeater_power(self, total_width: float) -> float:
+        """Total repeater power (W) for a solution with the given total width.
+
+        This is Eq. (4) of the paper: the dynamic power of the total gate
+        capacitance ``Co * total_width`` plus leakage proportional to the
+        total width.
+        """
+        gate_cap = self.repeater.unit_input_capacitance * total_width
+        return self.power.dynamic_power(gate_cap) + self.power.leakage_power(total_width)
+
+    def with_layers(self, extra: Mapping[str, WireLayer]) -> "Technology":
+        """Return a copy of this technology with additional/overridden layers."""
+        merged: Dict[str, WireLayer] = dict(self.layers)
+        merged.update(extra)
+        return Technology(
+            name=self.name,
+            repeater=self.repeater,
+            layers=merged,
+            power=self.power,
+            unit_width_meters=self.unit_width_meters,
+        )

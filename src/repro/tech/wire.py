@@ -1,0 +1,55 @@
+"""Wire (metal layer) RC models.
+
+Interconnect segments are characterised by a resistance per unit length and a
+capacitance per unit length (the total of area, fringe and estimated coupling
+capacitance).  Global nets in the paper are routed on metal4 and metal5 of a
+0.18 µm process; :mod:`repro.tech.nodes` defines those layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class WireLayer:
+    """RC characteristics of one routing layer.
+
+    Attributes
+    ----------
+    name:
+        Layer name, e.g. ``"metal4"``.
+    resistance_per_meter:
+        Sheet-derived wire resistance in ohms per meter for the default
+        wire width of this layer.
+    capacitance_per_meter:
+        Total wire capacitance in farads per meter for the default wire
+        width/spacing of this layer.
+    """
+
+    name: str
+    resistance_per_meter: float
+    capacitance_per_meter: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.resistance_per_meter, "resistance_per_meter")
+        require_positive(self.capacitance_per_meter, "capacitance_per_meter")
+        if not self.name:
+            raise ValueError("layer name must not be empty")
+
+    def resistance(self, length: float) -> float:
+        """Total resistance (ohms) of a wire of ``length`` meters on this layer."""
+        require_non_negative(length, "length")
+        return self.resistance_per_meter * length
+
+    def capacitance(self, length: float) -> float:
+        """Total capacitance (farads) of a wire of ``length`` meters on this layer."""
+        require_non_negative(length, "length")
+        return self.capacitance_per_meter * length
+
+    @property
+    def rc_product(self) -> float:
+        """Distributed RC product (s/m^2); the figure of merit of a layer."""
+        return self.resistance_per_meter * self.capacitance_per_meter

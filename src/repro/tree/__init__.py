@@ -1,0 +1,30 @@
+"""Extension: repeater insertion for interconnect *trees*.
+
+The paper's conclusion names the extension of the hybrid scheme to
+interconnect trees as ongoing work.  This package provides the substrate and
+a working power-aware tree buffering engine:
+
+* :class:`RoutingTree` — a routed multi-sink net: a tree of wire segments
+  with per-edge RC, a driver at the root and a receiver width per sink;
+* :class:`RandomTreeGenerator` — random trees built from the same segment
+  statistics as the paper's two-pin nets;
+* :class:`TreePowerDp` — bottom-up van Ginneken / Lillis dynamic programming
+  over the tree: candidate sites along every edge, per-sink required-time
+  formulation, (capacitance, delay, width) dominance pruning and branch
+  merging at Steiner points.
+"""
+
+from repro.tree.rctree import RoutingTree, TreeEdge, TreeSink
+from repro.tree.generator import RandomTreeGenerator, TreeGenerationConfig
+from repro.tree.buffering import TreeBufferAssignment, TreePowerDp, TreeSolution
+
+__all__ = [
+    "RoutingTree",
+    "TreeEdge",
+    "TreeSink",
+    "RandomTreeGenerator",
+    "TreeGenerationConfig",
+    "TreeBufferAssignment",
+    "TreePowerDp",
+    "TreeSolution",
+]

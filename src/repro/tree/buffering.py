@@ -1,0 +1,260 @@
+"""Power-aware repeater insertion on routing trees (van Ginneken on trees).
+
+The bottom-up DP of :mod:`repro.dp` generalises to trees: states propagate
+from the sinks towards the driver, wire edges add their Elmore contribution,
+candidate sites along every edge may insert a repeater from the library, and
+branches merge at internal nodes by summing capacitance/width and taking the
+worst (maximum) downstream delay.  All sinks share one timing target, so the
+per-state delay coordinate is simply the worst sink delay below that point.
+
+This engine is the substrate for the paper's stated future work (extending
+the hybrid scheme to trees).  It is implemented with plain Python state lists
+(not the vectorised numpy kernel of the two-pin engine) because tree
+instances in the examples and tests are small; on a degenerate tree (a chain)
+it produces exactly the same results as :class:`repro.dp.PowerAwareDp`,
+which is checked in the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.tech.library import RepeaterLibrary
+from repro.tech.technology import Technology
+from repro.tree.rctree import RoutingTree, TreeEdge
+from repro.utils.pareto import prune_pareto_3d
+from repro.utils.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class TreeBufferAssignment:
+    """One repeater inserted on a tree edge.
+
+    Attributes
+    ----------
+    parent / child:
+        Endpoints of the edge carrying the repeater (parent = driver side).
+    distance_from_child:
+        Position of the repeater measured from the ``child`` end of the
+        edge, meters.
+    width:
+        Repeater width in units of ``u``.
+    """
+
+    parent: str
+    child: str
+    distance_from_child: float
+    width: float
+
+
+@dataclass(frozen=True)
+class TreeSolution:
+    """A complete repeater assignment for a routing tree.
+
+    Attributes
+    ----------
+    assignments:
+        The inserted repeaters.
+    worst_delay:
+        Elmore delay from the driver to the slowest sink, seconds.
+    total_width:
+        Total inserted repeater width.
+    feasible:
+        Whether ``worst_delay`` meets the timing target the DP was asked for.
+    """
+
+    assignments: Tuple[TreeBufferAssignment, ...]
+    worst_delay: float
+    total_width: float
+    feasible: bool
+
+    @property
+    def num_repeaters(self) -> int:
+        """Number of inserted repeaters."""
+        return len(self.assignments)
+
+
+# A DP state: (capacitance, worst downstream delay, total width, assignments).
+_State = Tuple[float, float, float, Tuple[TreeBufferAssignment, ...]]
+
+
+class TreePowerDp:
+    """Power-aware repeater insertion for multi-sink routing trees."""
+
+    def __init__(
+        self,
+        technology: Technology,
+        *,
+        site_pitch: float = 200.0e-6,
+        max_states_per_node: int = 4000,
+    ) -> None:
+        require_positive(site_pitch, "site_pitch")
+        require(max_states_per_node >= 10, "max_states_per_node must be >= 10")
+        self._technology = technology
+        self._site_pitch = site_pitch
+        self._max_states = max_states_per_node
+
+    @property
+    def technology(self) -> Technology:
+        """Technology whose repeater constants the DP uses."""
+        return self._technology
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        tree: RoutingTree,
+        library: RepeaterLibrary,
+        timing_target: float,
+    ) -> TreeSolution:
+        """Minimise total repeater width subject to every sink meeting the target."""
+        require_positive(timing_target, "timing_target")
+        tree.validate()
+        repeater = self._technology.repeater
+
+        states = self._states_below(tree, tree.root, library)
+        # Driver stage at the root.
+        finals: List[_State] = []
+        for cap, delay, width, assignments in states:
+            total = (
+                repeater.intrinsic_delay
+                + repeater.drive_resistance(tree.driver_width) * cap
+                + delay
+            )
+            finals.append((cap, total, width, assignments))
+
+        feasible = [state for state in finals if state[1] <= timing_target]
+        if feasible:
+            best = min(feasible, key=lambda state: (state[2], state[1]))
+            return TreeSolution(
+                assignments=best[3],
+                worst_delay=best[1],
+                total_width=best[2],
+                feasible=True,
+            )
+        best = min(finals, key=lambda state: (state[1], state[2]))
+        return TreeSolution(
+            assignments=best[3],
+            worst_delay=best[1],
+            total_width=best[2],
+            feasible=False,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _states_below(
+        self, tree: RoutingTree, node: str, library: RepeaterLibrary
+    ) -> List[_State]:
+        """States describing the subtree hanging below ``node`` (exclusive of its edge)."""
+        repeater = self._technology.repeater
+        children = tree.children(node)
+        sink = tree.sink(node)
+
+        if not children:
+            assert sink is not None  # guaranteed by tree.validate()
+            return [(repeater.input_capacitance(sink.receiver_width), 0.0, 0.0, ())]
+
+        merged: Optional[List[_State]] = None
+        for child in children:
+            child_states = self._states_below(tree, child, library)
+            edge_states = self._propagate_edge(tree.edge_to(child), child_states, library)
+            merged = edge_states if merged is None else self._merge(merged, edge_states)
+        assert merged is not None
+
+        if sink is not None:
+            # A tapping point that is itself a sink: add its pin capacitance.
+            pin_cap = repeater.input_capacitance(sink.receiver_width)
+            merged = [
+                (cap + pin_cap, delay, width, assignments)
+                for cap, delay, width, assignments in merged
+            ]
+        return self._prune(merged)
+
+    def _propagate_edge(
+        self,
+        edge: TreeEdge,
+        states: Sequence[_State],
+        library: RepeaterLibrary,
+    ) -> List[_State]:
+        """Walk an edge from its child end to its parent end, inserting repeaters."""
+        repeater = self._technology.repeater
+        current = list(states)
+
+        # Candidate sites measured from the child end of the edge.
+        sites = []
+        position = self._site_pitch
+        while position < edge.length - 1e-12:
+            sites.append(position)
+            position += self._site_pitch
+
+        walked = 0.0
+        for site in sites:
+            current = self._walk_wire(edge, current, site - walked)
+            walked = site
+            inserted: List[_State] = []
+            for cap, delay, width, assignments in current:
+                for buffer_width in library.widths:
+                    new_delay = (
+                        repeater.intrinsic_delay
+                        + repeater.drive_resistance(buffer_width) * cap
+                        + delay
+                    )
+                    assignment = TreeBufferAssignment(
+                        parent=edge.parent,
+                        child=edge.child,
+                        distance_from_child=site,
+                        width=buffer_width,
+                    )
+                    inserted.append(
+                        (
+                            repeater.input_capacitance(buffer_width),
+                            new_delay,
+                            width + buffer_width,
+                            assignments + (assignment,),
+                        )
+                    )
+            current = self._prune(current + inserted)
+        return self._walk_wire(edge, current, edge.length - walked)
+
+    @staticmethod
+    def _walk_wire(edge: TreeEdge, states: Sequence[_State], length: float) -> List[_State]:
+        """Add ``length`` meters of this edge's wire upstream of every state."""
+        if length <= 0.0:
+            return list(states)
+        resistance = edge.resistance_per_meter * length
+        capacitance = edge.capacitance_per_meter * length
+        return [
+            (
+                cap + capacitance,
+                delay + resistance * (0.5 * capacitance + cap),
+                width,
+                assignments,
+            )
+            for cap, delay, width, assignments in states
+        ]
+
+    def _merge(self, left: Sequence[_State], right: Sequence[_State]) -> List[_State]:
+        """Combine the state sets of two sibling branches."""
+        merged: List[_State] = []
+        for cap_l, delay_l, width_l, assignments_l in left:
+            for cap_r, delay_r, width_r, assignments_r in right:
+                merged.append(
+                    (
+                        cap_l + cap_r,
+                        max(delay_l, delay_r),
+                        width_l + width_r,
+                        assignments_l + assignments_r,
+                    )
+                )
+        return self._prune(merged)
+
+    def _prune(self, states: Sequence[_State]) -> List[_State]:
+        """(C, D, W) dominance pruning plus a hard cap on the front size."""
+        points = [
+            (cap, delay, width, assignments) for cap, delay, width, assignments in states
+        ]
+        front = prune_pareto_3d(points)
+        if len(front) > self._max_states:
+            # Keep the cheapest states; delay-critical states survive because
+            # they have the smallest delays and sort early within equal width.
+            front = sorted(front, key=lambda state: (state[2], state[1]))[: self._max_states]
+        return [tuple(state) for state in front]  # type: ignore[return-value]

@@ -1,0 +1,106 @@
+"""Random routing-tree generation for the tree-buffering extension."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.tech.technology import Technology
+from repro.tree.rctree import RoutingTree
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.units import from_microns
+from repro.utils.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class TreeGenerationConfig:
+    """Knobs of the random tree generator.
+
+    Edge lengths and layers follow the same statistics as the paper's two-pin
+    nets; the branching structure is a random binary tree over the requested
+    number of sinks.
+    """
+
+    num_sinks: int = 4
+    min_edge_length: float = from_microns(800.0)
+    max_edge_length: float = from_microns(2500.0)
+    layers: Tuple[str, ...] = ("metal4", "metal5")
+    driver_width: float = 120.0
+    min_receiver_width: float = 40.0
+    max_receiver_width: float = 80.0
+
+    def __post_init__(self) -> None:
+        require(self.num_sinks >= 1, "num_sinks must be >= 1")
+        require_positive(self.min_edge_length, "min_edge_length")
+        require(
+            self.max_edge_length >= self.min_edge_length,
+            "max_edge_length must be >= min_edge_length",
+        )
+        require(len(self.layers) > 0, "layers must not be empty")
+        require_positive(self.driver_width, "driver_width")
+
+
+class RandomTreeGenerator:
+    """Generates random :class:`RoutingTree` instances for a technology."""
+
+    def __init__(
+        self,
+        technology: Technology,
+        config: Optional[TreeGenerationConfig] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self._technology = technology
+        self._config = config or TreeGenerationConfig()
+        for layer in self._config.layers:
+            technology.layer(layer)
+        self._rng = make_rng(seed)
+        self._counter = 0
+
+    def generate(self, name: Optional[str] = None) -> RoutingTree:
+        """Generate one random tree with the configured number of sinks."""
+        config = self._config
+        rng = self._rng
+        self._counter += 1
+        tree = RoutingTree(
+            root="driver",
+            driver_width=config.driver_width,
+            name=name or f"tree{self._counter}",
+        )
+
+        # Grow the topology: start with one branch point below the driver and
+        # repeatedly attach new sinks to randomly chosen existing nodes.
+        attachable: List[str] = []
+        first = self._new_node(tree, "driver", "n1")
+        attachable.append(first)
+        node_counter = 1
+        sink_parents: List[str] = []
+        for _ in range(config.num_sinks):
+            parent = attachable[int(rng.integers(0, len(attachable)))]
+            node_counter += 1
+            child = self._new_node(tree, parent, f"n{node_counter}")
+            attachable.append(child)
+            sink_parents.append(child)
+
+        # The last num_sinks nodes become sinks; any other leaf also becomes one
+        # so the tree validates.
+        leaves = [node for node in tree.nodes if not tree.children(node) and node != "driver"]
+        for leaf in leaves:
+            width = float(rng.uniform(config.min_receiver_width, config.max_receiver_width))
+            tree.mark_sink(leaf, width)
+        tree.validate()
+        return tree
+
+    def _new_node(self, tree: RoutingTree, parent: str, name: str) -> str:
+        config = self._config
+        rng = self._rng
+        layer_name = config.layers[int(rng.integers(0, len(config.layers)))]
+        layer = self._technology.layer(layer_name)
+        length = float(rng.uniform(config.min_edge_length, config.max_edge_length))
+        tree.add_edge(
+            parent,
+            name,
+            length=length,
+            resistance_per_meter=layer.resistance_per_meter,
+            capacitance_per_meter=layer.capacitance_per_meter,
+        )
+        return name

@@ -1,0 +1,176 @@
+"""Routed interconnect trees (multi-sink nets)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.utils.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class TreeEdge:
+    """One routed wire segment of a tree, connecting ``parent`` to ``child``.
+
+    Attributes
+    ----------
+    parent / child:
+        Node names; the parent is on the driver side.
+    length:
+        Wire length of the edge in meters.
+    resistance_per_meter / capacitance_per_meter:
+        Per-meter RC of the edge's routing layer.
+    """
+
+    parent: str
+    child: str
+    length: float
+    resistance_per_meter: float
+    capacitance_per_meter: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.length, "length")
+        require_positive(self.resistance_per_meter, "resistance_per_meter")
+        require_positive(self.capacitance_per_meter, "capacitance_per_meter")
+
+    @property
+    def resistance(self) -> float:
+        """Total resistance of the edge, ohms."""
+        return self.resistance_per_meter * self.length
+
+    @property
+    def capacitance(self) -> float:
+        """Total capacitance of the edge, farads."""
+        return self.capacitance_per_meter * self.length
+
+
+@dataclass(frozen=True)
+class TreeSink:
+    """A sink (receiver) of the tree."""
+
+    node: str
+    receiver_width: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.receiver_width, "receiver_width")
+
+
+class RoutingTree:
+    """A routed multi-sink net: wire tree, driver at the root, sinks at leaves."""
+
+    def __init__(self, root: str, driver_width: float, name: str = "tree") -> None:
+        require_positive(driver_width, "driver_width")
+        self._root = root
+        self._driver_width = driver_width
+        self._name = name
+        self._edges: Dict[str, TreeEdge] = {}       # keyed by child node
+        self._children: Dict[str, List[str]] = {root: []}
+        self._sinks: Dict[str, TreeSink] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> str:
+        """Name of the driver node."""
+        return self._root
+
+    @property
+    def name(self) -> str:
+        """Net name (reporting only)."""
+        return self._name
+
+    @property
+    def driver_width(self) -> float:
+        """Driver width in units of ``u``."""
+        return self._driver_width
+
+    def add_edge(
+        self,
+        parent: str,
+        child: str,
+        *,
+        length: float,
+        resistance_per_meter: float,
+        capacitance_per_meter: float,
+    ) -> None:
+        """Add a wire segment from ``parent`` (driver side) to the new node ``child``."""
+        require(parent in self._children, f"parent node {parent!r} does not exist")
+        require(child not in self._children, f"node {child!r} already exists")
+        edge = TreeEdge(
+            parent=parent,
+            child=child,
+            length=length,
+            resistance_per_meter=resistance_per_meter,
+            capacitance_per_meter=capacitance_per_meter,
+        )
+        self._edges[child] = edge
+        self._children[parent].append(child)
+        self._children[child] = []
+
+    def mark_sink(self, node: str, receiver_width: float) -> None:
+        """Declare ``node`` to be a sink with the given receiver width."""
+        require(node in self._children, f"node {node!r} does not exist")
+        require(node != self._root, "the root cannot be a sink")
+        self._sinks[node] = TreeSink(node=node, receiver_width=receiver_width)
+
+    # ------------------------------------------------------------------ #
+    def children(self, node: str) -> Tuple[str, ...]:
+        """Children of ``node`` (towards the sinks)."""
+        return tuple(self._children[node])
+
+    def edge_to(self, child: str) -> TreeEdge:
+        """The wire edge whose downstream endpoint is ``child``."""
+        return self._edges[child]
+
+    def sink(self, node: str) -> Optional[TreeSink]:
+        """The sink at ``node``, or ``None`` if the node is not a sink."""
+        return self._sinks.get(node)
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """All node names (root first, insertion order)."""
+        return tuple(self._children)
+
+    @property
+    def edges(self) -> Tuple[TreeEdge, ...]:
+        """All edges of the tree."""
+        return tuple(self._edges.values())
+
+    @property
+    def sinks(self) -> Tuple[TreeSink, ...]:
+        """All sinks of the tree."""
+        return tuple(self._sinks.values())
+
+    @property
+    def num_sinks(self) -> int:
+        """Number of sinks."""
+        return len(self._sinks)
+
+    def total_wire_length(self) -> float:
+        """Total routed wire length, meters."""
+        return sum(edge.length for edge in self._edges.values())
+
+    def total_wire_capacitance(self) -> float:
+        """Total wire capacitance, farads."""
+        return sum(edge.capacitance for edge in self._edges.values())
+
+    def validate(self) -> None:
+        """Check structural invariants: every leaf must be a sink."""
+        for node, children in self._children.items():
+            if node == self._root:
+                require(
+                    len(children) > 0, "the root must drive at least one edge"
+                )
+                continue
+            if not children:
+                require(
+                    node in self._sinks,
+                    f"leaf node {node!r} is not marked as a sink",
+                )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self._name}: {len(self._edges)} edges, {self.num_sinks} sinks, "
+            f"wire length {self.total_wire_length() * 1e6:.0f}um, "
+            f"driver {self._driver_width:.0f}u"
+        )

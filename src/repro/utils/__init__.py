@@ -1,0 +1,53 @@
+"""Shared utilities: unit handling, Pareto pruning helpers, validation, RNG."""
+
+from repro.utils.units import (
+    FARADS_PER_FEMTOFARAD,
+    METERS_PER_MICRON,
+    SECONDS_PER_NANOSECOND,
+    SECONDS_PER_PICOSECOND,
+    from_femtofarads,
+    from_microns,
+    from_nanoseconds,
+    from_picoseconds,
+    to_femtofarads,
+    to_microns,
+    to_nanoseconds,
+    to_picoseconds,
+)
+from repro.utils.pareto import prune_pareto_2d, prune_pareto_3d
+from repro.utils.rng import child_rng, make_rng
+from repro.utils.validation import (
+    ValidationError,
+    require,
+    require_finite,
+    require_in_range,
+    require_positive,
+    require_non_negative,
+    require_sorted,
+)
+
+__all__ = [
+    "FARADS_PER_FEMTOFARAD",
+    "METERS_PER_MICRON",
+    "SECONDS_PER_NANOSECOND",
+    "SECONDS_PER_PICOSECOND",
+    "from_femtofarads",
+    "from_microns",
+    "from_nanoseconds",
+    "from_picoseconds",
+    "to_femtofarads",
+    "to_microns",
+    "to_nanoseconds",
+    "to_picoseconds",
+    "prune_pareto_2d",
+    "prune_pareto_3d",
+    "child_rng",
+    "make_rng",
+    "ValidationError",
+    "require",
+    "require_finite",
+    "require_in_range",
+    "require_positive",
+    "require_non_negative",
+    "require_sorted",
+]

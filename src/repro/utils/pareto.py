@@ -1,0 +1,74 @@
+"""Pareto-front (dominance) pruning helpers.
+
+The DP buffering engine keeps sets of candidate solutions labelled by tuples
+such as ``(capacitance, delay)`` or ``(capacitance, delay, width)`` where
+*smaller is better* in every coordinate.  A candidate is *dominated* if some
+other candidate is no worse in every coordinate; dominated candidates can
+never become part of an optimal solution and are discarded.
+
+These helpers operate on lists of tuples whose first components are the
+objective coordinates; any trailing payload (e.g. the partial solution that
+produced the point) is carried along untouched, which keeps the DP code free
+of bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, TypeVar
+
+Payload = TypeVar("Payload")
+
+
+def prune_pareto_2d(
+    points: Sequence[Tuple[float, float, Payload]],
+    tolerance: float = 0.0,
+) -> List[Tuple[float, float, Payload]]:
+    """Return the non-dominated subset of 2-D ``(a, b, payload)`` points.
+
+    A point ``(a1, b1)`` dominates ``(a2, b2)`` when ``a1 <= a2`` and
+    ``b1 <= b2`` (with at least one strict).  ``tolerance`` allows dropping
+    points that are within ``tolerance`` of being dominated, which bounds the
+    front size at a negligible quality cost.
+
+    The result is sorted by the first coordinate ascending (and therefore by
+    the second coordinate descending).
+    """
+    if not points:
+        return []
+    ordered = sorted(points, key=lambda p: (p[0], p[1]))
+    front: List[Tuple[float, float, Payload]] = []
+    best_b = float("inf")
+    for point in ordered:
+        if point[1] < best_b - tolerance:
+            front.append(point)
+            best_b = point[1]
+    return front
+
+
+def prune_pareto_3d(
+    points: Sequence[Tuple[float, float, float, Payload]],
+    tolerance: float = 0.0,
+) -> List[Tuple[float, float, float, Payload]]:
+    """Return the non-dominated subset of 3-D ``(a, b, c, payload)`` points.
+
+    Dominance is component-wise ``<=`` in all three coordinates.  The
+    implementation sorts by the first coordinate and then performs a sweep
+    keeping, for each candidate, the set of ``(b, c)`` pairs already accepted;
+    a new point is dominated if an accepted point has both ``b`` and ``c`` no
+    larger.  Complexity is ``O(n * f)`` with ``f`` the front size, which is
+    fine for the front sizes produced by the buffering DP (tens to a few
+    thousands).
+    """
+    if not points:
+        return []
+    ordered = sorted(points, key=lambda p: (p[0], p[1], p[2]))
+    front: List[Tuple[float, float, float, Payload]] = []
+    for point in ordered:
+        dominated = False
+        for kept in front:
+            if kept[1] <= point[1] + tolerance and kept[2] <= point[2] + tolerance:
+                dominated = True
+                break
+        if not dominated:
+            front.append(point)
+    return front

@@ -1,0 +1,36 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the library (net generators, experiment
+protocols) takes an explicit seed and builds its generator through
+:func:`make_rng` so that experiments are exactly reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be an integer, an existing generator (returned unchanged so
+    that callers can thread one generator through a pipeline), or ``None``
+    for OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def child_rng(base_seed: int, index: int) -> np.random.Generator:
+    """Return an independent generator derived from ``(base_seed, index)``.
+
+    Experiments that fan out over many nets use one child per net so that
+    net ``i`` is identical no matter how many nets are generated or in which
+    order.
+    """
+    return np.random.default_rng(np.random.SeedSequence([int(base_seed), int(index)]))

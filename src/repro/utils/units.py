@@ -1,0 +1,75 @@
+"""Unit conversion helpers.
+
+Everything inside the library is expressed in SI units:
+
+* lengths in meters,
+* resistance in ohms (and ohms per meter for unit-length wire resistance),
+* capacitance in farads (and farads per meter),
+* time in seconds,
+* power in watts.
+
+Repeater *widths* are dimensionless multiples of the minimal repeater width
+``u`` (the paper's convention: a "80u" repeater is eighty minimal widths).
+
+The helpers below exist so that examples, experiment reports and tests can be
+written in the units EDA engineers actually think in (microns, femtofarads,
+pico/nanoseconds) without sprinkling magic constants around.
+"""
+
+from __future__ import annotations
+
+METERS_PER_MICRON = 1.0e-6
+FARADS_PER_FEMTOFARAD = 1.0e-15
+SECONDS_PER_PICOSECOND = 1.0e-12
+SECONDS_PER_NANOSECOND = 1.0e-9
+OHMS_PER_KILOOHM = 1.0e3
+
+
+def from_microns(value_um: float) -> float:
+    """Convert a length in microns to meters."""
+    return value_um * METERS_PER_MICRON
+
+
+def to_microns(value_m: float) -> float:
+    """Convert a length in meters to microns."""
+    return value_m / METERS_PER_MICRON
+
+
+def from_femtofarads(value_ff: float) -> float:
+    """Convert a capacitance in femtofarads to farads."""
+    return value_ff * FARADS_PER_FEMTOFARAD
+
+
+def to_femtofarads(value_f: float) -> float:
+    """Convert a capacitance in farads to femtofarads."""
+    return value_f / FARADS_PER_FEMTOFARAD
+
+
+def from_picoseconds(value_ps: float) -> float:
+    """Convert a time in picoseconds to seconds."""
+    return value_ps * SECONDS_PER_PICOSECOND
+
+
+def to_picoseconds(value_s: float) -> float:
+    """Convert a time in seconds to picoseconds."""
+    return value_s / SECONDS_PER_PICOSECOND
+
+
+def from_nanoseconds(value_ns: float) -> float:
+    """Convert a time in nanoseconds to seconds."""
+    return value_ns * SECONDS_PER_NANOSECOND
+
+
+def to_nanoseconds(value_s: float) -> float:
+    """Convert a time in seconds to nanoseconds."""
+    return value_s / SECONDS_PER_NANOSECOND
+
+
+def from_kiloohms(value_kohm: float) -> float:
+    """Convert a resistance in kiloohms to ohms."""
+    return value_kohm * OHMS_PER_KILOOHM
+
+
+def to_kiloohms(value_ohm: float) -> float:
+    """Convert a resistance in ohms to kiloohms."""
+    return value_ohm / OHMS_PER_KILOOHM

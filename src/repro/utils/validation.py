@@ -1,0 +1,64 @@
+"""Small argument-validation helpers used across the library.
+
+The library is the substrate for optimization algorithms that are easy to
+misconfigure (negative capacitance, forbidden zone outside the net, ...), so
+constructors validate eagerly and raise :class:`ValidationError` with a
+message that names the offending argument.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+class ValidationError(ValueError):
+    """Raised when a model object is constructed with inconsistent data."""
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def require_finite(value: float, name: str) -> None:
+    """Require that ``value`` is a finite real number."""
+    if not math.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+
+
+def require_positive(value: float, name: str) -> None:
+    """Require that ``value`` is finite and strictly positive."""
+    require_finite(value, name)
+    if value <= 0.0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+
+
+def require_non_negative(value: float, name: str) -> None:
+    """Require that ``value`` is finite and non-negative."""
+    require_finite(value, name)
+    if value < 0.0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> None:
+    """Require ``low <= value <= high``."""
+    require_finite(value, name)
+    if not (low <= value <= high):
+        raise ValidationError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def require_sorted(values: Sequence[float], name: str, strict: bool = False) -> None:
+    """Require that ``values`` is sorted ascending (strictly if ``strict``)."""
+    for earlier, later in zip(values, list(values)[1:]):
+        if strict:
+            require(earlier < later, f"{name} must be strictly increasing, got {list(values)!r}")
+        else:
+            require(earlier <= later, f"{name} must be non-decreasing, got {list(values)!r}")
+
+
+def require_non_empty(values: Iterable[object], name: str) -> None:
+    """Require that ``values`` contains at least one element."""
+    if not list(values):
+        raise ValidationError(f"{name} must not be empty")

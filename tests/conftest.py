@@ -1,0 +1,91 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.segment import WireSegment
+from repro.net.twopin import TwoPinNet
+from repro.net.zones import ForbiddenZone
+from repro.tech.nodes import NODE_180NM
+from repro.utils.units import from_microns
+
+
+@pytest.fixture(scope="session")
+def tech():
+    """The 0.18 µm technology used by the paper's experiments."""
+    return NODE_180NM
+
+
+def build_uniform_net(
+    technology,
+    *,
+    length_um: float = 10000.0,
+    segments: int = 4,
+    layer: str = "metal4",
+    driver_width: float = 120.0,
+    receiver_width: float = 60.0,
+    zones=(),
+    name: str = "uniform",
+) -> TwoPinNet:
+    """A net made of equal-length segments on a single layer."""
+    wire_layer = technology.layer(layer)
+    segment_length = from_microns(length_um) / segments
+    return TwoPinNet(
+        segments=tuple(
+            WireSegment.on_layer(wire_layer, segment_length) for _ in range(segments)
+        ),
+        driver_width=driver_width,
+        receiver_width=receiver_width,
+        forbidden_zones=tuple(zones),
+        name=name,
+    )
+
+
+def build_mixed_net(
+    technology,
+    *,
+    driver_width: float = 120.0,
+    receiver_width: float = 60.0,
+    zones=(),
+    name: str = "mixed",
+) -> TwoPinNet:
+    """A multi-layer net with unequal segments (metal4 / metal5 / metal3)."""
+    m4 = technology.layer("metal4")
+    m5 = technology.layer("metal5")
+    m3 = technology.layer("metal3")
+    return TwoPinNet(
+        segments=(
+            WireSegment.on_layer(m4, from_microns(2400.0)),
+            WireSegment.on_layer(m5, from_microns(1800.0)),
+            WireSegment.on_layer(m3, from_microns(1200.0)),
+            WireSegment.on_layer(m5, from_microns(2600.0)),
+            WireSegment.on_layer(m4, from_microns(2000.0)),
+        ),
+        driver_width=driver_width,
+        receiver_width=receiver_width,
+        forbidden_zones=tuple(zones),
+        name=name,
+    )
+
+
+@pytest.fixture
+def uniform_net(tech):
+    """10 mm uniform metal4 net, no forbidden zones."""
+    return build_uniform_net(tech)
+
+
+@pytest.fixture
+def mixed_net(tech):
+    """10 mm multi-layer net, no forbidden zones."""
+    return build_mixed_net(tech)
+
+
+@pytest.fixture
+def zoned_net(tech):
+    """Multi-layer net with one forbidden zone in its middle third."""
+    return build_mixed_net(
+        tech,
+        zones=(ForbiddenZone(from_microns(3500.0), from_microns(6000.0)),),
+        name="zoned",
+    )

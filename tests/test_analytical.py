@@ -1,0 +1,253 @@
+"""Tests for the analytical substrate: Bakoglu closed form, derivatives, width solvers."""
+
+import numpy as np
+import pytest
+
+from repro.analytical.bakoglu import (
+    delay_optimal_uniform_insertion,
+    power_optimal_width_sweep,
+    uniform_buffered_delay,
+)
+from repro.analytical.derivatives import (
+    delay_width_gradient,
+    location_derivatives,
+    stage_lumped_rc,
+)
+from repro.analytical.width_solver import DualBisectionWidthSolver, NewtonKktWidthSolver
+from repro.delay.elmore import buffered_net_delay, unbuffered_net_delay
+from repro.utils.units import from_microns
+from repro.utils.validation import ValidationError
+
+from tests.conftest import build_uniform_net
+
+
+# --------------------------------------------------------------------------- #
+# Bakoglu closed form
+# --------------------------------------------------------------------------- #
+def test_uniform_design_improves_on_unbuffered(tech):
+    net = build_uniform_net(tech, length_um=15000.0, segments=5)
+    layer = tech.layer("metal4")
+    design = delay_optimal_uniform_insertion(
+        tech, net.total_length, layer.resistance_per_meter, layer.capacitance_per_meter
+    )
+    assert design.num_repeaters >= 1
+    delay = buffered_net_delay(
+        net, tech, list(design.positions), [design.width] * design.num_repeaters
+    )
+    assert delay < unbuffered_net_delay(net, tech)
+
+
+def test_uniform_design_width_near_sqrt_formula(tech):
+    layer = tech.layer("metal4")
+    length = from_microns(20000.0)
+    design = delay_optimal_uniform_insertion(
+        tech, length, layer.resistance_per_meter, layer.capacitance_per_meter
+    )
+    repeater = tech.repeater
+    expected = np.sqrt(
+        repeater.unit_resistance
+        * layer.capacitance_per_meter
+        / (layer.resistance_per_meter * repeater.unit_input_capacitance)
+    )
+    assert design.width == pytest.approx(expected, rel=1e-6)
+
+
+def test_uniform_design_positions_equally_spaced(tech):
+    layer = tech.layer("metal5")
+    length = from_microns(18000.0)
+    design = delay_optimal_uniform_insertion(
+        tech, length, layer.resistance_per_meter, layer.capacitance_per_meter
+    )
+    spacing = np.diff([0.0, *design.positions, length])
+    assert np.allclose(spacing, spacing[0])
+
+
+def test_uniform_buffered_delay_has_shallow_minimum_in_stages(tech):
+    layer = tech.layer("metal4")
+    length = from_microns(20000.0)
+    resistance = layer.resistance_per_meter * length
+    capacitance = layer.capacitance_per_meter * length
+    design = delay_optimal_uniform_insertion(
+        tech, length, layer.resistance_per_meter, layer.capacitance_per_meter
+    )
+    optimal_stages = design.num_repeaters + 1
+    optimal = uniform_buffered_delay(tech, resistance, capacitance, optimal_stages, design.width)
+    much_fewer = uniform_buffered_delay(tech, resistance, capacitance, 1, design.width)
+    many_more = uniform_buffered_delay(
+        tech, resistance, capacitance, optimal_stages * 4, design.width
+    )
+    assert optimal < much_fewer
+    assert optimal < many_more
+
+
+def test_power_optimal_width_sweep_meets_target(tech):
+    layer = tech.layer("metal4")
+    length = from_microns(15000.0)
+    resistance = layer.resistance_per_meter * length
+    capacitance = layer.capacitance_per_meter * length
+    design = delay_optimal_uniform_insertion(
+        tech, length, layer.resistance_per_meter, layer.capacitance_per_meter
+    )
+    stages = design.num_repeaters + 1
+    target = 1.3 * design.estimated_delay
+    width, curve = power_optimal_width_sweep(tech, resistance, capacitance, stages, target)
+    assert uniform_buffered_delay(tech, resistance, capacitance, stages, width) <= target
+    # the chosen width is the smallest one meeting the target along the curve
+    cheaper = [w for w, d in curve if w < width]
+    assert all(
+        uniform_buffered_delay(tech, resistance, capacitance, stages, w) > target for w in cheaper
+    )
+
+
+def test_power_optimal_width_sweep_impossible_target(tech):
+    layer = tech.layer("metal4")
+    with pytest.raises(ValidationError):
+        power_optimal_width_sweep(tech, 1000.0, 5e-12, 1, 1e-12, max_width=50.0)
+
+
+# --------------------------------------------------------------------------- #
+# lumped stage RC and derivatives
+# --------------------------------------------------------------------------- #
+def test_stage_lumped_rc_totals(tech, mixed_net):
+    positions = [0.3 * mixed_net.total_length, 0.6 * mixed_net.total_length]
+    stage_r, stage_c = stage_lumped_rc(mixed_net, positions)
+    assert len(stage_r) == 3
+    assert sum(stage_r) == pytest.approx(mixed_net.total_resistance)
+    assert sum(stage_c) == pytest.approx(mixed_net.total_capacitance)
+
+
+def test_delay_width_gradient_matches_finite_difference(tech, mixed_net):
+    positions = [0.35 * mixed_net.total_length, 0.7 * mixed_net.total_length]
+    widths = [120.0, 70.0]
+    gradient = delay_width_gradient(mixed_net, tech, positions, widths)
+    step = 1e-4
+    for index in range(len(widths)):
+        bumped_up = list(widths)
+        bumped_down = list(widths)
+        bumped_up[index] += step
+        bumped_down[index] -= step
+        numeric = (
+            buffered_net_delay(mixed_net, tech, positions, bumped_up)
+            - buffered_net_delay(mixed_net, tech, positions, bumped_down)
+        ) / (2 * step)
+        assert gradient[index] == pytest.approx(numeric, rel=1e-4)
+
+
+def test_location_derivatives_match_finite_difference_inside_segment(tech, uniform_net):
+    # Inside a uniform segment the left and right derivatives coincide and
+    # must match the numerical derivative of the exact Elmore delay.
+    positions = [0.42 * uniform_net.total_length]
+    widths = [90.0]
+    derivative = location_derivatives(uniform_net, tech, positions, widths)[0]
+    assert derivative.left == pytest.approx(derivative.right, rel=1e-12)
+
+    step = from_microns(0.5)
+    delay_plus = buffered_net_delay(uniform_net, tech, [positions[0] + step], widths)
+    delay_minus = buffered_net_delay(uniform_net, tech, [positions[0] - step], widths)
+    numeric = (delay_plus - delay_minus) / (2 * step)
+    assert derivative.right == pytest.approx(numeric, rel=1e-6)
+
+
+def test_location_derivatives_one_sided_at_layer_boundary(tech, mixed_net):
+    boundary = float(mixed_net.boundaries[1])  # metal4 -> metal5
+    derivatives = location_derivatives(mixed_net, tech, [boundary], [100.0])[0]
+    assert derivatives.left != pytest.approx(derivatives.right)
+
+
+def test_location_derivatives_count(tech, mixed_net):
+    positions = [0.2, 0.5, 0.8]
+    positions = [p * mixed_net.total_length for p in positions]
+    widths = [50.0, 60.0, 70.0]
+    assert len(location_derivatives(mixed_net, tech, positions, widths)) == 3
+
+
+# --------------------------------------------------------------------------- #
+# width solvers
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def solver_net(tech):
+    return build_uniform_net(tech, length_um=14000.0, segments=7)
+
+
+def _equally_spaced(net, count):
+    return [net.total_length * (i + 1) / (count + 1) for i in range(count)]
+
+
+def test_dual_solver_meets_timing_target(tech, solver_net):
+    solver = DualBisectionWidthSolver(tech)
+    positions = _equally_spaced(solver_net, 3)
+    tight = 0.75 * unbuffered_net_delay(solver_net, tech)
+    solution = solver.solve(solver_net, positions, tight)
+    assert solution.feasible
+    assert solution.delay <= tight * (1.0 + 1e-6)
+    # the delay constraint is active at the optimum (Eq. 5)
+    assert solution.delay == pytest.approx(tight, rel=2e-3)
+
+
+def test_dual_solver_kkt_residuals_small(tech, solver_net):
+    solver = DualBisectionWidthSolver(tech)
+    positions = _equally_spaced(solver_net, 3)
+    target = 0.7 * unbuffered_net_delay(solver_net, tech)
+    solution = solver.solve(solver_net, positions, target)
+    gradient = delay_width_gradient(
+        solver_net, tech, positions, list(solution.widths)
+    )
+    residuals = 1.0 + solution.lagrange_multiplier * gradient
+    # Interior (unclamped) widths satisfy Eq. (8) closely.
+    interior = [
+        r
+        for r, w in zip(residuals, solution.widths)
+        if 1.0 + 1e-6 < w < tech.repeater.max_width - 1e-6
+    ]
+    assert interior, "expected at least one interior width"
+    assert max(abs(r) for r in interior) < 5e-2
+
+
+def test_dual_solver_looser_target_needs_less_width(tech, solver_net):
+    solver = DualBisectionWidthSolver(tech)
+    positions = _equally_spaced(solver_net, 3)
+    base = unbuffered_net_delay(solver_net, tech)
+    tight = solver.solve(solver_net, positions, 0.7 * base)
+    loose = solver.solve(solver_net, positions, 0.9 * base)
+    assert tight.feasible and loose.feasible
+    assert loose.total_width < tight.total_width
+
+
+def test_dual_solver_infeasible_target_detected(tech, solver_net):
+    solver = DualBisectionWidthSolver(tech)
+    positions = _equally_spaced(solver_net, 1)
+    # far below anything a single repeater can reach
+    solution = solver.solve(solver_net, positions, 1e-12)
+    assert not solution.feasible
+
+
+def test_dual_solver_no_repeaters(tech, solver_net):
+    solver = DualBisectionWidthSolver(tech)
+    loose = solver.solve(solver_net, [], 10.0)
+    assert loose.widths == ()
+    assert loose.feasible
+    tight = solver.solve(solver_net, [], 1e-12)
+    assert not tight.feasible
+
+
+def test_dual_solver_widths_within_bounds(tech, solver_net):
+    solver = DualBisectionWidthSolver(tech, min_width=5.0, max_width=300.0)
+    positions = _equally_spaced(solver_net, 4)
+    solution = solver.solve(solver_net, positions, 0.8 * unbuffered_net_delay(solver_net, tech))
+    assert all(5.0 - 1e-9 <= w <= 300.0 + 1e-9 for w in solution.widths)
+
+
+def test_newton_solver_agrees_with_dual(tech, solver_net):
+    positions = _equally_spaced(solver_net, 3)
+    target = 0.75 * unbuffered_net_delay(solver_net, tech)
+    dual = DualBisectionWidthSolver(tech).solve(solver_net, positions, target)
+    newton = NewtonKktWidthSolver(tech).solve(solver_net, positions, target)
+    assert newton.feasible
+    assert newton.total_width == pytest.approx(dual.total_width, rel=2e-2)
+    assert newton.delay <= target * (1.0 + 1e-6)
+
+
+def test_newton_solver_infeasible_falls_back(tech, solver_net):
+    positions = _equally_spaced(solver_net, 1)
+    solution = NewtonKktWidthSolver(tech).solve(solver_net, positions, 1e-12)
+    assert not solution.feasible

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli.main import build_parser, main
+from repro.net.io import load_net
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_parser_rejects_unknown_technology():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["--technology", "cmos3", "generate-net", "x.json"])
+
+
+def test_generate_net_writes_valid_file(tmp_path, capsys):
+    path = tmp_path / "net.json"
+    assert main(["generate-net", str(path), "--seed", "5"]) == 0
+    net = load_net(path)
+    assert net.num_segments >= 4
+    captured = capsys.readouterr()
+    assert "wrote" in captured.out
+
+
+def test_generate_net_fixed_segments(tmp_path):
+    path = tmp_path / "net.json"
+    assert main(["generate-net", str(path), "--seed", "5", "--segments", "6"]) == 0
+    assert load_net(path).num_segments == 6
+
+
+def test_insert_rip_runs_and_reports(tmp_path, capsys):
+    path = tmp_path / "net.json"
+    main(["generate-net", str(path), "--seed", "8"])
+    code = main(["insert", str(path), "--target-factor", "1.3"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "repeaters" in captured.out
+    assert "met" in captured.out
+
+
+def test_insert_dp_scheme(tmp_path, capsys):
+    path = tmp_path / "net.json"
+    main(["generate-net", str(path), "--seed", "8"])
+    code = main(["insert", str(path), "--target-factor", "1.3", "--scheme", "dp",
+                 "--dp-granularity", "40"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "DP runtime" in captured.out
+
+
+def test_insert_with_explicit_target(tmp_path, capsys):
+    path = tmp_path / "net.json"
+    main(["generate-net", str(path), "--seed", "8"])
+    code = main(["insert", str(path), "--target-ns", "5.0"])
+    assert code == 0
+
+
+def test_evaluate_reports_metrics(tmp_path, capsys):
+    path = tmp_path / "net.json"
+    main(["generate-net", str(path), "--seed", "8"])
+    code = main([
+        "evaluate", str(path),
+        "--repeater", "2000:80",
+        "--repeater", "4000:40",
+        "--target-ns", "2.0",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "total width 120.0u" in captured.out
+
+
+def test_evaluate_rejects_malformed_repeater(tmp_path, capsys):
+    path = tmp_path / "net.json"
+    main(["generate-net", str(path), "--seed", "8"])
+    assert main(["evaluate", str(path), "--repeater", "oops"]) == 2
+
+
+def test_experiment_table1_small(tmp_path, capsys):
+    csv_path = tmp_path / "t1.csv"
+    code = main([
+        "experiment", "table1",
+        "--nets", "1", "--targets", "3", "--csv", str(csv_path),
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "dMax" in captured.out
+    assert csv_path.exists()
+    assert "Net" in csv_path.read_text()
+
+
+def test_experiment_figure7_small(capsys):
+    code = main(["experiment", "figure7", "--nets", "1", "--targets", "3"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "Figure 7" in captured.out

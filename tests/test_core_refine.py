@@ -1,0 +1,128 @@
+"""Tests for algorithm REFINE."""
+
+import pytest
+
+from repro.core.refine import Refine, RefineConfig
+from repro.core.solution import InsertionSolution
+from repro.delay.elmore import buffered_net_delay, unbuffered_net_delay
+from repro.net.zones import ForbiddenZone
+from repro.utils.units import from_microns
+from repro.utils.validation import ValidationError
+
+from tests.conftest import build_mixed_net, build_uniform_net
+
+
+@pytest.fixture(scope="module")
+def long_net(tech):
+    return build_uniform_net(tech, length_um=16000.0, segments=8, name="long")
+
+
+def _initial(net, count, width=160.0):
+    positions = [net.total_length * (i + 1) / (count + 1) for i in range(count)]
+    return InsertionSolution.from_lists(positions, [width] * count)
+
+
+def test_refine_meets_timing_and_reduces_width(tech, long_net):
+    target = 0.75 * unbuffered_net_delay(long_net, tech)
+    initial = _initial(long_net, 3)
+    result = Refine(tech).run(long_net, initial, target)
+    assert result.feasible
+    assert result.total_width < initial.total_width
+    recomputed = buffered_net_delay(
+        long_net, tech, result.solution.positions, result.solution.widths
+    )
+    assert recomputed == pytest.approx(result.delay)
+    assert recomputed <= target * (1.0 + 1e-6)
+
+
+def test_refine_keeps_repeater_count(tech, long_net):
+    target = 0.8 * unbuffered_net_delay(long_net, tech)
+    initial = _initial(long_net, 4)
+    result = Refine(tech).run(long_net, initial, target)
+    assert result.solution.num_repeaters == 4
+
+
+def test_refine_width_history_is_recorded_and_improving(tech, long_net):
+    target = 0.7 * unbuffered_net_delay(long_net, tech)
+    result = Refine(tech).run(long_net, _initial(long_net, 3), target)
+    history = result.width_history
+    assert len(history) >= 1
+    assert min(history) == pytest.approx(result.total_width, rel=1e-9)
+
+
+def test_refine_moves_repeaters_towards_balance(tech, long_net):
+    # Start from badly clustered repeaters; REFINE should spread them and use
+    # less total width than sizing the clustered positions alone would need.
+    target = 0.85 * unbuffered_net_delay(long_net, tech)
+    clustered = InsertionSolution.from_lists(
+        [0.3 * long_net.total_length, 0.35 * long_net.total_length], [200.0, 200.0]
+    )
+    refined = Refine(tech).run(long_net, clustered, target)
+    solver_only = Refine(
+        tech, config=RefineConfig(max_iterations=1, movement_step=1e-9)
+    ).run(long_net, clustered, target)
+    assert refined.feasible and solver_only.feasible
+    assert refined.total_width <= solver_only.total_width + 1e-9
+    assert refined.moves_applied > 0
+
+
+def test_refine_empty_initial_solution(tech, long_net):
+    loose = 2.0 * unbuffered_net_delay(long_net, tech)
+    result = Refine(tech).run(long_net, InsertionSolution.empty(), loose)
+    assert result.solution.num_repeaters == 0
+    assert result.feasible
+
+
+def test_refine_infeasible_target_reported(tech, long_net):
+    result = Refine(tech).run(long_net, _initial(long_net, 1), 1e-12)
+    assert not result.feasible
+
+
+def test_refine_respects_forbidden_zone(tech):
+    zone = ForbiddenZone(from_microns(4000.0), from_microns(7000.0))
+    net = build_mixed_net(tech, zones=(zone,))
+    target = 0.8 * unbuffered_net_delay(net, tech)
+    initial = InsertionSolution.from_lists(
+        [from_microns(3900.0), from_microns(7100.0)], [160.0, 160.0]
+    )
+    result = Refine(tech).run(net, initial, target)
+    for position in result.solution.positions:
+        assert not zone.contains(position)
+
+
+def test_refine_zone_crossing_can_be_disabled(tech):
+    zone = ForbiddenZone(from_microns(4000.0), from_microns(7000.0))
+    net = build_mixed_net(tech, zones=(zone,))
+    target = 0.85 * unbuffered_net_delay(net, tech)
+    initial = InsertionSolution.from_lists([from_microns(3800.0)], [160.0])
+    literal = Refine(tech, config=RefineConfig(allow_zone_crossing=False)).run(
+        net, initial, target
+    )
+    extended = Refine(tech, config=RefineConfig(allow_zone_crossing=True)).run(
+        net, initial, target
+    )
+    # The literal paper variant can never end up past the zone.
+    assert all(p <= zone.start + 1e-9 for p in literal.solution.positions)
+    # The extension is never worse.
+    assert extended.total_width <= literal.total_width + 1e-9
+
+
+def test_refine_config_validation():
+    with pytest.raises(ValidationError):
+        RefineConfig(movement_step=0.0)
+    with pytest.raises(ValidationError):
+        RefineConfig(max_iterations=0)
+
+
+def test_refine_rejects_non_positive_target(tech, long_net):
+    with pytest.raises(ValidationError):
+        Refine(tech).run(long_net, _initial(long_net, 1), 0.0)
+
+
+def test_refine_initial_positions_are_legalised(tech):
+    zone = ForbiddenZone(from_microns(4000.0), from_microns(7000.0))
+    net = build_mixed_net(tech, zones=(zone,))
+    target = 0.9 * unbuffered_net_delay(net, tech)
+    initial = InsertionSolution.from_lists([zone.center], [120.0])
+    result = Refine(tech).run(net, initial, target)
+    assert all(not zone.contains(p) for p in result.solution.positions)

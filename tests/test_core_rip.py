@@ -1,0 +1,150 @@
+"""Tests for the hybrid RIP flow."""
+
+import pytest
+
+from repro.core.rip import Rip, RipConfig
+from repro.delay.elmore import buffered_net_delay
+from repro.dp.candidates import uniform_candidates
+from repro.dp.powerdp import PowerAwareDp
+from repro.dp.vanginneken import DelayOptimalDp
+from repro.net.generator import RandomNetGenerator
+from repro.tech.library import RepeaterLibrary
+from repro.utils.units import from_microns
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def rip(tech):
+    return Rip(tech)
+
+
+@pytest.fixture(scope="module")
+def sample_net(tech):
+    return RandomNetGenerator(tech, seed=1234).generate()
+
+
+@pytest.fixture(scope="module")
+def tau_min(tech, sample_net):
+    return DelayOptimalDp(tech).minimum_delay(
+        sample_net,
+        RepeaterLibrary.uniform(10.0, 400.0, 10.0),
+        uniform_candidates(sample_net, from_microns(50.0)),
+    )
+
+
+def test_rip_meets_timing_across_targets(tech, rip, sample_net, tau_min):
+    prepared = rip.prepare(sample_net)
+    for factor in (1.05, 1.2, 1.5, 2.0):
+        result = rip.run_prepared(prepared, factor * tau_min)
+        assert result.feasible, f"RIP violated timing at {factor} x tau_min"
+        recomputed = buffered_net_delay(
+            sample_net, tech, result.solution.positions, result.solution.widths
+        )
+        assert recomputed <= factor * tau_min * (1.0 + 1e-9)
+        assert recomputed == pytest.approx(result.delay)
+
+
+def test_rip_solutions_are_legal(tech, rip, sample_net, tau_min):
+    result = rip.run(sample_net, 1.3 * tau_min)
+    assert result.metrics.legal
+    for position in result.solution.positions:
+        assert sample_net.is_legal_position(position)
+
+
+def test_rip_widths_come_from_final_library(rip, sample_net, tau_min):
+    result = rip.run(sample_net, 1.25 * tau_min)
+    for width in result.solution.widths:
+        assert width in result.final_library
+
+
+def test_rip_looser_target_never_needs_more_power(rip, sample_net, tau_min):
+    prepared = rip.prepare(sample_net)
+    widths = [
+        rip.run_prepared(prepared, factor * tau_min).total_width
+        for factor in (1.1, 1.4, 1.8)
+    ]
+    assert widths[0] >= widths[1] >= widths[2]
+
+
+def test_rip_not_worse_than_coarse_dp(tech, rip, sample_net, tau_min):
+    # The whole point of the hybrid: the final solution should not be more
+    # expensive than the coarse-library DP solution it started from.
+    prepared = rip.prepare(sample_net)
+    for factor in (1.1, 1.3, 1.6, 2.0):
+        target = factor * tau_min
+        result = rip.run_prepared(prepared, target)
+        coarse_point = prepared.coarse_result.best_for_delay(target)
+        if coarse_point is None:
+            continue
+        assert result.total_width <= coarse_point.total_width + 1e-9
+
+
+def test_rip_competitive_with_fine_dp(tech, rip, sample_net, tau_min):
+    # Against the fine-granularity baseline RIP should be within a few
+    # percent (the paper reports RIP slightly *better* on average at g=10u).
+    dp = PowerAwareDp(tech)
+    library = RepeaterLibrary.uniform(10.0, 400.0, 10.0)
+    frontier = dp.run(sample_net, library, uniform_candidates(sample_net, from_microns(200.0)))
+    prepared = rip.prepare(sample_net)
+    for factor in (1.2, 1.5, 1.9):
+        target = factor * tau_min
+        dp_point = frontier.best_for_delay(target)
+        result = rip.run_prepared(prepared, target)
+        if dp_point is None:
+            assert result.feasible
+            continue
+        if dp_point.total_width == 0.0:
+            assert result.total_width == 0.0
+            continue
+        assert result.total_width <= 1.35 * dp_point.total_width
+
+
+def test_rip_reports_runtime_and_intermediate_artifacts(rip, sample_net, tau_min):
+    result = rip.run(sample_net, 1.3 * tau_min)
+    assert result.runtime_seconds > 0.0
+    assert result.refined.solution.num_repeaters == result.refined.solution.num_repeaters
+    assert len(result.final_candidates) >= result.solution.num_repeaters
+    assert result.coarse_solution is not None
+
+
+def test_rip_prepare_is_reused(rip, sample_net, tau_min):
+    prepared = rip.prepare(sample_net)
+    first = rip.run_prepared(prepared, 1.4 * tau_min)
+    second = rip.run_prepared(prepared, 1.4 * tau_min)
+    assert first.total_width == pytest.approx(second.total_width)
+    assert first.solution.positions == second.solution.positions
+
+
+def test_rip_impossible_target_flagged_infeasible(rip, sample_net):
+    result = rip.run(sample_net, 1e-12)
+    assert not result.feasible
+    assert result.metrics.meets_timing is False
+
+
+def test_rip_config_validation():
+    with pytest.raises(ValidationError):
+        RipConfig(coarse_pitch=0.0)
+    with pytest.raises(ValidationError):
+        RipConfig(location_window=-1)
+
+
+def test_rip_literal_paper_config_still_works(tech, sample_net, tau_min):
+    literal = Rip(
+        tech,
+        RipConfig(library_neighbor_steps=0),
+    )
+    result = literal.run(sample_net, 1.4 * tau_min)
+    assert result.delay <= 1.4 * tau_min * (1.0 + 1e-9) or not result.feasible
+
+
+def test_rip_zoned_net_keeps_repeaters_out_of_zone(tech, rip):
+    net = RandomNetGenerator(tech, seed=77).generate()
+    assert net.forbidden_zones
+    tau = DelayOptimalDp(tech).minimum_delay(
+        net,
+        RepeaterLibrary.uniform(10.0, 400.0, 10.0),
+        uniform_candidates(net, from_microns(50.0)),
+    )
+    result = rip.run(net, 1.2 * tau)
+    zone = net.forbidden_zones[0]
+    assert all(not zone.contains(p) for p in result.solution.positions)

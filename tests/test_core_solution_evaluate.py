@@ -1,0 +1,115 @@
+"""Tests for the solution container and the evaluator."""
+
+import pytest
+
+from repro.core.evaluate import evaluate_solution, solution_delay
+from repro.core.solution import InsertionSolution
+from repro.delay.elmore import buffered_net_delay
+from repro.dp.state import DpSolution
+from repro.utils.validation import ValidationError
+
+
+def test_solution_sorting_in_from_lists():
+    solution = InsertionSolution.from_lists([3e-3, 1e-3], [40.0, 80.0])
+    assert solution.positions == (1e-3, 3e-3)
+    assert solution.widths == (80.0, 40.0)
+
+
+def test_solution_total_width_and_count():
+    solution = InsertionSolution.from_lists([1e-3, 2e-3], [80.0, 40.0])
+    assert solution.total_width == pytest.approx(120.0)
+    assert solution.num_repeaters == 2
+
+
+def test_empty_solution():
+    solution = InsertionSolution.empty()
+    assert solution.num_repeaters == 0
+    assert solution.total_width == 0.0
+    assert "no repeaters" in solution.describe()
+
+
+def test_solution_from_dp_round_trip():
+    dp = DpSolution.from_lists([1e-3], [64.0], delay=1e-9, total_width=64.0)
+    solution = InsertionSolution.from_dp(dp)
+    assert solution.positions == dp.positions
+    assert solution.widths == dp.widths
+
+
+def test_solution_with_widths_and_positions():
+    solution = InsertionSolution.from_lists([1e-3, 2e-3], [80.0, 40.0])
+    rewidthed = solution.with_widths([10.0, 20.0])
+    assert rewidthed.positions == solution.positions
+    assert rewidthed.widths == (10.0, 20.0)
+    moved = solution.with_positions([2.5e-3, 0.5e-3])
+    assert moved.positions == (0.5e-3, 2.5e-3)
+
+
+def test_solution_rejects_unsorted_positions():
+    with pytest.raises(ValidationError):
+        InsertionSolution(positions=(2e-3, 1e-3), widths=(10.0, 10.0))
+
+
+def test_solution_rejects_mismatched_lengths():
+    with pytest.raises(ValidationError):
+        InsertionSolution(positions=(1e-3,), widths=())
+
+
+def test_solution_rejects_non_positive_width():
+    with pytest.raises(ValidationError):
+        InsertionSolution(positions=(1e-3,), widths=(0.0,))
+
+
+def test_solution_legalized_moves_out_of_zone(tech, zoned_net):
+    zone = zoned_net.forbidden_zones[0]
+    solution = InsertionSolution.from_lists([zone.center], [50.0])
+    legal = solution.legalized(zoned_net)
+    assert zoned_net.is_legal_position(legal.positions[0])
+
+
+def test_describe_mentions_widths():
+    solution = InsertionSolution.from_lists([1e-3], [42.0])
+    assert "42.0u" in solution.describe()
+
+
+# --------------------------------------------------------------------------- #
+# evaluator
+# --------------------------------------------------------------------------- #
+def test_evaluate_solution_matches_delay_model(tech, mixed_net):
+    solution = InsertionSolution.from_lists(
+        [0.3 * mixed_net.total_length, 0.7 * mixed_net.total_length], [100.0, 80.0]
+    )
+    metrics = evaluate_solution(mixed_net, tech, solution)
+    expected_delay = buffered_net_delay(mixed_net, tech, solution.positions, solution.widths)
+    assert metrics.delay == pytest.approx(expected_delay)
+    assert metrics.total_width == pytest.approx(180.0)
+    assert metrics.num_repeaters == 2
+    assert metrics.repeater_power == pytest.approx(tech.repeater_power(180.0))
+    assert metrics.max_stage_delay <= metrics.delay
+    assert metrics.legal
+    assert metrics.timing_target is None and metrics.meets_timing is None
+
+
+def test_evaluate_solution_timing_check(tech, mixed_net):
+    solution = InsertionSolution.from_lists([0.5 * mixed_net.total_length], [100.0])
+    delay = solution_delay(mixed_net, tech, solution)
+    met = evaluate_solution(mixed_net, tech, solution, timing_target=2 * delay)
+    violated = evaluate_solution(mixed_net, tech, solution, timing_target=0.5 * delay)
+    assert met.meets_timing is True
+    assert met.slack == pytest.approx(delay)
+    assert violated.meets_timing is False
+    assert violated.slack < 0.0
+
+
+def test_evaluate_solution_flags_illegal_position(tech, zoned_net):
+    zone = zoned_net.forbidden_zones[0]
+    solution = InsertionSolution.from_lists([zone.center], [60.0])
+    metrics = evaluate_solution(zoned_net, tech, solution)
+    assert not metrics.legal
+
+
+def test_evaluate_empty_solution(tech, mixed_net):
+    metrics = evaluate_solution(mixed_net, tech, InsertionSolution.empty())
+    assert metrics.num_repeaters == 0
+    assert metrics.total_width == 0.0
+    assert metrics.repeater_power == 0.0
+    assert metrics.legal

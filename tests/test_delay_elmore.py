@@ -1,0 +1,100 @@
+"""Tests for the buffered-net Elmore delay (Eq. 2)."""
+
+import pytest
+
+from repro.delay.elmore import (
+    ElmoreDelayModel,
+    buffered_net_delay,
+    stage_delays,
+    unbuffered_net_delay,
+)
+from repro.utils.validation import ValidationError
+
+
+def test_unbuffered_delay_closed_form(tech, uniform_net):
+    # For a uniform wire: tau = Rs*Cp + Rs/wd*(C + Co*wr) + R*Co*wr + R*C/2.
+    repeater = tech.repeater
+    resistance = uniform_net.total_resistance
+    capacitance = uniform_net.total_capacitance
+    load = repeater.input_capacitance(uniform_net.receiver_width)
+    expected = (
+        repeater.intrinsic_delay
+        + repeater.drive_resistance(uniform_net.driver_width) * (capacitance + load)
+        + resistance * load
+        + 0.5 * resistance * capacitance
+    )
+    assert unbuffered_net_delay(uniform_net, tech) == pytest.approx(expected)
+
+
+def test_stage_delays_sum_to_total(tech, mixed_net):
+    positions = [0.3 * mixed_net.total_length, 0.7 * mixed_net.total_length]
+    widths = [120.0, 90.0]
+    per_stage = stage_delays(mixed_net, tech, positions, widths)
+    assert len(per_stage) == 3
+    assert sum(per_stage) == pytest.approx(
+        buffered_net_delay(mixed_net, tech, positions, widths)
+    )
+
+
+def test_no_repeaters_equals_unbuffered(tech, mixed_net):
+    assert buffered_net_delay(mixed_net, tech, [], []) == pytest.approx(
+        unbuffered_net_delay(mixed_net, tech)
+    )
+
+
+def test_well_placed_repeater_reduces_delay(tech, uniform_net):
+    # A long uniform net benefits from one optimally sized repeater at midpoint.
+    buffered = buffered_net_delay(
+        uniform_net, tech, [0.5 * uniform_net.total_length], [150.0]
+    )
+    assert buffered < unbuffered_net_delay(uniform_net, tech)
+
+
+def test_delay_positive_and_finite(tech, mixed_net):
+    delay = buffered_net_delay(mixed_net, tech, [0.4 * mixed_net.total_length], [80.0])
+    assert delay > 0.0
+
+
+def test_mismatched_lengths_rejected(tech, mixed_net):
+    with pytest.raises(ValidationError):
+        buffered_net_delay(mixed_net, tech, [1e-3], [])
+
+
+def test_unsorted_positions_rejected(tech, mixed_net):
+    with pytest.raises(ValidationError):
+        buffered_net_delay(mixed_net, tech, [5e-3, 1e-3], [80.0, 80.0])
+
+
+def test_position_outside_net_rejected(tech, mixed_net):
+    with pytest.raises(ValidationError):
+        buffered_net_delay(mixed_net, tech, [mixed_net.total_length * 2], [80.0])
+
+
+def test_zero_width_rejected(tech, mixed_net):
+    with pytest.raises(ValidationError):
+        buffered_net_delay(mixed_net, tech, [1e-3], [0.0])
+
+
+def test_delay_model_facade_matches_functions(tech, mixed_net):
+    model = ElmoreDelayModel(tech)
+    positions, widths = [0.5 * mixed_net.total_length], [100.0]
+    assert model.net_delay(mixed_net, positions, widths) == pytest.approx(
+        buffered_net_delay(mixed_net, tech, positions, widths)
+    )
+    assert model.unbuffered_delay(mixed_net) == pytest.approx(
+        unbuffered_net_delay(mixed_net, tech)
+    )
+    assert model.stage_delays(mixed_net, positions, widths) == pytest.approx(
+        stage_delays(mixed_net, tech, positions, widths)
+    )
+    assert model.technology is tech
+
+
+def test_splitting_stage_at_boundary_preserves_total(tech, mixed_net):
+    """Inserting a 'virtual' cut (evaluating with a repeater exactly matching
+    the downstream load) is not expected to preserve delay, but evaluating the
+    same solution twice must be deterministic."""
+    positions, widths = [0.25 * mixed_net.total_length], [64.0]
+    first = buffered_net_delay(mixed_net, tech, positions, widths)
+    second = buffered_net_delay(mixed_net, tech, positions, widths)
+    assert first == second

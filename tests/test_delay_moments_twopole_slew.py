@@ -1,0 +1,107 @@
+"""Tests for moment computation, two-pole/D2M metrics and slew estimates."""
+
+import math
+
+import pytest
+
+from repro.delay.elmore import unbuffered_net_delay
+from repro.delay.moments import discretize_net, ladder_moments, net_transfer_moments
+from repro.delay.slew import LN9, elmore_slew, stage_output_slew
+from repro.delay.twopole import d2m_delay, two_pole_delay
+from repro.utils.validation import ValidationError
+
+
+def test_single_rc_moments_exact():
+    # One resistor R into one capacitor C: m1 = -RC, m2 = (RC)^2.
+    r, c = 1000.0, 1e-12
+    m1, m2 = ladder_moments([r], [c], order=2)
+    assert m1 == pytest.approx(-r * c)
+    assert m2 == pytest.approx((r * c) ** 2)
+
+
+def test_two_stage_ladder_m1_is_minus_elmore():
+    resistances = [100.0, 200.0]
+    capacitances = [1e-12, 2e-12]
+    m1 = ladder_moments(resistances, capacitances, order=1)[0]
+    elmore = 100.0 * (1e-12 + 2e-12) + 200.0 * 2e-12
+    assert m1 == pytest.approx(-elmore)
+
+
+def test_empty_ladder_gives_zero_moments():
+    assert ladder_moments([], [], order=3) == [0.0, 0.0, 0.0]
+
+
+def test_mismatched_lists_rejected():
+    with pytest.raises(ValidationError):
+        ladder_moments([1.0], [], order=1)
+
+
+def test_net_moments_m1_tracks_elmore(tech, mixed_net):
+    # The first moment of the discretised net approaches (minus) the exact
+    # pi-model Elmore delay as the discretisation refines.
+    moments = net_transfer_moments(mixed_net, tech, order=1, lumps_per_segment=50)
+    exact = unbuffered_net_delay(mixed_net, tech)
+    assert -moments[0] == pytest.approx(exact, rel=0.02)
+
+
+def test_discretize_net_totals(tech, mixed_net):
+    resistances, capacitances = discretize_net(mixed_net, tech, lumps_per_segment=7)
+    wire_resistance = sum(resistances[1:])  # first entry is the driver
+    assert wire_resistance == pytest.approx(mixed_net.total_resistance)
+    receiver_cap = tech.repeater.input_capacitance(mixed_net.receiver_width)
+    driver_cap = tech.repeater.output_capacitance(mixed_net.driver_width)
+    assert sum(capacitances) == pytest.approx(
+        mixed_net.total_capacitance + receiver_cap + driver_cap
+    )
+
+
+def test_d2m_below_elmore_for_rc_line():
+    # For a distributed line D2M is known to be smaller than the Elmore delay.
+    resistances = [10.0] * 50
+    capacitances = [1e-13] * 50
+    m1, m2 = ladder_moments(resistances, capacitances, order=2)
+    assert d2m_delay(m1, m2) < -m1
+
+
+def test_d2m_rejects_positive_m1():
+    with pytest.raises(ValidationError):
+        d2m_delay(1.0, 1.0)
+
+
+def test_two_pole_single_rc_matches_log2():
+    # A single-pole circuit: the two-pole fit degenerates and the 50% delay
+    # is ln(2) * RC.
+    r, c = 1000.0, 1e-12
+    m1, m2 = ladder_moments([r], [c], order=2)
+    assert two_pole_delay(m1, m2) == pytest.approx(math.log(2.0) * r * c, rel=1e-6)
+
+
+def test_two_pole_delay_monotone_in_threshold():
+    resistances = [10.0] * 20
+    capacitances = [1e-13] * 20
+    m1, m2 = ladder_moments(resistances, capacitances, order=2)
+    assert two_pole_delay(m1, m2, threshold=0.9) > two_pole_delay(m1, m2, threshold=0.5)
+
+
+def test_two_pole_between_zero_and_elmore():
+    resistances = [5.0, 15.0, 25.0]
+    capacitances = [2e-13, 1e-13, 3e-13]
+    m1, m2 = ladder_moments(resistances, capacitances, order=2)
+    delay = two_pole_delay(m1, m2)
+    assert 0.0 < delay < -m1
+
+
+def test_elmore_slew_constant():
+    assert elmore_slew(1e-10) == pytest.approx(LN9 * 1e-10)
+
+
+def test_slew_non_negative_input():
+    with pytest.raises(ValidationError):
+        elmore_slew(-1.0)
+
+
+def test_stage_output_slew_scales_with_wire(tech):
+    repeater = tech.repeater
+    short = stage_output_slew(repeater, 100.0, [(4.0e4, 2.0e-10, 1e-3)], 1e-14)
+    long = stage_output_slew(repeater, 100.0, [(4.0e4, 2.0e-10, 4e-3)], 1e-14)
+    assert long > short

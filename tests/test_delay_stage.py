@@ -1,0 +1,81 @@
+"""Tests for the single-stage Elmore delay (Eq. 1)."""
+
+import pytest
+
+from repro.delay.stage import stage_delay, stage_delay_breakdown, wire_elmore_delay
+from repro.tech.repeater import RepeaterParameters
+
+
+@pytest.fixture
+def repeater():
+    return RepeaterParameters(9000.0, 1.8e-15, 1.6e-15)
+
+
+def test_wire_elmore_single_lump():
+    # One piece: R * (C/2 + load)
+    pieces = [(1.0e5, 2.0e-10, 1e-3)]
+    resistance, capacitance = 1.0e5 * 1e-3, 2.0e-10 * 1e-3
+    load = 5e-15
+    assert wire_elmore_delay(pieces, load) == pytest.approx(
+        resistance * (0.5 * capacitance + load)
+    )
+
+
+def test_wire_elmore_zero_for_empty_wire():
+    assert wire_elmore_delay([], 1e-15) == 0.0
+
+
+def test_wire_elmore_splitting_a_piece_changes_nothing():
+    whole = [(1.0e5, 2.0e-10, 2e-3)]
+    halves = [(1.0e5, 2.0e-10, 1e-3), (1.0e5, 2.0e-10, 1e-3)]
+    load = 10e-15
+    # Both are discretisations of the same uniform wire; the pi-ladder Elmore
+    # value is identical because the formula integrates r(x) * C_downstream(x).
+    assert wire_elmore_delay(halves, load) == pytest.approx(wire_elmore_delay(whole, load))
+
+
+def test_wire_elmore_increases_with_load():
+    pieces = [(1.0e5, 2.0e-10, 1e-3)]
+    assert wire_elmore_delay(pieces, 2e-15) > wire_elmore_delay(pieces, 1e-15)
+
+
+def test_stage_breakdown_matches_equation_terms(repeater):
+    pieces = [(4.0e4, 2.0e-10, 2e-3), (3.0e4, 2.1e-10, 1e-3)]
+    width = 100.0
+    load = repeater.input_capacitance(80.0)
+    breakdown = stage_delay_breakdown(repeater, width, pieces, load)
+
+    wire_cap = sum(c * l for _, c, l in pieces)
+    wire_res = sum(r * l for r, _, l in pieces)
+    assert breakdown.intrinsic == pytest.approx(repeater.intrinsic_delay)
+    assert breakdown.drive == pytest.approx((9000.0 / width) * (wire_cap + load))
+    assert breakdown.wire_to_load == pytest.approx(wire_res * load)
+    assert breakdown.total == pytest.approx(stage_delay(repeater, width, pieces, load))
+
+
+def test_stage_delay_without_intrinsic(repeater):
+    pieces = [(4.0e4, 2.0e-10, 1e-3)]
+    with_i = stage_delay(repeater, 50.0, pieces, 1e-15, include_intrinsic=True)
+    without_i = stage_delay(repeater, 50.0, pieces, 1e-15, include_intrinsic=False)
+    assert with_i - without_i == pytest.approx(repeater.intrinsic_delay)
+
+
+def test_stage_delay_decreases_with_driver_width(repeater):
+    pieces = [(4.0e4, 2.0e-10, 2e-3)]
+    load = 50e-15
+    delays = [stage_delay(repeater, w, pieces, load) for w in (10.0, 50.0, 200.0)]
+    assert delays[0] > delays[1] > delays[2]
+
+
+def test_stage_delay_increases_with_load(repeater):
+    pieces = [(4.0e4, 2.0e-10, 2e-3)]
+    assert stage_delay(repeater, 50.0, pieces, 100e-15) > stage_delay(
+        repeater, 50.0, pieces, 10e-15
+    )
+
+
+def test_stage_delay_back_to_back_repeaters(repeater):
+    # No wire at all: delay = Rs*Cp + Rs/w * Cload.
+    load = repeater.input_capacitance(60.0)
+    expected = repeater.intrinsic_delay + repeater.drive_resistance(40.0) * load
+    assert stage_delay(repeater, 40.0, [], load) == pytest.approx(expected)

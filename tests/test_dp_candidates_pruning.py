@@ -1,0 +1,128 @@
+"""Tests for candidate-location generation and DP dominance pruning."""
+
+import numpy as np
+import pytest
+
+from repro.dp.candidates import merge_candidates, uniform_candidates, window_candidates
+from repro.dp.pruning import PruningConfig, prune_states, prune_two_dimensional
+from repro.utils.units import from_microns
+from repro.utils.validation import ValidationError
+
+
+def test_uniform_candidates_pitch_and_bounds(mixed_net):
+    pitch = from_microns(200.0)
+    candidates = uniform_candidates(mixed_net, pitch)
+    assert candidates[0] == pytest.approx(pitch)
+    assert candidates[-1] < mixed_net.total_length
+    diffs = np.diff(candidates)
+    assert np.allclose(diffs, pitch)
+
+
+def test_uniform_candidates_skip_zones(zoned_net):
+    zone = zoned_net.forbidden_zones[0]
+    candidates = uniform_candidates(zoned_net, from_microns(200.0))
+    assert all(not zone.contains(c) for c in candidates)
+
+
+def test_window_candidates_centered_and_legal(zoned_net):
+    centers = [0.25 * zoned_net.total_length]
+    candidates = window_candidates(zoned_net, centers, window=5, pitch=from_microns(50.0))
+    assert len(candidates) <= 11
+    assert all(zoned_net.is_legal_position(c) for c in candidates)
+    assert any(abs(c - centers[0]) < 1e-12 for c in candidates)
+
+
+def test_window_candidates_merge_overlapping_windows(mixed_net):
+    centers = [1e-3, 1e-3 + from_microns(50.0)]
+    candidates = window_candidates(mixed_net, centers, window=2, pitch=from_microns(50.0))
+    assert len(candidates) == len(set(round(c, 12) for c in candidates))
+    assert candidates == sorted(candidates)
+
+
+def test_window_candidates_exclude_centers_option(mixed_net):
+    center = 2e-3
+    candidates = window_candidates(
+        mixed_net, [center], window=1, pitch=from_microns(50.0), include_centers=False
+    )
+    assert all(abs(c - center) > 1e-12 for c in candidates)
+
+
+def test_merge_candidates_dedups_within_tolerance():
+    merged = merge_candidates([1.0, 1.0 + 1e-12, 2.0], tolerance=1e-9)
+    assert merged == [1.0, 2.0]
+
+
+def test_uniform_candidates_rejects_bad_pitch(mixed_net):
+    with pytest.raises(ValidationError):
+        uniform_candidates(mixed_net, 0.0)
+
+
+# --------------------------------------------------------------------------- #
+# pruning
+# --------------------------------------------------------------------------- #
+def _as_arrays(points):
+    caps = np.array([p[0] for p in points])
+    delays = np.array([p[1] for p in points])
+    widths = np.array([p[2] for p in points])
+    return caps, delays, widths
+
+
+def test_prune_states_removes_dominated():
+    points = [(1.0, 1.0, 1.0), (2.0, 2.0, 2.0), (0.5, 3.0, 0.5)]
+    caps, delays, widths = _as_arrays(points)
+    kept = prune_states(caps, delays, widths, PruningConfig())
+    kept_points = {tuple(points[i]) for i in kept}
+    assert (2.0, 2.0, 2.0) not in kept_points
+    assert (1.0, 1.0, 1.0) in kept_points
+    assert (0.5, 3.0, 0.5) in kept_points
+
+
+def test_prune_states_full_not_weaker_than_bucket():
+    rng = np.random.default_rng(0)
+    caps = rng.uniform(1e-15, 1e-12, 300)
+    delays = rng.uniform(1e-12, 1e-9, 300)
+    widths = rng.choice([10.0, 20.0, 30.0, 40.0], 300).astype(float)
+    full = prune_states(caps, delays, widths, PruningConfig(strategy="full"))
+    bucket = prune_states(caps, delays, widths, PruningConfig(strategy="bucket"))
+    assert len(full) <= len(bucket)
+    # every full survivor must also survive bucket pruning
+    assert set(full.tolist()) <= set(bucket.tolist())
+
+
+def test_prune_states_never_removes_unique_minima():
+    rng = np.random.default_rng(1)
+    caps = rng.uniform(1e-15, 1e-12, 200)
+    delays = rng.uniform(1e-12, 1e-9, 200)
+    widths = rng.uniform(10.0, 400.0, 200)
+    kept = set(prune_states(caps, delays, widths, PruningConfig()).tolist())
+    assert int(np.argmin(delays)) in kept
+    assert int(np.argmin(widths)) in kept or any(
+        widths[k] <= widths[int(np.argmin(widths))] + 1e-9 for k in kept
+    )
+
+
+def test_prune_states_empty_input():
+    empty = np.empty(0)
+    assert len(prune_states(empty, empty, empty, PruningConfig())) == 0
+
+
+def test_prune_states_identical_states_collapse():
+    caps = np.array([1.0, 1.0, 1.0])
+    delays = np.array([2.0, 2.0, 2.0])
+    widths = np.array([3.0, 3.0, 3.0])
+    assert len(prune_states(caps, delays, widths, PruningConfig())) == 1
+
+
+def test_pruning_config_rejects_unknown_strategy():
+    with pytest.raises(ValidationError):
+        PruningConfig(strategy="magic")
+
+
+def test_prune_two_dimensional_is_pareto():
+    caps = np.array([1.0, 2.0, 3.0, 1.5])
+    delays = np.array([4.0, 3.0, 1.0, 5.0])
+    kept = prune_two_dimensional(caps, delays)
+    kept_set = {(caps[i], delays[i]) for i in kept}
+    assert (1.5, 5.0) not in kept_set  # dominated by (1.0, 4.0)
+    assert (1.0, 4.0) in kept_set
+    assert (3.0, 1.0) in kept_set

@@ -1,0 +1,215 @@
+"""Tests for the experiment harness (protocol, Table 1/2, Figure 7, reports).
+
+The experiments are run with deliberately tiny populations so the whole file
+stays fast; the full-size reproductions live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments.figure7 import Figure7Config, run_figure7
+from repro.experiments.protocol import (
+    ExperimentProtocol,
+    ProtocolConfig,
+    mean,
+    savings_percent,
+    timing_targets,
+)
+from repro.experiments.report import (
+    FIGURE7_HEADERS,
+    TABLE2_HEADERS,
+    figure7_rows,
+    format_figure7,
+    format_table,
+    format_table1,
+    format_table2,
+    table1_headers,
+    table1_rows,
+    table2_rows,
+    to_csv,
+)
+from repro.experiments.table1 import Table1Config, run_table1
+from repro.experiments.table2 import Table2Config, run_table2
+from repro.utils.validation import ValidationError
+
+
+TINY = ProtocolConfig(num_nets=2, targets_per_net=5, seed=7)
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return run_table1(Table1Config(protocol=TINY))
+
+
+@pytest.fixture(scope="module")
+def table2_result():
+    return run_table2(
+        Table2Config(protocol=TINY, granularities=(40.0, 20.0))
+    )
+
+
+@pytest.fixture(scope="module")
+def figure7_result():
+    return run_figure7(Figure7Config(protocol=TINY, num_points=6))
+
+
+# --------------------------------------------------------------------------- #
+# protocol helpers
+# --------------------------------------------------------------------------- #
+def test_timing_targets_span_and_count():
+    targets = timing_targets(1.0e-9, count=20, min_factor=1.05, max_factor=2.05)
+    assert len(targets) == 20
+    assert targets[0] == pytest.approx(1.05e-9)
+    assert targets[-1] == pytest.approx(2.05e-9)
+    assert list(targets) == sorted(targets)
+
+
+def test_timing_targets_single_point():
+    assert timing_targets(2.0e-9, count=1) == (pytest.approx(2.1e-9),)
+
+
+def test_timing_targets_validation():
+    with pytest.raises(ValidationError):
+        timing_targets(1e-9, count=0)
+    with pytest.raises(ValidationError):
+        timing_targets(1e-9, min_factor=2.0, max_factor=1.0)
+
+
+def test_savings_percent_regular_and_degenerate():
+    assert savings_percent(100.0, 80.0) == pytest.approx(20.0)
+    assert savings_percent(100.0, 120.0) == pytest.approx(-20.0)
+    assert savings_percent(0.0, 0.0) == 0.0
+    assert savings_percent(0.0, 10.0) == -100.0
+
+
+def test_mean_empty_is_zero():
+    assert mean([]) == 0.0
+    assert mean([2.0, 4.0]) == 3.0
+
+
+def test_protocol_builds_cases_with_tau_min(tech):
+    protocol = ExperimentProtocol(TINY)
+    cases = protocol.cases()
+    assert len(cases) == TINY.num_nets
+    for case in cases:
+        assert case.tau_min > 0.0
+        assert len(case.targets) == TINY.targets_per_net
+        assert case.targets[0] == pytest.approx(1.05 * case.tau_min)
+        assert len(case.candidates) > 0
+    # cached
+    assert protocol.cases() is cases
+
+
+# --------------------------------------------------------------------------- #
+# Table 1
+# --------------------------------------------------------------------------- #
+def test_table1_structure(table1_result):
+    assert len(table1_result.rows) == TINY.num_nets
+    assert table1_result.granularities == (10.0, 20.0, 40.0)
+    for row in table1_result.rows:
+        assert set(row.delta_max) == {10.0, 20.0, 40.0}
+        assert 0 <= row.violations[10.0] <= TINY.targets_per_net
+        assert row.rip_violations == 0, "RIP must always meet timing"
+
+
+def test_table1_rip_never_loses_on_average_to_coarse_baselines(table1_result):
+    # The coarser the baseline library, the larger RIP's mean saving.
+    assert (
+        table1_result.average_delta_mean[40.0]
+        >= table1_result.average_delta_mean[20.0] - 1e-9
+    )
+
+
+def test_table1_delta_max_at_least_delta_mean(table1_result):
+    for row in table1_result.rows:
+        for granularity in (20.0, 40.0):
+            assert row.delta_max[granularity] >= row.delta_mean[granularity] - 1e-9
+
+
+def test_table1_report_formatting(table1_result):
+    text = format_table1(table1_result)
+    assert "dMax" in text and "Ave" in text
+    rows = table1_rows(table1_result)
+    headers = table1_headers(table1_result)
+    assert len(rows) == len(table1_result.rows) + 1
+    assert all(len(row) == len(headers) for row in rows)
+    csv = to_csv(headers, rows)
+    assert csv.count("\n") == len(rows) + 1
+
+
+# --------------------------------------------------------------------------- #
+# Table 2
+# --------------------------------------------------------------------------- #
+def test_table2_structure(table2_result):
+    assert [row.granularity for row in table2_result.rows] == [40.0, 20.0]
+    for row in table2_result.rows:
+        assert row.library_size >= 10
+        assert row.dp_runtime_seconds > 0.0
+        assert row.rip_runtime_seconds > 0.0
+        assert row.speedup == pytest.approx(
+            row.dp_runtime_seconds / row.rip_runtime_seconds
+        )
+
+
+def test_table2_dp_runtime_grows_as_granularity_shrinks(table2_result):
+    coarse, fine = table2_result.rows
+    assert fine.dp_runtime_seconds > coarse.dp_runtime_seconds
+
+
+def test_table2_savings_shrink_as_granularity_shrinks(table2_result):
+    coarse, fine = table2_result.rows
+    assert fine.average_saving_percent <= coarse.average_saving_percent + 1e-9
+
+
+def test_table2_report_formatting(table2_result):
+    text = format_table2(table2_result)
+    assert "Speedup" in text
+    rows = table2_rows(table2_result)
+    assert all(len(row) == len(TABLE2_HEADERS) for row in rows)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 7
+# --------------------------------------------------------------------------- #
+def test_figure7_structure(figure7_result):
+    assert set(figure7_result.series) == {10.0, 40.0}
+    for granularity, points in figure7_result.series.items():
+        assert len(points) == 6
+        factors = [point.target_factor for point in points]
+        assert factors == sorted(factors)
+        for point in points:
+            if point.dp_width is not None and point.rip_width is not None:
+                assert point.improvement_percent is not None
+
+
+def test_figure7_zone_counts_sum(figure7_result):
+    for granularity in figure7_result.series:
+        infeasible, better, other = figure7_result.zone_counts(granularity)
+        assert infeasible + better + other == 6
+
+
+def test_figure7_report_formatting(figure7_result):
+    text = format_figure7(figure7_result)
+    assert "Figure 7" in text
+    assert "zones" in text
+    rows = figure7_rows(figure7_result, 40.0)
+    assert all(len(row) == len(FIGURE7_HEADERS) for row in rows)
+
+
+def test_figure7_net_index_out_of_range():
+    with pytest.raises(ValidationError):
+        run_figure7(Figure7Config(protocol=TINY, net_index=99, num_points=3))
+
+
+# --------------------------------------------------------------------------- #
+# generic report helpers
+# --------------------------------------------------------------------------- #
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [[1, 2], [333, 4]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert len(set(len(line) for line in lines)) == 1  # all lines equal width
+
+
+def test_to_csv_escaping_free_content():
+    csv = to_csv(["x", "y"], [[1, 2]])
+    assert csv == "x,y\n1,2\n"

@@ -1,0 +1,135 @@
+"""Cross-module integration tests.
+
+These tie the layers together: the DP engines, the analytical solver, REFINE
+and RIP must all agree with the single Elmore evaluator, and the headline
+claim of the paper (RIP meets timing everywhere and saves power over
+coarse-granularity DP baselines) must hold on a small seeded population.
+"""
+
+import pytest
+
+from repro.analytical.width_solver import DualBisectionWidthSolver
+from repro.core.refine import Refine
+from repro.core.rip import Rip
+from repro.core.solution import InsertionSolution
+from repro.delay.elmore import buffered_net_delay, unbuffered_net_delay
+from repro.delay.moments import discretize_net, ladder_moments
+from repro.dp.candidates import uniform_candidates
+from repro.dp.powerdp import PowerAwareDp
+from repro.dp.vanginneken import DelayOptimalDp
+from repro.net.generator import RandomNetGenerator
+from repro.rc.simulate import simulate_ladder_step
+from repro.tech.library import RepeaterLibrary
+from repro.utils.units import from_microns
+
+
+@pytest.fixture(scope="module")
+def population(tech):
+    return RandomNetGenerator(tech, seed=314).generate_many(4)
+
+
+def test_rip_always_meets_timing_and_beats_coarse_dp_on_average(tech, population):
+    """The paper's headline behaviour on a small seeded population."""
+    rip = Rip(tech)
+    dp = PowerAwareDp(tech)
+    delay_dp = DelayOptimalDp(tech)
+    fine_library = RepeaterLibrary.uniform(10.0, 400.0, 10.0)
+    coarse_baseline = RepeaterLibrary.uniform_count(10.0, 40.0, 10)
+
+    savings = []
+    for net in population:
+        candidates = uniform_candidates(net, from_microns(200.0))
+        tau_min = delay_dp.minimum_delay(
+            net, fine_library, uniform_candidates(net, from_microns(50.0))
+        )
+        baseline = dp.run(net, coarse_baseline, candidates)
+        prepared = rip.prepare(net)
+        for factor in (1.1, 1.4, 1.7, 2.0):
+            target = factor * tau_min
+            result = rip.run_prepared(prepared, target)
+            assert result.feasible, f"RIP violated timing on {net.name} at {factor}x"
+            point = baseline.best_for_delay(target)
+            if point is not None and point.total_width > 0.0:
+                savings.append(
+                    (point.total_width - result.total_width) / point.total_width
+                )
+    assert savings, "expected at least one comparable design point"
+    assert sum(savings) / len(savings) > 0.0
+
+
+def test_refine_improves_or_matches_any_dp_start(tech, population):
+    """REFINE never returns something more power-hungry than the continuous
+    re-sizing of its own starting point, and always meets timing when the
+    start could."""
+    rip_dp = PowerAwareDp(tech)
+    refine = Refine(tech)
+    solver = DualBisectionWidthSolver(tech)
+    library = RepeaterLibrary.paper_coarse()
+    net = population[0]
+    candidates = uniform_candidates(net, from_microns(200.0))
+    frontier = rip_dp.run(net, library, candidates).frontier
+    target = 1.3 * frontier.min_delay()
+    start_point = frontier.best_for_delay(target)
+    assert start_point is not None
+    start = InsertionSolution.from_dp(start_point.solution)
+
+    sized_only = solver.solve(net, list(start.positions), target, initial_widths=start.widths)
+    refined = refine.run(net, start, target)
+    assert refined.feasible
+    assert refined.total_width <= sized_only.total_width + 1e-9
+    assert refined.delay <= target * (1.0 + 1e-9)
+
+
+def test_dp_solution_delays_match_transient_simulation_ordering(tech, population):
+    """The Elmore objective ranks designs consistently with a SPICE-like
+    transient simulation of the unbuffered nets (sanity of the substrate)."""
+    net_a, net_b = population[0], population[1]
+    elmore_a = unbuffered_net_delay(net_a, tech)
+    elmore_b = unbuffered_net_delay(net_b, tech)
+    measured = {}
+    for name, net, elmore in (("a", net_a, elmore_a), ("b", net_b, elmore_b)):
+        resistances, capacitances = discretize_net(net, tech, lumps_per_segment=20)
+        response = simulate_ladder_step(
+            resistances, capacitances, t_end=6.0 * elmore, steps=1500
+        )
+        measured[name] = response.delay_at(0.5)
+    assert (measured["a"] < measured["b"]) == (elmore_a < elmore_b)
+
+
+def test_moment_m1_matches_dp_wire_model(tech, population):
+    """-m1 of the discretised unbuffered net equals its Elmore delay, which
+    ties the moments substrate to the delay model the DP uses."""
+    net = population[2]
+    resistances, capacitances = discretize_net(net, tech, lumps_per_segment=60)
+    m1 = ladder_moments(resistances, capacitances, order=1)[0]
+    assert -m1 == pytest.approx(unbuffered_net_delay(net, tech), rel=0.02)
+
+
+def test_power_dp_beats_or_matches_delay_dp_width_at_loose_targets(tech, population):
+    """At loose targets the power DP must find designs no wider than the
+    delay-optimal one (which ignores power entirely)."""
+    dp = PowerAwareDp(tech)
+    delay_dp = DelayOptimalDp(tech)
+    library = RepeaterLibrary.uniform(40.0, 400.0, 40.0)
+    net = population[3]
+    candidates = uniform_candidates(net, from_microns(200.0))
+    fastest = delay_dp.run(net, library, candidates)
+    frontier = dp.run(net, library, candidates).frontier
+    loose = frontier.best_for_delay(1.5 * fastest.delay)
+    assert loose is not None
+    assert loose.total_width <= fastest.total_width
+
+
+def test_all_engines_agree_on_the_delay_of_a_shared_solution(tech, population):
+    """A solution produced by any engine evaluates to the same delay through
+    the public evaluator — there is exactly one delay model in the library."""
+    net = population[1]
+    library = RepeaterLibrary.uniform(40.0, 400.0, 80.0)
+    candidates = uniform_candidates(net, from_microns(400.0))
+    dp_point = PowerAwareDp(tech).run(net, library, candidates).frontier.points[0]
+    vg_solution = DelayOptimalDp(tech).run(net, library, candidates)
+    for positions, widths, claimed in (
+        (dp_point.solution.positions, dp_point.solution.widths, dp_point.delay),
+        (vg_solution.positions, vg_solution.widths, vg_solution.delay),
+    ):
+        assert buffered_net_delay(net, tech, positions, widths) == pytest.approx(claimed)

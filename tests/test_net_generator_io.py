@@ -1,0 +1,103 @@
+"""Tests for random net generation and net JSON I/O."""
+
+import pytest
+
+from repro.net.generator import NetGenerationConfig, RandomNetGenerator
+from repro.net.io import load_net, net_from_dict, net_to_dict, save_net
+from repro.utils.units import from_microns
+from repro.utils.validation import ValidationError
+
+
+def test_generator_respects_paper_statistics(tech):
+    config = NetGenerationConfig()
+    generator = RandomNetGenerator(tech, config=config, seed=11)
+    for net in generator.generate_many(20):
+        assert config.min_segments <= net.num_segments <= config.max_segments
+        for segment in net.segments:
+            assert config.min_segment_length <= segment.length <= config.max_segment_length
+            assert segment.layer in config.layers
+        assert len(net.forbidden_zones) == 1
+        zone = net.forbidden_zones[0]
+        fraction = zone.length / net.total_length
+        assert config.min_zone_fraction - 1e-9 <= fraction <= config.max_zone_fraction + 1e-9
+        assert zone.start >= 0.0 and zone.end <= net.total_length + 1e-12
+
+
+def test_generator_is_deterministic_per_seed(tech):
+    nets_a = RandomNetGenerator(tech, seed=99).generate_many(3)
+    nets_b = RandomNetGenerator(tech, seed=99).generate_many(3)
+    for a, b in zip(nets_a, nets_b):
+        assert a.total_length == pytest.approx(b.total_length)
+        assert a.num_segments == b.num_segments
+        assert a.forbidden_zones[0].start == pytest.approx(b.forbidden_zones[0].start)
+
+
+def test_generator_different_seeds_differ(tech):
+    a = RandomNetGenerator(tech, seed=1).generate()
+    b = RandomNetGenerator(tech, seed=2).generate()
+    assert a.total_length != pytest.approx(b.total_length)
+
+
+def test_generator_zero_zones(tech):
+    config = NetGenerationConfig(num_forbidden_zones=0)
+    net = RandomNetGenerator(tech, config=config, seed=5).generate()
+    assert net.forbidden_zones == ()
+
+
+def test_generator_randomized_terminals(tech):
+    config = NetGenerationConfig(randomize_terminal_widths=True)
+    net = RandomNetGenerator(tech, config=config, seed=5).generate()
+    assert config.min_driver_width <= net.driver_width <= config.max_driver_width
+    assert config.min_receiver_width <= net.receiver_width <= config.max_receiver_width
+
+
+def test_generator_rejects_unknown_layer(tech):
+    config = NetGenerationConfig(layers=("metal42",))
+    with pytest.raises(KeyError):
+        RandomNetGenerator(tech, config=config, seed=5)
+
+
+def test_generator_names(tech):
+    nets = RandomNetGenerator(tech, seed=1).generate_many(3, prefix="x")
+    assert [net.name for net in nets] == ["x1", "x2", "x3"]
+
+
+def test_config_validation():
+    with pytest.raises(ValidationError):
+        NetGenerationConfig(min_segments=0)
+    with pytest.raises(ValidationError):
+        NetGenerationConfig(min_zone_fraction=0.5, max_zone_fraction=0.4)
+
+
+def test_net_dict_round_trip(tech, zoned_net):
+    data = net_to_dict(zoned_net)
+    restored = net_from_dict(data)
+    assert restored.name == zoned_net.name
+    assert restored.num_segments == zoned_net.num_segments
+    assert restored.total_length == pytest.approx(zoned_net.total_length)
+    assert restored.total_resistance == pytest.approx(zoned_net.total_resistance)
+    assert len(restored.forbidden_zones) == len(zoned_net.forbidden_zones)
+    assert restored.driver_width == zoned_net.driver_width
+
+
+def test_net_file_round_trip(tmp_path, tech):
+    net = RandomNetGenerator(tech, seed=21).generate()
+    path = tmp_path / "net.json"
+    save_net(net, path)
+    restored = load_net(path)
+    assert restored.total_length == pytest.approx(net.total_length)
+    assert restored.name == net.name
+    assert [s.layer for s in restored.segments] == [s.layer for s in net.segments]
+
+
+def test_net_from_dict_rejects_unknown_version(zoned_net):
+    data = net_to_dict(zoned_net)
+    data["format_version"] = 99
+    with pytest.raises(ValueError):
+        net_from_dict(data)
+
+
+def test_generated_positions_are_meters_scale(tech):
+    net = RandomNetGenerator(tech, seed=3).generate()
+    # 4..10 segments of 1000..2500 um each
+    assert from_microns(4000.0) <= net.total_length <= from_microns(25000.0)

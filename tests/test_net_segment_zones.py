@@ -1,0 +1,99 @@
+"""Tests for wire segments and forbidden zones."""
+
+import pytest
+
+from repro.net.segment import WireSegment
+from repro.net.zones import ForbiddenZone, validate_zones
+from repro.tech.wire import WireLayer
+from repro.utils.validation import ValidationError
+
+
+def test_segment_totals():
+    segment = WireSegment(length=1e-3, resistance_per_meter=4.0e4, capacitance_per_meter=2.0e-10)
+    assert segment.resistance == pytest.approx(40.0)
+    assert segment.capacitance == pytest.approx(2.0e-13)
+
+
+def test_segment_on_layer_copies_rc():
+    layer = WireLayer("metal4", 4.0e4, 2.0e-10)
+    segment = WireSegment.on_layer(layer, 2e-3)
+    assert segment.layer == "metal4"
+    assert segment.resistance_per_meter == layer.resistance_per_meter
+    assert segment.capacitance_per_meter == layer.capacitance_per_meter
+
+
+def test_segment_split_preserves_totals():
+    segment = WireSegment(1e-3, 4.0e4, 2.0e-10, layer="metal4")
+    head, tail = segment.split_at(0.3e-3)
+    assert head.length + tail.length == pytest.approx(segment.length)
+    assert head.resistance + tail.resistance == pytest.approx(segment.resistance)
+    assert head.capacitance + tail.capacitance == pytest.approx(segment.capacitance)
+    assert head.layer == tail.layer == "metal4"
+
+
+def test_segment_split_rejects_boundary_offsets():
+    segment = WireSegment(1e-3, 4.0e4, 2.0e-10)
+    with pytest.raises(ValidationError):
+        segment.split_at(0.0)
+    with pytest.raises(ValidationError):
+        segment.split_at(1e-3)
+
+
+def test_segment_rejects_non_positive_length():
+    with pytest.raises(ValidationError):
+        WireSegment(0.0, 4.0e4, 2.0e-10)
+
+
+def test_zone_basic_properties():
+    zone = ForbiddenZone(1e-3, 3e-3)
+    assert zone.length == pytest.approx(2e-3)
+    assert zone.center == pytest.approx(2e-3)
+
+
+def test_zone_contains_is_open_interval():
+    zone = ForbiddenZone(1e-3, 3e-3)
+    assert zone.contains(2e-3)
+    assert not zone.contains(1e-3)
+    assert not zone.contains(3e-3)
+    assert not zone.contains(0.5e-3)
+
+
+def test_zone_contains_with_tolerance():
+    zone = ForbiddenZone(1e-3, 3e-3)
+    assert not zone.contains(1e-3 + 1e-7, tolerance=1e-6)
+
+
+def test_zone_overlap():
+    a = ForbiddenZone(1e-3, 3e-3)
+    b = ForbiddenZone(2.5e-3, 4e-3)
+    c = ForbiddenZone(3e-3, 4e-3)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)  # touching at a point is not an overlap
+
+
+def test_zone_clamp_outside():
+    zone = ForbiddenZone(1e-3, 3e-3)
+    assert zone.clamp_outside(0.5e-3) == pytest.approx(0.5e-3)
+    assert zone.clamp_outside(1.2e-3) == pytest.approx(1e-3)
+    assert zone.clamp_outside(2.9e-3) == pytest.approx(3e-3)
+    assert zone.clamp_outside(2e-3, prefer_downstream=True) == pytest.approx(3e-3)
+    assert zone.clamp_outside(2e-3, prefer_downstream=False) == pytest.approx(1e-3)
+
+
+def test_zone_rejects_inverted_interval():
+    with pytest.raises(ValidationError):
+        ForbiddenZone(2e-3, 1e-3)
+
+
+def test_validate_zones_rejects_overlap():
+    with pytest.raises(ValidationError):
+        validate_zones([ForbiddenZone(0.0, 2e-3), ForbiddenZone(1e-3, 3e-3)], 5e-3)
+
+
+def test_validate_zones_rejects_zone_past_net_end():
+    with pytest.raises(ValidationError):
+        validate_zones([ForbiddenZone(4e-3, 6e-3)], 5e-3)
+
+
+def test_validate_zones_accepts_disjoint():
+    validate_zones([ForbiddenZone(0.0, 1e-3), ForbiddenZone(2e-3, 3e-3)], 5e-3)

@@ -1,0 +1,158 @@
+"""Tests for the two-pin net model."""
+
+import pytest
+
+from repro.net.segment import WireSegment
+from repro.net.twopin import TwoPinNet
+from repro.net.zones import ForbiddenZone
+from repro.utils.units import from_microns
+from repro.utils.validation import ValidationError
+
+from tests.conftest import build_mixed_net
+
+
+def test_total_length_and_rc(mixed_net):
+    expected_length = sum(segment.length for segment in mixed_net.segments)
+    assert mixed_net.total_length == pytest.approx(expected_length)
+    assert mixed_net.total_resistance == pytest.approx(
+        sum(segment.resistance for segment in mixed_net.segments)
+    )
+    assert mixed_net.total_capacitance == pytest.approx(
+        sum(segment.capacitance for segment in mixed_net.segments)
+    )
+
+
+def test_boundaries_monotone(mixed_net):
+    boundaries = mixed_net.boundaries
+    assert boundaries[0] == 0.0
+    assert boundaries[-1] == pytest.approx(mixed_net.total_length)
+    assert all(b2 > b1 for b1, b2 in zip(boundaries, boundaries[1:]))
+
+
+def test_segment_index_at_boundary_depends_on_direction(mixed_net):
+    boundary = float(mixed_net.boundaries[1])
+    assert mixed_net.segment_index_at(boundary, downstream=True) == 1
+    assert mixed_net.segment_index_at(boundary, downstream=False) == 0
+
+
+def test_unit_rc_at_differs_across_layer_change(mixed_net):
+    boundary = float(mixed_net.boundaries[1])  # metal4 -> metal5 transition
+    r_down, c_down = mixed_net.unit_rc_at(boundary, downstream=True)
+    r_up, c_up = mixed_net.unit_rc_at(boundary, downstream=False)
+    assert (r_down, c_down) != (r_up, c_up)
+
+
+def test_resistance_between_full_span(mixed_net):
+    assert mixed_net.resistance_between(0.0, mixed_net.total_length) == pytest.approx(
+        mixed_net.total_resistance
+    )
+
+
+def test_resistance_between_is_additive(mixed_net):
+    mid = 0.37 * mixed_net.total_length
+    total = mixed_net.resistance_between(0.0, mid) + mixed_net.resistance_between(
+        mid, mixed_net.total_length
+    )
+    assert total == pytest.approx(mixed_net.total_resistance)
+
+
+def test_capacitance_between_order_free(mixed_net):
+    a, b = 0.2 * mixed_net.total_length, 0.8 * mixed_net.total_length
+    assert mixed_net.capacitance_between(a, b) == pytest.approx(
+        mixed_net.capacitance_between(b, a)
+    )
+
+
+def test_pieces_between_cover_interval(mixed_net):
+    a, b = 0.1 * mixed_net.total_length, 0.9 * mixed_net.total_length
+    pieces = mixed_net.pieces_between(a, b)
+    assert sum(length for _, _, length in pieces) == pytest.approx(b - a)
+    assert sum(r * length for r, _, length in pieces) == pytest.approx(
+        mixed_net.resistance_between(a, b)
+    )
+    assert sum(c * length for _, c, length in pieces) == pytest.approx(
+        mixed_net.capacitance_between(a, b)
+    )
+
+
+def test_pieces_between_empty_for_degenerate_interval(mixed_net):
+    x = 0.5 * mixed_net.total_length
+    assert mixed_net.pieces_between(x, x) == []
+
+
+def test_pieces_between_split_at_layer_boundaries(mixed_net):
+    pieces = mixed_net.pieces_between(0.0, mixed_net.total_length)
+    assert len(pieces) == mixed_net.num_segments
+
+
+def test_is_legal_position_excludes_terminals(mixed_net):
+    assert not mixed_net.is_legal_position(0.0)
+    assert not mixed_net.is_legal_position(mixed_net.total_length)
+    assert mixed_net.is_legal_position(0.5 * mixed_net.total_length)
+
+
+def test_is_legal_position_excludes_zone_interior(zoned_net):
+    zone = zoned_net.forbidden_zones[0]
+    assert not zoned_net.is_legal_position(zone.center)
+    assert zoned_net.is_legal_position(zone.start)
+    assert zoned_net.is_legal_position(zone.end)
+
+
+def test_legalize_moves_out_of_zone(zoned_net):
+    zone = zoned_net.forbidden_zones[0]
+    inside = zone.start + 0.25 * zone.length
+    legal = zoned_net.legalize(inside)
+    assert zoned_net.is_legal_position(legal)
+    assert legal in (pytest.approx(zone.start), pytest.approx(zone.end))
+
+
+def test_legalize_clamps_to_net(zoned_net):
+    assert 0.0 < zoned_net.legalize(-1.0) < zoned_net.total_length
+    assert 0.0 < zoned_net.legalize(zoned_net.total_length + 1.0) < zoned_net.total_length
+
+
+def test_legal_positions_respect_pitch_and_zones(zoned_net):
+    pitch = from_microns(200.0)
+    positions = zoned_net.legal_positions(pitch)
+    assert positions, "expected at least one candidate"
+    assert all(zoned_net.is_legal_position(p) for p in positions)
+    zone = zoned_net.forbidden_zones[0]
+    assert all(not zone.contains(p) for p in positions)
+    steps = [round(p / pitch, 6) for p in positions]
+    assert all(abs(step - round(step)) < 1e-6 for step in steps)
+
+
+def test_zone_containing(zoned_net):
+    zone = zoned_net.forbidden_zones[0]
+    assert zoned_net.zone_containing(zone.center) is zone
+    assert zoned_net.zone_containing(zone.start - 1e-6) is None
+
+
+def test_with_zones_returns_new_net(mixed_net):
+    zone = ForbiddenZone(1e-3, 2e-3)
+    updated = mixed_net.with_zones([zone])
+    assert updated.forbidden_zones == (zone,)
+    assert mixed_net.forbidden_zones == ()
+
+
+def test_describe_mentions_name_and_zone(zoned_net):
+    text = zoned_net.describe()
+    assert zoned_net.name in text
+    assert "forbidden" in text
+
+
+def test_net_requires_segments():
+    with pytest.raises(ValidationError):
+        TwoPinNet(segments=(), driver_width=100.0, receiver_width=50.0)
+
+
+def test_net_rejects_zone_outside(tech):
+    with pytest.raises(ValidationError):
+        build_mixed_net(tech, zones=(ForbiddenZone(0.0, 1.0),))  # 1 m >> net length
+
+
+def test_position_validation(mixed_net):
+    with pytest.raises(ValidationError):
+        mixed_net.resistance_between(-1.0, 1e-3)
+    with pytest.raises(ValidationError):
+        mixed_net.capacitance_between(0.0, mixed_net.total_length * 2.0)

@@ -1,0 +1,212 @@
+"""Property-based tests (hypothesis) on the core data structures and models."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delay.moments import ladder_moments
+from repro.delay.stage import stage_delay, wire_elmore_delay
+from repro.dp.frontier import DelayWidthFrontier, FrontierPoint
+from repro.dp.state import DpSolution
+from repro.net.segment import WireSegment
+from repro.net.twopin import TwoPinNet
+from repro.tech.library import RepeaterLibrary
+from repro.tech.nodes import NODE_180NM
+from repro.utils.pareto import prune_pareto_2d, prune_pareto_3d
+
+TECH = NODE_180NM
+REPEATER = TECH.repeater
+
+positive_lengths = st.floats(min_value=1e-4, max_value=5e-3)
+resistances_per_meter = st.floats(min_value=1e4, max_value=2e5)
+capacitances_per_meter = st.floats(min_value=1e-10, max_value=3e-10)
+widths = st.floats(min_value=1.0, max_value=400.0)
+
+wire_pieces = st.lists(
+    st.tuples(resistances_per_meter, capacitances_per_meter, positive_lengths),
+    min_size=0,
+    max_size=6,
+)
+
+segments_strategy = st.lists(
+    st.builds(
+        WireSegment,
+        length=positive_lengths,
+        resistance_per_meter=resistances_per_meter,
+        capacitance_per_meter=capacitances_per_meter,
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+# --------------------------------------------------------------------------- #
+# delay model properties
+# --------------------------------------------------------------------------- #
+@given(pieces=wire_pieces, load=st.floats(min_value=0.0, max_value=1e-12))
+def test_wire_elmore_non_negative(pieces, load):
+    assert wire_elmore_delay(pieces, load) >= 0.0
+
+
+@given(pieces=wire_pieces, load=st.floats(min_value=0.0, max_value=1e-12))
+def test_wire_elmore_monotone_in_load(pieces, load):
+    base = wire_elmore_delay(pieces, load)
+    heavier = wire_elmore_delay(pieces, load + 1e-13)
+    assert heavier >= base
+
+
+@given(
+    pieces=wire_pieces,
+    small=widths,
+    load=st.floats(min_value=1e-15, max_value=1e-12),
+)
+def test_stage_delay_monotone_in_driver_width(pieces, small, load):
+    large = small * 2.0
+    assert stage_delay(REPEATER, large, pieces, load) <= stage_delay(
+        REPEATER, small, pieces, load
+    ) + 1e-18
+
+
+@given(segments=segments_strategy, split=st.floats(min_value=0.05, max_value=0.95))
+def test_net_rc_prefix_consistency(segments, split):
+    net = TwoPinNet(segments=tuple(segments), driver_width=100.0, receiver_width=50.0)
+    cut = split * net.total_length
+    left_r = net.resistance_between(0.0, cut)
+    right_r = net.resistance_between(cut, net.total_length)
+    assert math.isclose(left_r + right_r, net.total_resistance, rel_tol=1e-9)
+    left_c = net.capacitance_between(0.0, cut)
+    right_c = net.capacitance_between(cut, net.total_length)
+    assert math.isclose(left_c + right_c, net.total_capacitance, rel_tol=1e-9)
+
+
+@given(segments=segments_strategy, a=st.floats(0.0, 1.0), b=st.floats(0.0, 1.0))
+def test_net_pieces_between_match_integrals(segments, a, b):
+    net = TwoPinNet(segments=tuple(segments), driver_width=100.0, receiver_width=50.0)
+    low, high = sorted((a * net.total_length, b * net.total_length))
+    if high - low < 1e-9:
+        # Sub-nanometer intervals are below the piece-splitting tolerance and
+        # physically meaningless; skip them.
+        return
+    pieces = net.pieces_between(low, high)
+    assert math.isclose(
+        sum(r * l for r, _, l in pieces),
+        net.resistance_between(low, high),
+        rel_tol=1e-9,
+        abs_tol=1e-12,
+    )
+    assert sum(l for _, _, l in pieces) <= high - low + 1e-12
+
+
+# --------------------------------------------------------------------------- #
+# moments
+# --------------------------------------------------------------------------- #
+@given(
+    values=st.lists(
+        st.tuples(
+            st.floats(min_value=1.0, max_value=1e4),
+            st.floats(min_value=1e-15, max_value=1e-12),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_ladder_moment_signs(values):
+    resistances = [r for r, _ in values]
+    capacitances = [c for _, c in values]
+    m1, m2 = ladder_moments(resistances, capacitances, order=2)
+    assert m1 < 0.0
+    assert m2 > 0.0
+    # the second moment of an RC circuit is bounded by m1^2
+    assert m2 <= m1 * m1 * (1.0 + 1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# Pareto pruning properties
+# --------------------------------------------------------------------------- #
+points_2d = st.lists(
+    st.tuples(st.floats(0.0, 100.0), st.floats(0.0, 100.0), st.integers(0, 10**6)),
+    max_size=60,
+)
+
+
+@given(points=points_2d)
+def test_pareto_2d_front_is_mutually_non_dominating(points):
+    front = prune_pareto_2d(points)
+    for i, a in enumerate(front):
+        for j, b in enumerate(front):
+            if i == j:
+                continue
+            strictly_dominates = a[0] <= b[0] and a[1] <= b[1] and (a[0] < b[0] or a[1] < b[1])
+            assert not strictly_dominates
+
+
+@given(points=points_2d)
+def test_pareto_2d_every_input_dominated_by_some_front_point(points):
+    front = prune_pareto_2d(points)
+    for point in points:
+        assert any(f[0] <= point[0] + 1e-12 and f[1] <= point[1] + 1e-12 for f in front)
+
+
+points_3d = st.lists(
+    st.tuples(
+        st.floats(0.0, 10.0), st.floats(0.0, 10.0), st.floats(0.0, 10.0), st.integers(0, 10)
+    ),
+    max_size=40,
+)
+
+
+@given(points=points_3d)
+def test_pareto_3d_coverage(points):
+    front = prune_pareto_3d(points)
+    for point in points:
+        assert any(
+            f[0] <= point[0] + 1e-12 and f[1] <= point[1] + 1e-12 and f[2] <= point[2] + 1e-12
+            for f in front
+        )
+
+
+# --------------------------------------------------------------------------- #
+# frontier and library properties
+# --------------------------------------------------------------------------- #
+frontier_points = st.lists(
+    st.tuples(st.floats(1e-10, 1e-8), st.floats(0.0, 1000.0)), min_size=1, max_size=40
+)
+
+
+@given(raw=frontier_points, factor=st.floats(0.5, 3.0))
+def test_frontier_best_for_delay_is_feasible_and_cheapest(raw, factor):
+    points = [
+        FrontierPoint(d, w, DpSolution.from_lists([], [], delay=d, total_width=w))
+        for d, w in raw
+    ]
+    frontier = DelayWidthFrontier(points)
+    target = factor * raw[0][0]
+    best = frontier.best_for_delay(target)
+    feasible = [(d, w) for d, w in raw if d <= target]
+    if best is None:
+        assert not feasible
+    else:
+        assert best.delay <= target
+        assert best.total_width <= min(w for _, w in feasible) + 1e-9
+
+
+@given(
+    min_width=st.floats(1.0, 50.0),
+    granularity=st.floats(1.0, 50.0),
+    count=st.integers(1, 30),
+)
+def test_library_uniform_count_properties(min_width, granularity, count):
+    library = RepeaterLibrary.uniform_count(min_width, granularity, count)
+    assert len(library) == count
+    assert library.min_width >= min_width - 1e-9
+    assert list(library) == sorted(library)
+
+
+@given(width=st.floats(0.5, 900.0), granularity=st.floats(1.0, 50.0))
+def test_round_to_grid_properties(width, granularity):
+    library = RepeaterLibrary((10.0,))
+    rounded = library.round_to_grid(width, granularity)
+    assert rounded >= granularity - 1e-9
+    assert abs(rounded / granularity - round(rounded / granularity)) < 1e-6
+    assert abs(rounded - width) <= granularity * 0.5 + granularity + 1e-9

@@ -1,0 +1,75 @@
+"""Tests for repeater libraries."""
+
+import pytest
+
+from repro.tech.library import RepeaterLibrary
+from repro.utils.validation import ValidationError
+
+
+def test_widths_are_sorted_and_deduplicated():
+    library = RepeaterLibrary((40.0, 10.0, 40.0, 20.0))
+    assert library.widths == (10.0, 20.0, 40.0)
+
+
+def test_uniform_range_inclusive_of_max():
+    library = RepeaterLibrary.uniform(10.0, 400.0, 10.0)
+    assert len(library) == 40
+    assert library.min_width == 10.0
+    assert library.max_width == 400.0
+
+
+def test_uniform_range_granularity_40():
+    library = RepeaterLibrary.uniform(10.0, 400.0, 40.0)
+    assert library.widths == tuple(10.0 + 40.0 * i for i in range(10))
+
+
+def test_uniform_count_matches_paper_size_10():
+    library = RepeaterLibrary.uniform_count(10.0, 20.0, 10)
+    assert len(library) == 10
+    assert library.max_width == pytest.approx(10.0 + 9 * 20.0)
+
+
+def test_paper_coarse_library():
+    library = RepeaterLibrary.paper_coarse()
+    assert library.widths == (80.0, 160.0, 240.0, 320.0, 400.0)
+
+
+def test_contains_with_tolerance():
+    library = RepeaterLibrary.uniform(10.0, 100.0, 10.0)
+    assert 50.0 in library
+    assert 50.0 + 1e-12 in library
+    assert 55.0 not in library
+
+
+def test_nearest_prefers_smaller_on_ties():
+    library = RepeaterLibrary((10.0, 20.0))
+    assert library.nearest(15.0) == 10.0
+    assert library.nearest(17.0) == 20.0
+
+
+def test_round_to_grid_never_below_one_step():
+    library = RepeaterLibrary((10.0,))
+    assert library.round_to_grid(2.0, 10.0) == 10.0
+    assert library.round_to_grid(26.0, 10.0) == 30.0
+    assert library.round_to_grid(24.0, 10.0) == 20.0
+
+
+def test_merged_with_keeps_both_and_sorts():
+    library = RepeaterLibrary((10.0, 30.0)).merged_with([20.0, 30.0])
+    assert library.widths == (10.0, 20.0, 30.0)
+
+
+def test_empty_library_rejected():
+    with pytest.raises(ValidationError):
+        RepeaterLibrary(())
+
+
+def test_non_positive_width_rejected():
+    with pytest.raises(ValidationError):
+        RepeaterLibrary((10.0, 0.0))
+
+
+def test_iteration_and_len():
+    library = RepeaterLibrary.uniform_count(80.0, 80.0, 5)
+    assert list(library) == [80.0, 160.0, 240.0, 320.0, 400.0]
+    assert len(library) == 5

@@ -1,0 +1,60 @@
+"""Tests for the switch-level repeater model."""
+
+import pytest
+
+from repro.tech.repeater import RepeaterParameters
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture
+def repeater():
+    return RepeaterParameters(
+        unit_resistance=9000.0,
+        unit_input_capacitance=1.8e-15,
+        unit_output_capacitance=1.6e-15,
+        min_width=1.0,
+        max_width=400.0,
+    )
+
+
+def test_drive_resistance_scales_inversely(repeater):
+    assert repeater.drive_resistance(1.0) == pytest.approx(9000.0)
+    assert repeater.drive_resistance(100.0) == pytest.approx(90.0)
+
+
+def test_input_capacitance_scales_linearly(repeater):
+    assert repeater.input_capacitance(50.0) == pytest.approx(50.0 * 1.8e-15)
+
+
+def test_output_capacitance_scales_linearly(repeater):
+    assert repeater.output_capacitance(10.0) == pytest.approx(16.0e-15)
+
+
+def test_intrinsic_delay_is_width_independent(repeater):
+    # (Rs / w) * (Cp * w) must equal Rs * Cp for any width.
+    for width in (1.0, 13.0, 377.0):
+        product = repeater.drive_resistance(width) * repeater.output_capacitance(width)
+        assert product == pytest.approx(repeater.intrinsic_delay)
+
+
+def test_clamp_width(repeater):
+    assert repeater.clamp_width(0.2) == pytest.approx(1.0)
+    assert repeater.clamp_width(1000.0) == pytest.approx(400.0)
+    assert repeater.clamp_width(37.0) == pytest.approx(37.0)
+
+
+def test_rejects_non_positive_constants():
+    with pytest.raises(ValidationError):
+        RepeaterParameters(0.0, 1e-15, 1e-15)
+    with pytest.raises(ValidationError):
+        RepeaterParameters(1000.0, -1e-15, 1e-15)
+
+
+def test_rejects_inverted_width_range():
+    with pytest.raises(ValueError):
+        RepeaterParameters(1000.0, 1e-15, 1e-15, min_width=10.0, max_width=5.0)
+
+
+def test_drive_resistance_rejects_zero_width(repeater):
+    with pytest.raises(ValidationError):
+        repeater.drive_resistance(0.0)

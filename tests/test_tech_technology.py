@@ -1,0 +1,84 @@
+"""Tests for the Technology aggregate."""
+
+import pytest
+
+from repro.tech.nodes import NODE_180NM, available_nodes, get_node
+from repro.tech.power import PowerParameters
+from repro.tech.repeater import RepeaterParameters
+from repro.tech.technology import Technology
+from repro.tech.wire import WireLayer
+
+
+def _minimal_technology():
+    return Technology(
+        name="toy",
+        repeater=RepeaterParameters(1000.0, 1e-15, 1e-15),
+        layers={"m1": WireLayer("m1", 1.0e5, 2.0e-10)},
+        power=PowerParameters(1.0, 1.0e9, 0.5, 1.0e-9),
+    )
+
+
+def test_layer_lookup():
+    technology = _minimal_technology()
+    assert technology.layer("m1").name == "m1"
+
+
+def test_layer_lookup_unknown_lists_available():
+    technology = _minimal_technology()
+    with pytest.raises(KeyError, match="m1"):
+        technology.layer("m9")
+
+
+def test_layer_names_sorted(tech):
+    assert list(tech.layer_names) == sorted(tech.layer_names)
+
+
+def test_repeater_power_affine_in_width():
+    technology = _minimal_technology()
+    p0 = technology.repeater_power(0.0)
+    p100 = technology.repeater_power(100.0)
+    p200 = technology.repeater_power(200.0)
+    assert p0 == pytest.approx(0.0)
+    # Affine with zero offset => doubling the width doubles the power.
+    assert p200 == pytest.approx(2.0 * p100)
+
+
+def test_with_layers_overrides_and_adds():
+    technology = _minimal_technology()
+    updated = technology.with_layers({"m2": WireLayer("m2", 5.0e4, 2.0e-10)})
+    assert "m2" in updated.layer_names
+    assert "m1" in updated.layer_names
+    # the original is untouched
+    assert "m2" not in technology.layer_names
+
+
+def test_requires_at_least_one_layer():
+    with pytest.raises(ValueError):
+        Technology(
+            name="broken",
+            repeater=RepeaterParameters(1000.0, 1e-15, 1e-15),
+            layers={},
+            power=PowerParameters(1.0, 1.0e9, 0.5, 1.0e-9),
+        )
+
+
+def test_predefined_nodes_lookup():
+    assert "cmos180" in available_nodes()
+    assert get_node("cmos180") is NODE_180NM
+
+
+def test_predefined_nodes_unknown():
+    with pytest.raises(KeyError):
+        get_node("cmos7")
+
+
+def test_node_180nm_has_paper_layers(tech):
+    assert "metal4" in tech.layer_names
+    assert "metal5" in tech.layer_names
+
+
+def test_node_scaling_trend_wire_resistance_increases():
+    # Finer nodes have thinner (more resistive) wires on comparable layers.
+    r180 = get_node("cmos180").layer("metal4").resistance_per_meter
+    r130 = get_node("cmos130").layer("metal4").resistance_per_meter
+    assert r130 > r180

@@ -1,0 +1,69 @@
+"""Tests for wire layers and power-model constants."""
+
+import pytest
+
+from repro.tech.power import PowerParameters
+from repro.tech.wire import WireLayer
+from repro.utils.validation import ValidationError
+
+
+def test_wire_resistance_and_capacitance_scale_with_length():
+    layer = WireLayer("metal4", resistance_per_meter=4.0e4, capacitance_per_meter=2.0e-10)
+    assert layer.resistance(1e-3) == pytest.approx(40.0)
+    assert layer.capacitance(1e-3) == pytest.approx(2.0e-13)
+
+
+def test_wire_zero_length_is_zero():
+    layer = WireLayer("metal5", 3.0e4, 2.1e-10)
+    assert layer.resistance(0.0) == 0.0
+    assert layer.capacitance(0.0) == 0.0
+
+
+def test_wire_rc_product():
+    layer = WireLayer("metal5", 3.0e4, 2.0e-10)
+    assert layer.rc_product == pytest.approx(6.0e-6)
+
+
+def test_wire_rejects_empty_name():
+    with pytest.raises(ValueError):
+        WireLayer("", 1.0, 1.0)
+
+
+def test_wire_rejects_negative_length():
+    layer = WireLayer("metal4", 4.0e4, 2.0e-10)
+    with pytest.raises(ValidationError):
+        layer.resistance(-1.0)
+
+
+def test_power_dynamic_formula():
+    power = PowerParameters(
+        supply_voltage=1.8,
+        clock_frequency=1.0e9,
+        activity_factor=0.2,
+        leakage_per_unit_width=1.0e-8,
+    )
+    capacitance = 1.0e-12
+    expected = 0.2 * 1.8**2 * 1.0e9 * capacitance
+    assert power.dynamic_power(capacitance) == pytest.approx(expected)
+
+
+def test_power_short_circuit_fraction_scales_dynamic():
+    base = PowerParameters(1.8, 1.0e9, 0.2, 0.0)
+    with_sc = PowerParameters(1.8, 1.0e9, 0.2, 0.0, short_circuit_fraction=0.1)
+    assert with_sc.dynamic_power(1e-12) == pytest.approx(1.1 * base.dynamic_power(1e-12))
+
+
+def test_power_leakage_linear_in_width():
+    power = PowerParameters(1.8, 1.0e9, 0.2, 2.0e-8)
+    assert power.leakage_power(100.0) == pytest.approx(2.0e-6)
+
+
+def test_power_rejects_activity_above_one():
+    with pytest.raises(ValidationError):
+        PowerParameters(1.8, 1.0e9, 1.5, 0.0)
+
+
+def test_power_rejects_negative_capacitance():
+    power = PowerParameters(1.8, 1.0e9, 0.2, 0.0)
+    with pytest.raises(ValidationError):
+        power.dynamic_power(-1.0e-15)

@@ -1,0 +1,63 @@
+"""Tests for the Pareto pruning helpers."""
+
+from repro.utils.pareto import prune_pareto_2d, prune_pareto_3d
+
+
+def test_2d_empty_input():
+    assert prune_pareto_2d([]) == []
+
+
+def test_2d_single_point_survives():
+    points = [(1.0, 2.0, "a")]
+    assert prune_pareto_2d(points) == points
+
+
+def test_2d_dominated_point_removed():
+    points = [(1.0, 1.0, "good"), (2.0, 2.0, "bad")]
+    front = prune_pareto_2d(points)
+    assert [p[2] for p in front] == ["good"]
+
+
+def test_2d_incomparable_points_kept_and_sorted():
+    points = [(2.0, 1.0, "b"), (1.0, 2.0, "a")]
+    front = prune_pareto_2d(points)
+    assert [p[2] for p in front] == ["a", "b"]
+
+
+def test_2d_duplicate_points_collapse():
+    points = [(1.0, 1.0, "a"), (1.0, 1.0, "b")]
+    assert len(prune_pareto_2d(points)) == 1
+
+
+def test_2d_tolerance_drops_near_duplicates():
+    points = [(1.0, 1.0, "a"), (2.0, 1.0 - 1e-6, "b")]
+    assert len(prune_pareto_2d(points, tolerance=1e-3)) == 1
+    assert len(prune_pareto_2d(points, tolerance=0.0)) == 2
+
+
+def test_3d_empty_input():
+    assert prune_pareto_3d([]) == []
+
+
+def test_3d_dominated_removed():
+    points = [(1.0, 1.0, 1.0, "good"), (1.0, 2.0, 2.0, "bad")]
+    front = prune_pareto_3d(points)
+    assert [p[3] for p in front] == ["good"]
+
+
+def test_3d_incomparable_kept():
+    points = [(1.0, 3.0, 2.0, "a"), (2.0, 1.0, 3.0, "b"), (3.0, 2.0, 1.0, "c")]
+    assert len(prune_pareto_3d(points)) == 3
+
+
+def test_3d_payload_carried_through():
+    payload = {"solution": 42}
+    front = prune_pareto_3d([(1.0, 1.0, 1.0, payload)])
+    assert front[0][3] is payload
+
+
+def test_3d_chain_of_domination():
+    points = [(float(i), float(i), float(i), i) for i in range(10)]
+    front = prune_pareto_3d(points)
+    assert len(front) == 1
+    assert front[0][3] == 0

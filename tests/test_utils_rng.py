@@ -1,0 +1,38 @@
+"""Tests for the deterministic RNG helpers."""
+
+import numpy as np
+
+from repro.utils.rng import child_rng, make_rng
+
+
+def test_make_rng_from_int_is_deterministic():
+    a = make_rng(7).integers(0, 1000, size=5)
+    b = make_rng(7).integers(0, 1000, size=5)
+    assert list(a) == list(b)
+
+
+def test_make_rng_passthrough_generator():
+    generator = np.random.default_rng(3)
+    assert make_rng(generator) is generator
+
+
+def test_make_rng_none_gives_generator():
+    assert isinstance(make_rng(None), np.random.Generator)
+
+
+def test_child_rng_deterministic():
+    a = child_rng(2005, 3).integers(0, 10**6, size=4)
+    b = child_rng(2005, 3).integers(0, 10**6, size=4)
+    assert list(a) == list(b)
+
+
+def test_child_rng_differs_by_index():
+    a = child_rng(2005, 1).integers(0, 10**6, size=8)
+    b = child_rng(2005, 2).integers(0, 10**6, size=8)
+    assert list(a) != list(b)
+
+
+def test_child_rng_differs_by_base_seed():
+    a = child_rng(1, 0).integers(0, 10**6, size=8)
+    b = child_rng(2, 0).integers(0, 10**6, size=8)
+    assert list(a) != list(b)

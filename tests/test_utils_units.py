@@ -1,0 +1,41 @@
+"""Tests for unit conversion helpers."""
+
+import pytest
+
+from repro.utils import units
+
+
+def test_micron_round_trip():
+    assert units.to_microns(units.from_microns(1234.5)) == pytest.approx(1234.5)
+
+
+def test_from_microns_value():
+    assert units.from_microns(1000.0) == pytest.approx(1.0e-3)
+
+
+def test_femtofarad_round_trip():
+    assert units.to_femtofarads(units.from_femtofarads(3.7)) == pytest.approx(3.7)
+
+
+def test_from_femtofarads_value():
+    assert units.from_femtofarads(1.0) == pytest.approx(1.0e-15)
+
+
+def test_picosecond_round_trip():
+    assert units.to_picoseconds(units.from_picoseconds(250.0)) == pytest.approx(250.0)
+
+
+def test_nanosecond_round_trip():
+    assert units.to_nanoseconds(units.from_nanoseconds(1.5)) == pytest.approx(1.5)
+
+
+def test_nanoseconds_are_thousand_picoseconds():
+    assert units.from_nanoseconds(1.0) == pytest.approx(1000.0 * units.from_picoseconds(1.0))
+
+
+def test_kiloohm_round_trip():
+    assert units.to_kiloohms(units.from_kiloohms(6.0)) == pytest.approx(6.0)
+
+
+def test_kiloohm_value():
+    assert units.from_kiloohms(2.5) == pytest.approx(2500.0)

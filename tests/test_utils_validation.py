@@ -1,0 +1,83 @@
+"""Tests for the argument-validation helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    ValidationError,
+    require,
+    require_finite,
+    require_in_range,
+    require_non_empty,
+    require_non_negative,
+    require_positive,
+    require_sorted,
+)
+
+
+def test_require_passes_on_true():
+    require(True, "should not raise")
+
+
+def test_require_raises_with_message():
+    with pytest.raises(ValidationError, match="broken"):
+        require(False, "broken")
+
+
+def test_require_finite_rejects_nan():
+    with pytest.raises(ValidationError):
+        require_finite(math.nan, "x")
+
+
+def test_require_finite_rejects_infinity():
+    with pytest.raises(ValidationError):
+        require_finite(math.inf, "x")
+
+
+def test_require_positive_accepts_positive():
+    require_positive(0.1, "x")
+
+
+def test_require_positive_rejects_zero():
+    with pytest.raises(ValidationError, match="x"):
+        require_positive(0.0, "x")
+
+
+def test_require_non_negative_accepts_zero():
+    require_non_negative(0.0, "x")
+
+
+def test_require_non_negative_rejects_negative():
+    with pytest.raises(ValidationError):
+        require_non_negative(-1e-9, "x")
+
+
+def test_require_in_range_bounds_inclusive():
+    require_in_range(0.0, 0.0, 1.0, "x")
+    require_in_range(1.0, 0.0, 1.0, "x")
+
+
+def test_require_in_range_rejects_outside():
+    with pytest.raises(ValidationError):
+        require_in_range(1.5, 0.0, 1.0, "x")
+
+
+def test_require_sorted_accepts_ties_by_default():
+    require_sorted([1.0, 1.0, 2.0], "x")
+
+
+def test_require_sorted_strict_rejects_ties():
+    with pytest.raises(ValidationError):
+        require_sorted([1.0, 1.0], "x", strict=True)
+
+
+def test_require_sorted_rejects_descending():
+    with pytest.raises(ValidationError):
+        require_sorted([2.0, 1.0], "x")
+
+
+def test_require_non_empty():
+    require_non_empty([1], "x")
+    with pytest.raises(ValidationError):
+        require_non_empty([], "x")
