@@ -1,0 +1,121 @@
+"""Smoke benchmark of the batch DesignEngine — writes ``BENCH_engine.json``.
+
+Runs the Table-1-style sweep (RIP + three size-10 baselines over the shared
+population) twice through :class:`repro.engine.DesignEngine`:
+
+* with the default **vectorized** pruning kernels (the compiled hot path);
+* with the **reference** kernels (the seed harness' per-row Python loops),
+
+verifies both produce identical records, and writes wall-clock, speedup and
+states/second to ``BENCH_engine.json`` so CI can track the perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--nets N] [--targets M]
+        [--workers W] [--output BENCH_engine.json]
+
+Defaults are the reduced benchmark population (6 nets x 10 targets);
+``REPRO_FULL=1`` or ``--nets 20 --targets 20`` runs the paper-sized sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.dp.pruning import PruningConfig  # noqa: E402
+from repro.engine.cache import ProtocolConfig, ProtocolStore  # noqa: E402
+from repro.engine.design import DesignEngine  # noqa: E402
+from repro.experiments.table1 import Table1Config, table1_methods  # noqa: E402
+from repro.tech.nodes import NODE_180NM  # noqa: E402
+
+FULL_SCALE = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false", "False")
+
+
+def run(num_nets: int, targets_per_net: int, workers: int, output: str) -> dict:
+    technology = NODE_180NM
+    protocol = ProtocolConfig(
+        technology=technology, num_nets=num_nets, targets_per_net=targets_per_net, seed=2005
+    )
+    store = ProtocolStore()
+    engine_config = Table1Config(protocol=protocol)
+    methods = table1_methods(engine_config)
+
+    build_started = time.perf_counter()
+    cases = store.cases(protocol)
+    population_build_seconds = time.perf_counter() - build_started
+
+    results = {}
+    records = {}
+    for kernel in ("vectorized", "reference"):
+        pruning = PruningConfig(kernel=kernel)
+        engine = DesignEngine(
+            technology, pruning=pruning, workers=workers if kernel == "vectorized" else 0,
+            store=store,
+        )
+        outcome = engine.design_population(cases, methods)
+        stats = outcome.statistics
+        results[kernel] = stats
+        records[kernel] = [
+            (r.net_name, r.method, round(r.target, 18), r.feasible, r.total_width)
+            for r in outcome.records()
+        ]
+        print(
+            f"[{kernel:>10}] {stats.wall_clock_seconds:7.2f}s  "
+            f"{stats.states_generated:>12,} states  "
+            f"{stats.states_per_second:>12,.0f} states/s  workers={stats.workers}"
+        )
+
+    matches = records["vectorized"] == records["reference"]
+    speedup = (
+        results["reference"].wall_clock_seconds / results["vectorized"].wall_clock_seconds
+        if results["vectorized"].wall_clock_seconds > 0
+        else float("inf")
+    )
+    print(f"records identical: {matches}; speedup (reference/vectorized): {speedup:.2f}x")
+
+    payload = {
+        "benchmark": "engine-population-sweep",
+        "scale": "paper" if (FULL_SCALE or num_nets >= 20) else "reduced",
+        "num_nets": num_nets,
+        "targets_per_net": targets_per_net,
+        "num_designs": results["vectorized"].num_designs,
+        "population_build_seconds": population_build_seconds,
+        "vectorized_wall_clock_seconds": results["vectorized"].wall_clock_seconds,
+        "reference_wall_clock_seconds": results["reference"].wall_clock_seconds,
+        "speedup": speedup,
+        "states_generated": results["vectorized"].states_generated,
+        "states_per_second": results["vectorized"].states_per_second,
+        "workers": workers,
+        "records_identical": matches,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    Path(output).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    print(f"wrote {output}")
+    if not matches:
+        raise SystemExit("vectorized and reference records diverged")
+    return payload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_nets = 20 if FULL_SCALE else 6
+    default_targets = 20 if FULL_SCALE else 10
+    parser.add_argument("--nets", type=int, default=default_nets)
+    parser.add_argument("--targets", type=int, default=default_targets)
+    parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument("--output", default="BENCH_engine.json")
+    args = parser.parse_args()
+    run(args.nets, args.targets, args.workers, args.output)
+
+
+if __name__ == "__main__":
+    main()

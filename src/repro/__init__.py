@@ -7,6 +7,9 @@ The package is organised bottom-up:
   power constants, repeater libraries);
 * :mod:`repro.net` — the multi-layer two-pin interconnect model with
   forbidden zones, plus random net generation and JSON I/O;
+* :mod:`repro.engine` — the execution layer: vectorized pruning kernels,
+  the precompiled wire representation both DPs traverse, the shared
+  disk-cacheable protocol store and the batch :class:`~repro.engine.DesignEngine`;
 * :mod:`repro.delay`, :mod:`repro.power`, :mod:`repro.rc` — delay and power
   substrates (Elmore, moments, two-pole, MNA simulation);
 * :mod:`repro.dp` — the van Ginneken / Lillis dynamic-programming engines;

@@ -8,7 +8,11 @@ Sub-commands:
   timing target and print the resulting repeater assignment;
 * ``rip evaluate``      — evaluate an explicit repeater assignment on a net;
 * ``rip experiment``    — reproduce Table 1, Table 2 or Figure 7 and print
-  the report.
+  the report (``--workers`` fans the per-net work out over processes,
+  ``--cache-dir`` persists the net population / tau_min protocol store);
+* ``rip sweep``         — run an arbitrary population sweep through the
+  batch :class:`~repro.engine.DesignEngine` and print/export the raw
+  per-(net, target, method) records.
 
 All physical quantities on the command line use engineering units
 (micrometers, nanoseconds); internally everything is SI.
@@ -108,6 +112,44 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--targets", type=int, default=20, help="timing targets per net")
     experiment.add_argument("--seed", type=int, default=2005, help="population seed")
     experiment.add_argument("--csv", default=None, help="also write the rows as CSV to this path")
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the per-net fan-out (0 = run serially)",
+    )
+    experiment.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the on-disk protocol store (net population + tau_min)",
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="batch-design a net population (raw engine records)"
+    )
+    sweep.add_argument("--nets", type=int, default=20, help="number of random nets")
+    sweep.add_argument("--targets", type=int, default=20, help="timing targets per net")
+    sweep.add_argument("--seed", type=int, default=2005, help="population seed")
+    sweep.add_argument(
+        "--methods",
+        default="rip,dp-g10",
+        help=(
+            "comma-separated methods: 'rip' and/or 'dp-g<granularity>' entries "
+            "(baseline DP with a 10..400u library at that granularity)"
+        ),
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the per-net fan-out (0 = run serially)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the on-disk protocol store (net population + tau_min)",
+    )
+    sweep.add_argument("--json", default=None, help="write the records as JSON to this path")
 
     return parser
 
@@ -216,6 +258,14 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_engine(args: argparse.Namespace, technology):
+    from repro.engine.cache import ProtocolStore
+    from repro.engine.design import DesignEngine
+
+    store = ProtocolStore(cache_dir=args.cache_dir) if args.cache_dir else None
+    return DesignEngine(technology, workers=args.workers, store=store)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     technology = get_node(args.technology)
     protocol = ProtocolConfig(
@@ -224,8 +274,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         targets_per_net=args.targets,
         seed=args.seed,
     )
+    engine = _make_engine(args, technology)
     if args.which == "table1":
-        result = run_table1(Table1Config(protocol=protocol))
+        result = run_table1(Table1Config(protocol=protocol), engine=engine)
         print(format_table1(result))
         rows_csv = None
         if args.csv:
@@ -233,7 +284,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
             rows_csv = to_csv(table1_headers(result), table1_rows(result))
     elif args.which == "table2":
-        result = run_table2(Table2Config(protocol=protocol))
+        result = run_table2(Table2Config(protocol=protocol), engine=engine)
         print(format_table2(result))
         rows_csv = None
         if args.csv:
@@ -241,7 +292,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
             rows_csv = to_csv(TABLE2_HEADERS, table2_rows(result))
     else:
-        result = run_figure7(Figure7Config(protocol=protocol))
+        result = run_figure7(Figure7Config(protocol=protocol), engine=engine)
         print(format_figure7(result))
         rows_csv = None
         if args.csv:
@@ -256,6 +307,77 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_methods(spec: str):
+    from repro.engine.design import MethodSpec
+
+    methods = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        if entry == "rip":
+            methods.append(MethodSpec.rip_method())
+        elif entry.startswith("dp-g"):
+            try:
+                granularity = float(entry[len("dp-g"):])
+            except ValueError:
+                raise ValueError(f"malformed method {entry!r}; expected dp-g<granularity>")
+            methods.append(
+                MethodSpec.dp_baseline(
+                    entry, RepeaterLibrary.uniform(10.0, 400.0, granularity)
+                )
+            )
+        else:
+            raise ValueError(f"unknown method {entry!r}; use 'rip' or 'dp-g<granularity>'")
+    if not methods:
+        raise ValueError("no methods given")
+    names = [method.name for method in methods]
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        raise ValueError(f"duplicate methods: {', '.join(duplicates)}")
+    return methods
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    technology = get_node(args.technology)
+    try:
+        methods = _parse_methods(args.methods)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    engine = _make_engine(args, technology)
+    protocol = ProtocolConfig(
+        technology=technology,
+        num_nets=args.nets,
+        targets_per_net=args.targets,
+        seed=args.seed,
+    )
+    cases = engine.build_cases(protocol)
+    result = engine.design_population(cases, methods)
+
+    stats = result.statistics
+    print(
+        f"designed {stats.num_designs} (net, target, method) records over "
+        f"{len(cases)} nets with methods {', '.join(result.methods)}"
+    )
+    print(
+        f"wall clock {stats.wall_clock_seconds:.2f}s, "
+        f"{stats.states_generated:,} DP states "
+        f"({stats.states_per_second:,.0f} states/s), workers={stats.workers}"
+    )
+    infeasible = sum(1 for record in result.records() if not record.feasible)
+    print(f"infeasible designs: {infeasible}")
+    if args.json:
+        import json as _json
+        from dataclasses import asdict
+
+        payload = [asdict(record) for record in result.records()]
+        with open(args.json, "w", encoding="utf-8") as handle:
+            _json.dump(payload, handle, indent=1)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``rip`` tool."""
     parser = build_parser()
@@ -265,5 +387,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "insert": _cmd_insert,
         "evaluate": _cmd_evaluate,
         "experiment": _cmd_experiment,
+        "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)

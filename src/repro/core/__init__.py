@@ -13,7 +13,7 @@ Typical use::
 from repro.core.solution import InsertionSolution
 from repro.core.evaluate import SolutionMetrics, evaluate_solution
 from repro.core.refine import Refine, RefineConfig, RefineResult
-from repro.core.rip import PreparedNet, Rip, RipConfig, RipResult
+from repro.core.rip import InfeasibleNetError, PreparedNet, Rip, RipConfig, RipResult
 
 __all__ = [
     "InsertionSolution",
@@ -22,6 +22,7 @@ __all__ = [
     "Refine",
     "RefineConfig",
     "RefineResult",
+    "InfeasibleNetError",
     "PreparedNet",
     "Rip",
     "RipConfig",

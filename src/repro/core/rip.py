@@ -38,6 +38,26 @@ from repro.tech.technology import Technology
 from repro.utils.validation import require, require_positive
 
 
+class InfeasibleNetError(RuntimeError):
+    """Raised when a DP pass produces no solution at all for a net.
+
+    This happens only for degenerate inputs — e.g. a net whose forbidden
+    zones leave no legal candidate position *and* whose unbuffered wire is
+    not a valid design for the engine configuration in use.  Raising a
+    dedicated error (instead of an ``IndexError`` deep inside the frontier)
+    lets batch harnesses report the offending net cleanly.
+    """
+
+    def __init__(self, net_name: str, stage: str) -> None:
+        super().__init__(
+            f"net {net_name!r}: the {stage} produced an empty frontier "
+            "(no legal repeater assignment at all); check the net's "
+            "forbidden zones and candidate locations"
+        )
+        self.net_name = net_name
+        self.stage = stage
+
+
 @dataclass(frozen=True)
 class RipConfig:
     """Configuration of the hybrid RIP flow (defaults follow Section 6).
@@ -134,6 +154,10 @@ class RipResult:
         because the concise ``B``/``S`` alone could not meet the target.
     runtime_seconds:
         Wall-clock time of the whole flow, including the coarse DP pass.
+    states_generated:
+        DP states generated by this call's final (and fallback) DP passes —
+        the coarse pass is shared via :class:`PreparedNet` and accounted
+        there (``prepared.coarse_result.statistics``).
     """
 
     solution: InsertionSolution
@@ -145,6 +169,7 @@ class RipResult:
     feasible: bool
     fallback_used: bool
     runtime_seconds: float
+    states_generated: int = 0
 
     @property
     def total_width(self) -> float:
@@ -206,6 +231,8 @@ class Rip:
             # The coarse library cannot meet the target; start REFINE from
             # the fastest coarse design instead (REFINE re-sizes widths
             # continuously, so it can usually still reach the target).
+            if prepared.coarse_result.frontier.is_empty():
+                raise InfeasibleNetError(net.name, "coarse DP pass")
             coarse_point = prepared.coarse_result.frontier.points[0]
         coarse_solution = InsertionSolution.from_dp(coarse_point.solution)
 
@@ -224,6 +251,7 @@ class Rip:
         # ---- step 4: final DP pass --------------------------------------- #
         final_result = self._dp.run(net, final_library, final_candidates)
         best = final_result.best_for_delay(timing_target)
+        states_generated = final_result.statistics.states_generated
 
         fallback_used = False
         if best is None and config.enable_fallback:
@@ -236,9 +264,12 @@ class Rip:
             final_candidates = merged_candidates
             final_result = self._dp.run(net, merged_library, merged_candidates)
             best = final_result.best_for_delay(timing_target)
+            states_generated += final_result.statistics.states_generated
 
         if best is None:
             # Timing cannot be met; report the fastest design found.
+            if final_result.frontier.is_empty():
+                raise InfeasibleNetError(net.name, "final DP pass")
             best = final_result.frontier.points[0]
 
         solution = InsertionSolution.from_dp(best.solution)
@@ -258,6 +289,7 @@ class Rip:
             feasible=bool(metrics.meets_timing),
             fallback_used=fallback_used,
             runtime_seconds=runtime,
+            states_generated=states_generated,
         )
 
     # ------------------------------------------------------------------ #

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Iterable, List, Sequence
 
 from repro.net.twopin import TwoPinNet
+from repro.utils.positions import merge_positions
 from repro.utils.validation import require, require_positive
 
 
@@ -22,7 +23,10 @@ def uniform_candidates(net: TwoPinNet, pitch: float) -> List[float]:
     """Uniformly spaced legal candidate positions along ``net``.
 
     Candidates start one pitch away from the driver and stop before the
-    receiver; positions inside forbidden zones are dropped.
+    receiver; positions inside forbidden zones are dropped.  Positions are
+    exact integer-step grid products (``k * pitch`` via ``np.arange`` inside
+    :meth:`~repro.net.twopin.TwoPinNet.legal_positions`), not a running
+    float sum — repeated addition drifts on long nets.
     """
     require_positive(pitch, "pitch")
     return net.legal_positions(pitch)
@@ -58,10 +62,4 @@ def window_candidates(
 
 def merge_candidates(positions: Iterable[float], *, tolerance: float = 1e-9) -> List[float]:
     """Sort candidate positions and merge near-duplicates (within ``tolerance``)."""
-    ordered = sorted(positions)
-    merged: List[float] = []
-    for position in ordered:
-        if merged and abs(position - merged[-1]) <= tolerance:
-            continue
-        merged.append(position)
-    return merged
+    return merge_positions(positions, tolerance=tolerance)

@@ -27,10 +27,10 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.dp.candidates import merge_candidates
 from repro.dp.frontier import DelayWidthFrontier, FrontierPoint
 from repro.dp.pruning import PruningConfig, prune_states
 from repro.dp.state import DpSolution
+from repro.engine.compiled import CompiledNet
 from repro.net.twopin import TwoPinNet
 from repro.tech.library import RepeaterLibrary
 from repro.tech.technology import Technology
@@ -49,7 +49,13 @@ def traverse_wire(
     Returns updated copies of ``(caps, delays)``: every wire piece adds its
     pi-model Elmore contribution ``R * (C/2 + C_downstream)`` to the delay and
     its capacitance to the load, processed from the downstream end towards
-    the upstream end.  Shared by the power-aware and the delay-optimal DP.
+    the upstream end.
+
+    The DP engines no longer call this per level — they traverse a
+    :class:`repro.engine.compiled.CompiledNet`, whose precompiled intervals
+    reproduce this arithmetic bit-for-bit without re-deriving the wire
+    pieces.  The function remains the single-interval reference (and is used
+    by the compiled-net equivalence tests).
     """
     if downstream <= upstream:
         return caps, delays
@@ -129,14 +135,18 @@ class PowerAwareDp:
         self,
         net: TwoPinNet,
         library: RepeaterLibrary,
-        candidate_positions: Sequence[float],
+        candidate_positions: Sequence[float] = (),
+        *,
+        compiled: Optional[CompiledNet] = None,
     ) -> PowerDpResult:
         """Run the DP and return the full delay/width frontier.
 
         ``candidate_positions`` may be unsorted and may contain illegal
         positions (inside forbidden zones or outside the net); those are
         silently dropped, which lets callers pass the raw output of REFINE
-        without re-legalising.
+        without re-legalising.  Callers running several libraries over the
+        same candidate set can pass a precompiled net via ``compiled`` to
+        share the interval compilation (the batch engine does this).
         """
         started = time.perf_counter()
         repeater = self._technology.repeater
@@ -144,11 +154,9 @@ class PowerAwareDp:
         unit_input_cap = repeater.unit_input_capacitance
         intrinsic = repeater.intrinsic_delay
 
-        positions = merge_candidates(
-            position
-            for position in candidate_positions
-            if net.is_legal_position(position)
-        )
+        if compiled is None:
+            compiled = CompiledNet(net, candidate_positions)
+        positions = compiled.positions
 
         # State arrays at the current point (initially: at the receiver).
         caps = np.array([unit_input_cap * net.receiver_width])
@@ -159,13 +167,11 @@ class PowerAwareDp:
         levels: List[_Level] = []
         states_generated = 1
         max_front = 1
-        previous_point = net.total_length
 
         library_widths = np.asarray(library.widths, dtype=float)
 
-        for position in reversed(positions):
-            caps, delays = traverse_wire(net, position, previous_point, caps, delays)
-            previous_point = position
+        for level, position in enumerate(reversed(positions)):
+            caps, delays = compiled.traverse(level, caps, delays)
 
             count = len(caps)
             branches = len(library_widths) + 1
@@ -206,7 +212,7 @@ class PowerAwareDp:
             back = np.arange(len(keep), dtype=np.int64)
             max_front = max(max_front, len(keep))
 
-        caps, delays = traverse_wire(net, 0.0, previous_point, caps, delays)
+        caps, delays = compiled.traverse(len(positions), caps, delays)
         final_delays = delays + intrinsic + (unit_resistance / net.driver_width) * caps
 
         frontier = self._build_frontier(final_delays, widths, back, levels)

@@ -9,12 +9,23 @@ dominating state leads to a solution that is at least as good.
 Two strategies are provided (selected via :class:`PruningConfig`):
 
 * ``"bucket"`` — group states by total width and keep the 2-D ``(C, D)``
-  Pareto front of every group.  Fully vectorised with numpy; this misses
-  cross-width dominance (a wider state dominated by a narrower one survives),
-  so fronts are a little larger but each pruning pass is very cheap.
+  Pareto front of every group.  This misses cross-width dominance (a wider
+  state dominated by a narrower one survives), so fronts are a little larger
+  but each pruning pass is very cheap.
 * ``"full"`` — bucket pruning followed by exact 3-D dominance across the
   buckets.  Smaller fronts, slightly more work per pass.  This is the
   default; the ablation benchmark compares the two.
+
+Each strategy exists in two *kernel* implementations (``PruningConfig.kernel``):
+
+* ``"vectorized"`` (default) — the numpy kernels of
+  :mod:`repro.engine.kernels`: segmented ``np.minimum.accumulate`` scans for
+  the per-bucket fronts and blocked pairwise broadcasting for the 3-D pass.
+  No per-state Python loop anywhere.
+* ``"reference"`` — the original per-row Python loops, kept verbatim as the
+  equivalence oracle for the vectorized kernels (see
+  ``tests/test_engine_equivalence.py``) and for the engine ablation
+  benchmark.
 """
 
 from __future__ import annotations
@@ -23,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine import kernels
 from repro.utils.validation import require, require_non_negative
 
 
@@ -40,22 +52,30 @@ class PruningConfig:
         floating-point noise without measurably affecting solution quality.
     width_tolerance:
         Same idea for the width coordinate (units of ``u``).
+    kernel:
+        ``"vectorized"`` (numpy kernels from :mod:`repro.engine.kernels`,
+        the default) or ``"reference"`` (the original per-row Python loops).
     """
 
     strategy: str = "full"
     delay_tolerance: float = 1.0e-14
     width_tolerance: float = 1.0e-9
+    kernel: str = "vectorized"
 
     def __post_init__(self) -> None:
         require(self.strategy in ("full", "bucket"), f"unknown pruning strategy {self.strategy!r}")
         require_non_negative(self.delay_tolerance, "delay_tolerance")
         require_non_negative(self.width_tolerance, "width_tolerance")
+        require(
+            self.kernel in ("vectorized", "reference"),
+            f"unknown pruning kernel {self.kernel!r}",
+        )
 
 
 def _bucket_prune(
     caps: np.ndarray, delays: np.ndarray, widths: np.ndarray, config: PruningConfig
 ) -> np.ndarray:
-    """Indices of states surviving per-width-bucket 2-D ``(C, D)`` pruning."""
+    """Reference (per-row Python loop) per-width-bucket 2-D pruning."""
     # Quantise widths so that float drift does not split buckets.
     quantum = max(config.width_tolerance, 1e-12)
     keys = np.round(widths / quantum).astype(np.int64)
@@ -84,7 +104,7 @@ def _bucket_prune(
 def _cross_bucket_prune(
     caps: np.ndarray, delays: np.ndarray, widths: np.ndarray, config: PruningConfig
 ) -> np.ndarray:
-    """Exact 3-D dominance pruning; returns indices of surviving states."""
+    """Reference (per-row Python loop) exact 3-D dominance pruning."""
     order = np.lexsort((widths, delays, caps))
     caps_sorted = caps[order]
     delays_sorted = delays[order]
@@ -130,19 +150,43 @@ def prune_states(
     """
     if len(caps) == 0:
         return np.empty(0, dtype=np.int64)
-    survivors = _bucket_prune(caps, delays, widths, config)
+    if config.kernel == "vectorized":
+        survivors = kernels.bucket_prune(
+            caps,
+            delays,
+            widths,
+            delay_tolerance=config.delay_tolerance,
+            width_tolerance=config.width_tolerance,
+        )
+    else:
+        survivors = _bucket_prune(caps, delays, widths, config)
     if config.strategy == "bucket" or len(survivors) <= 1:
         return survivors
-    sub = _cross_bucket_prune(caps[survivors], delays[survivors], widths[survivors], config)
+    if config.kernel == "vectorized":
+        sub = kernels.cross_bucket_prune(
+            caps[survivors],
+            delays[survivors],
+            widths[survivors],
+            delay_tolerance=config.delay_tolerance,
+            width_tolerance=config.width_tolerance,
+        )
+    else:
+        sub = _cross_bucket_prune(caps[survivors], delays[survivors], widths[survivors], config)
     return survivors[sub]
 
 
 def prune_two_dimensional(
-    caps: np.ndarray, delays: np.ndarray, *, delay_tolerance: float = 1.0e-14
+    caps: np.ndarray,
+    delays: np.ndarray,
+    *,
+    delay_tolerance: float = 1.0e-14,
+    kernel: str = "vectorized",
 ) -> np.ndarray:
     """2-D ``(C, D)`` dominance pruning used by the delay-optimal DP."""
     if len(caps) == 0:
         return np.empty(0, dtype=np.int64)
+    if kernel == "vectorized":
+        return kernels.pareto_two_dimensional(caps, delays, delay_tolerance=delay_tolerance)
     order = np.lexsort((delays, caps))
     delays_sorted = delays[order]
     keep = np.zeros(len(order), dtype=bool)

@@ -12,14 +12,13 @@ very tight target.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.dp.candidates import merge_candidates
-from repro.dp.powerdp import traverse_wire
 from repro.dp.pruning import prune_two_dimensional
 from repro.dp.state import DpSolution
+from repro.engine.compiled import CompiledNet
 from repro.net.twopin import TwoPinNet
 from repro.tech.library import RepeaterLibrary
 from repro.tech.technology import Technology
@@ -35,9 +34,16 @@ class _Level:
 class DelayOptimalDp:
     """Delay-minimising repeater insertion on a two-pin net."""
 
-    def __init__(self, technology: Technology, *, delay_tolerance: float = 1.0e-14) -> None:
+    def __init__(
+        self,
+        technology: Technology,
+        *,
+        delay_tolerance: float = 1.0e-14,
+        pruning_kernel: str = "vectorized",
+    ) -> None:
         self._technology = technology
         self._delay_tolerance = delay_tolerance
+        self._pruning_kernel = pruning_kernel
 
     @property
     def technology(self) -> Technology:
@@ -48,7 +54,9 @@ class DelayOptimalDp:
         self,
         net: TwoPinNet,
         library: RepeaterLibrary,
-        candidate_positions: Sequence[float],
+        candidate_positions: Sequence[float] = (),
+        *,
+        compiled: Optional[CompiledNet] = None,
     ) -> DpSolution:
         """Return the minimum-delay repeater assignment for ``net``.
 
@@ -60,23 +68,19 @@ class DelayOptimalDp:
         unit_input_cap = repeater.unit_input_capacitance
         intrinsic = repeater.intrinsic_delay
 
-        positions = merge_candidates(
-            position
-            for position in candidate_positions
-            if net.is_legal_position(position)
-        )
+        if compiled is None:
+            compiled = CompiledNet(net, candidate_positions)
+        positions = compiled.positions
 
         caps = np.array([unit_input_cap * net.receiver_width])
         delays = np.array([0.0])
         widths = np.array([0.0])
         back = np.array([-1], dtype=np.int64)
         levels: List[_Level] = []
-        previous_point = net.total_length
         library_widths = np.asarray(library.widths, dtype=float)
 
-        for position in reversed(positions):
-            caps, delays = traverse_wire(net, position, previous_point, caps, delays)
-            previous_point = position
+        for level, position in enumerate(reversed(positions)):
+            caps, delays = compiled.traverse(level, caps, delays)
 
             count = len(caps)
             branches = len(library_widths) + 1
@@ -101,7 +105,10 @@ class DelayOptimalDp:
                 new_decisions[lo:hi] = width
 
             keep = prune_two_dimensional(
-                new_caps, new_delays, delay_tolerance=self._delay_tolerance
+                new_caps,
+                new_delays,
+                delay_tolerance=self._delay_tolerance,
+                kernel=self._pruning_kernel,
             )
             caps = new_caps[keep]
             delays = new_delays[keep]
@@ -111,7 +118,7 @@ class DelayOptimalDp:
             )
             back = np.arange(len(keep), dtype=np.int64)
 
-        caps, delays = traverse_wire(net, 0.0, previous_point, caps, delays)
+        caps, delays = compiled.traverse(len(positions), caps, delays)
         final_delays = delays + intrinsic + (unit_resistance / net.driver_width) * caps
 
         best = int(np.argmin(final_delays))
@@ -127,10 +134,12 @@ class DelayOptimalDp:
         self,
         net: TwoPinNet,
         library: RepeaterLibrary,
-        candidate_positions: Sequence[float],
+        candidate_positions: Sequence[float] = (),
+        *,
+        compiled: Optional[CompiledNet] = None,
     ) -> float:
         """Smallest Elmore delay achievable with the given library/locations."""
-        return self.run(net, library, candidate_positions).delay
+        return self.run(net, library, candidate_positions, compiled=compiled).delay
 
     @staticmethod
     def _backtrack(pointer: int, levels: List[_Level]) -> Tuple[List[float], List[float]]:

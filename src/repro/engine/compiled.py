@@ -1,0 +1,179 @@
+"""Compiled per-interval wire representation for the DP engines.
+
+Both DP engines walk a net from the receiver towards the driver, crossing
+the wire interval between consecutive candidate locations at every level.
+The original ``traverse_wire`` re-derived the interval's uniform-RC pieces
+with :meth:`repro.net.twopin.TwoPinNet.pieces_between` — a Python
+while-loop, list construction and tuple unpacking *per DP level per run*.
+
+:class:`CompiledNet` hoists all of that out of the hot loop: it legalises
+and merges the candidate positions once, splits the net into the
+``len(positions) + 1`` walk intervals, and precomputes for each interval
+
+* the piece resistance/half-capacitance/capacitance arrays (in traversal
+  order, receiver side first), so crossing an interval is one numpy
+  broadcast expression per piece — and almost every interval is a single
+  piece, because candidate pitches (50–200 µm) are much finer than segment
+  lengths (1000–2500 µm);
+* the closed-form affine Elmore coefficients ``(R, C, K)`` of the whole
+  interval: crossing it maps ``(caps, delays)`` to
+  ``(caps + C, delays + R * caps + K)``.
+
+The per-piece path reproduces the original ``traverse_wire`` arithmetic
+operation-for-operation, so DP results are bit-for-bit identical to the
+legacy loop; the affine path folds each interval into a single expression
+(re-associating the floating-point sums, so results agree only to ~1 ulp)
+and is available for callers that do not need bit-exactness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.twopin import TwoPinNet
+from repro.utils.positions import merge_positions
+
+__all__ = ["CompiledNet", "WireInterval"]
+
+
+@dataclass(frozen=True)
+class WireInterval:
+    """One precompiled wire interval between consecutive DP levels.
+
+    Attributes
+    ----------
+    upstream / downstream:
+        Interval bounds in meters from the driver (``upstream < downstream``).
+    piece_resistance / piece_capacitance:
+        Per-piece totals (ohms / farads) in traversal order, i.e. the piece
+        adjacent to ``downstream`` first.
+    piece_half_capacitance:
+        ``0.5 * piece_capacitance``, precomputed for the Elmore midpoint term.
+    resistance / capacitance / delay_constant:
+        Closed-form affine coefficients of the whole interval: traversing it
+        adds ``capacitance`` to the load and ``resistance * caps_in +
+        delay_constant`` to the delay.
+    """
+
+    upstream: float
+    downstream: float
+    piece_resistance: np.ndarray
+    piece_capacitance: np.ndarray
+    piece_half_capacitance: np.ndarray
+    resistance: float
+    capacitance: float
+    delay_constant: float
+
+
+class CompiledNet:
+    """A net compiled against a fixed set of candidate locations."""
+
+    def __init__(self, net: TwoPinNet, candidate_positions: Sequence[float]) -> None:
+        self._net = net
+        positions = merge_positions(
+            position for position in candidate_positions if net.is_legal_position(position)
+        )
+        self._positions: Tuple[float, ...] = tuple(positions)
+        self._intervals: Tuple[WireInterval, ...] = tuple(self._compile(net, positions))
+
+    @staticmethod
+    def _compile(net: TwoPinNet, positions: List[float]) -> List[WireInterval]:
+        bounds = [0.0, *positions, net.total_length]
+        intervals: List[WireInterval] = []
+        # Walk order: from the receiver-side interval towards the driver.
+        for index in range(len(bounds) - 1, 0, -1):
+            upstream = bounds[index - 1]
+            downstream = bounds[index]
+            pieces = net.pieces_between(upstream, downstream)
+            # Traversal order is downstream piece first (reversed pieces).
+            piece_resistance = np.array(
+                [resistance * length for resistance, _, length in reversed(pieces)]
+            )
+            piece_capacitance = np.array(
+                [capacitance * length for _, capacitance, length in reversed(pieces)]
+            )
+            # The affine delay constant accumulates each piece's midpoint term
+            # plus its resistance times the capacitance already picked up.
+            accumulated = 0.0
+            delay_constant = 0.0
+            for resistance, capacitance in zip(piece_resistance, piece_capacitance):
+                delay_constant += resistance * (0.5 * capacitance + accumulated)
+                accumulated += capacitance
+            intervals.append(
+                WireInterval(
+                    upstream=upstream,
+                    downstream=downstream,
+                    piece_resistance=piece_resistance,
+                    piece_capacitance=piece_capacitance,
+                    piece_half_capacitance=0.5 * piece_capacitance,
+                    resistance=float(piece_resistance.sum()),
+                    capacitance=float(piece_capacitance.sum()),
+                    delay_constant=delay_constant,
+                )
+            )
+        return intervals
+
+    # ------------------------------------------------------------------ #
+    @property
+    def net(self) -> TwoPinNet:
+        """The underlying net."""
+        return self._net
+
+    @property
+    def positions(self) -> Tuple[float, ...]:
+        """Legal, merged candidate positions in ascending order."""
+        return self._positions
+
+    @property
+    def num_levels(self) -> int:
+        """Number of DP levels (= number of candidate positions)."""
+        return len(self._positions)
+
+    @property
+    def intervals(self) -> Tuple[WireInterval, ...]:
+        """The ``num_levels + 1`` wire intervals in walk order.
+
+        ``intervals[k]`` for ``k < num_levels`` ends at candidate position
+        ``positions[num_levels - 1 - k]``; the last interval reaches the
+        driver at position 0.
+        """
+        return self._intervals
+
+    def traverse(
+        self, level: int, caps: np.ndarray, delays: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Move DP states upstream across walk interval ``level``.
+
+        Returns updated copies of ``(caps, delays)``; the arithmetic is
+        bit-for-bit identical to the legacy per-piece ``traverse_wire``.
+        """
+        interval = self._intervals[level]
+        if len(interval.piece_resistance) == 0:
+            return caps, delays
+        caps = caps.copy()
+        delays = delays.copy()
+        for piece in range(len(interval.piece_resistance)):
+            delays += interval.piece_resistance[piece] * (
+                interval.piece_half_capacitance[piece] + caps
+            )
+            caps += interval.piece_capacitance[piece]
+        return caps, delays
+
+    def traverse_affine(
+        self, level: int, caps: np.ndarray, delays: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Affine single-expression variant of :meth:`traverse`.
+
+        Uses the precomputed interval coefficients; agrees with
+        :meth:`traverse` up to floating-point re-association (~1 ulp).
+        """
+        interval = self._intervals[level]
+        if interval.capacitance == 0.0 and interval.resistance == 0.0:
+            return caps, delays
+        return (
+            caps + interval.capacitance,
+            delays + interval.resistance * caps + interval.delay_constant,
+        )

@@ -1,0 +1,160 @@
+"""Vectorized dominance-pruning kernels for the DP engines.
+
+The reference pruning in :mod:`repro.dp.pruning` walks the sorted states with
+per-row Python loops; on realistic fronts (thousands of states per level,
+one pruning pass per candidate location) that loop *is* the DP hot path.
+The kernels here compute the same Pareto fronts with numpy primitives only:
+
+* :func:`pareto_two_dimensional` — an exclusive running minimum
+  (``np.minimum.accumulate`` shifted by one) over the cap-sorted states;
+* :func:`bucket_prune` — the same scan *per width bucket*, using a
+  logarithmic-doubling segmented scan so all buckets are processed in one
+  pass with no per-bucket Python loop;
+* :func:`cross_bucket_prune` — exact 3-D dominance on the bucket survivors
+  via blocked pairwise comparison (survivor fronts are small, so the
+  quadratic comparison is a handful of broadcast operations).
+
+Tolerance semantics
+-------------------
+The reference kernels compare each state against the *previously kept*
+states; the vectorized kernels compare against *all* earlier states in the
+sort order.  The two rules coincide exactly when the tolerances are zero
+(dominance is then transitive) and whenever no two distinct states sit
+within a tolerance band of each other — with the default 10 fs / 1e-9 u
+tolerances the rules agree on every real DP level; the golden-equivalence
+tests in ``tests/test_engine_equivalence.py`` verify this on the full seed
+population.  The property tests additionally check exact kept-set equality
+at zero tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bucket_prune",
+    "cross_bucket_prune",
+    "pareto_two_dimensional",
+    "segmented_exclusive_min",
+]
+
+_CROSS_BLOCK = 512
+
+
+def segmented_exclusive_min(values: np.ndarray, group_start: np.ndarray) -> np.ndarray:
+    """Exclusive running minimum of ``values`` within contiguous groups.
+
+    ``group_start[i]`` is the index of the first row of the group row ``i``
+    belongs to (groups are contiguous runs).  Entry ``i`` of the result is
+    ``min(values[group_start[i] : i])`` and ``+inf`` for the first row of a
+    group.  Implemented as a logarithmic-doubling segmented scan: O(n log n)
+    work, all of it inside numpy ufuncs.
+    """
+    n = len(values)
+    if n == 0:
+        return np.empty(0)
+    index = np.arange(n)
+    # Shift by one: row i starts from its predecessor's value (or +inf at a
+    # group boundary), turning the inclusive scan below into an exclusive one.
+    result = np.empty(n)
+    result[0] = np.inf
+    result[1:] = values[:-1]
+    result[index == group_start] = np.inf
+    shift = 1
+    while shift < n:
+        reach = index - shift
+        valid = reach >= group_start
+        shifted = np.full(n, np.inf)
+        shifted[valid] = result[reach[valid]]
+        np.minimum(result, shifted, out=result)
+        shift <<= 1
+    return result
+
+
+def pareto_two_dimensional(
+    caps: np.ndarray, delays: np.ndarray, *, delay_tolerance: float
+) -> np.ndarray:
+    """Indices of the 2-D ``(C, D)`` Pareto front (vectorized).
+
+    States are sorted by ``(cap, delay)``; a state survives iff its delay is
+    at least ``delay_tolerance`` below every delay at smaller-or-equal cap.
+    """
+    if len(caps) == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.lexsort((delays, caps))
+    delays_sorted = delays[order]
+    exclusive = np.empty(len(order))
+    exclusive[0] = np.inf
+    np.minimum.accumulate(delays_sorted[:-1], out=exclusive[1:])
+    return order[delays_sorted < exclusive - delay_tolerance]
+
+
+def bucket_prune(
+    caps: np.ndarray,
+    delays: np.ndarray,
+    widths: np.ndarray,
+    *,
+    delay_tolerance: float,
+    width_tolerance: float,
+) -> np.ndarray:
+    """Per-width-bucket 2-D pruning with no per-bucket Python loop.
+
+    Matches the reference ``_bucket_prune``: widths are quantised to
+    ``width_tolerance`` buckets, and inside every bucket the ``(C, D)``
+    Pareto scan of :func:`pareto_two_dimensional` is applied.  All buckets
+    are scanned simultaneously with ``np.minimum.accumulate`` restarted at
+    the group boundaries (segmented doubling scan).
+    """
+    n = len(caps)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    quantum = max(width_tolerance, 1e-12)
+    keys = np.round(widths / quantum).astype(np.int64)
+    order = np.lexsort((delays, caps, keys))
+    keys_sorted = keys[order]
+    delays_sorted = delays[order]
+
+    is_start = np.empty(n, dtype=bool)
+    is_start[0] = True
+    np.not_equal(keys_sorted[1:], keys_sorted[:-1], out=is_start[1:])
+    group_start = np.maximum.accumulate(np.where(is_start, np.arange(n), 0))
+
+    exclusive = segmented_exclusive_min(delays_sorted, group_start)
+    return order[delays_sorted < exclusive - delay_tolerance]
+
+
+def cross_bucket_prune(
+    caps: np.ndarray,
+    delays: np.ndarray,
+    widths: np.ndarray,
+    *,
+    delay_tolerance: float,
+    width_tolerance: float,
+) -> np.ndarray:
+    """Exact 3-D dominance pruning via blocked pairwise comparison.
+
+    States are sorted by ``(cap, delay, width)`` so that any earlier state
+    has cap no larger than a later one; state ``i`` is dropped iff some
+    earlier state is also no worse in delay and width (within tolerances).
+    The pairwise comparison runs in ``_CROSS_BLOCK``-column blocks to bound
+    the broadcast matrices on very large fronts.
+    """
+    n = len(caps)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.lexsort((widths, delays, caps))
+    delays_sorted = delays[order]
+    widths_sorted = widths[order]
+
+    keep = np.ones(n, dtype=bool)
+    row_index = np.arange(n)
+    for start in range(1, n, _CROSS_BLOCK):
+        end = min(start + _CROSS_BLOCK, n)
+        block = slice(start, end)
+        dominated = (
+            (delays_sorted[:end, None] <= delays_sorted[None, block] + delay_tolerance)
+            & (widths_sorted[:end, None] <= widths_sorted[None, block] + width_tolerance)
+            & (row_index[:end, None] < row_index[None, block])
+        ).any(axis=0)
+        keep[block] = ~dominated
+    return order[keep]

@@ -10,6 +10,10 @@ saving of RIP over the baseline DP as a function of the timing constraint:
 * **(b)** granularity 40u — RIP wins everywhere and the savings grow as the
   target loosens, because the coarse library lacks the small repeaters that
   cheap, slow designs want.
+
+The sweep is a one-net :class:`repro.engine.DesignEngine` run with a denser
+:class:`~repro.engine.design.TargetSpec` than the tables use; the population
+(and ``tau_min``) comes from the same shared protocol store.
 """
 
 from __future__ import annotations
@@ -18,13 +22,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-from repro.core.rip import Rip, RipConfig
-from repro.dp.powerdp import PowerAwareDp
+from repro.core.rip import RipConfig
+from repro.engine.design import DesignEngine, MethodSpec, TargetSpec
 from repro.experiments.protocol import (
     ExperimentProtocol,
     ProtocolConfig,
     savings_percent,
-    timing_targets,
 )
 from repro.tech.library import RepeaterLibrary
 from repro.utils.validation import require
@@ -103,55 +106,69 @@ class Figure7Result:
         return infeasible, better, other
 
 
-def run_figure7(config: Optional[Figure7Config] = None) -> Figure7Result:
+def run_figure7(
+    config: Optional[Figure7Config] = None,
+    *,
+    engine: Optional[DesignEngine] = None,
+    workers: int = 0,
+) -> Figure7Result:
     """Run the Figure 7 sweep and return one series per baseline granularity."""
     config = config or Figure7Config()
     started = time.perf_counter()
 
-    protocol = ExperimentProtocol(config.protocol)
-    cases = protocol.cases()
+    if engine is None:
+        engine = DesignEngine(
+            config.protocol.technology,
+            rip_config=config.rip,
+            pruning=config.rip.pruning,
+            workers=workers,
+        )
+    cases = ExperimentProtocol(config.protocol, store=engine.store).cases()
     require(
         0 <= config.net_index < len(cases),
         f"net_index {config.net_index} outside the population of {len(cases)} nets",
     )
     case = cases[config.net_index]
-    technology = config.protocol.technology
 
-    targets = timing_targets(
-        case.tau_min,
-        count=config.num_points,
-        min_factor=config.min_target_factor,
-        max_factor=config.max_target_factor,
+    methods = [MethodSpec.rip_method(config=config.rip)] + [
+        MethodSpec.dp_baseline(
+            f"dp-g{granularity:g}",
+            RepeaterLibrary.uniform_count(
+                min_width=config.baseline_min_width,
+                granularity=granularity,
+                count=config.baseline_library_size,
+            ),
+        )
+        for granularity in config.granularities
+    ]
+    population = engine.design_population(
+        [case],
+        methods,
+        targets=TargetSpec(
+            count=config.num_points,
+            min_factor=config.min_target_factor,
+            max_factor=config.max_target_factor,
+        ),
     )
+    net_result = population.nets[0]
+    rip_records = net_result.records_for("rip")
 
-    rip = Rip(technology, config.rip)
-    prepared = rip.prepare(case.net)
-    rip_widths = []
-    for target in targets:
-        outcome = rip.run_prepared(prepared, target)
-        rip_widths.append(outcome.total_width if outcome.feasible else None)
-
-    dp = PowerAwareDp(technology, pruning=config.rip.pruning)
     series = {}
     for granularity in config.granularities:
-        library = RepeaterLibrary.uniform_count(
-            min_width=config.baseline_min_width,
-            granularity=granularity,
-            count=config.baseline_library_size,
-        )
-        frontier = dp.run(case.net, library, case.candidates)
         points = []
-        for target, rip_width in zip(targets, rip_widths):
-            point = frontier.best_for_delay(target)
-            dp_width = None if point is None else point.total_width
+        for dp_record, rip_record in zip(
+            net_result.records_for(f"dp-g{granularity:g}"), rip_records
+        ):
+            dp_width = dp_record.total_width if dp_record.feasible else None
+            rip_width = rip_record.total_width if rip_record.feasible else None
             if dp_width is None or rip_width is None:
                 improvement = None
             else:
                 improvement = savings_percent(dp_width, rip_width)
             points.append(
                 Figure7Point(
-                    timing_target=target,
-                    target_factor=target / case.tau_min,
+                    timing_target=dp_record.target,
+                    target_factor=dp_record.target_factor,
                     dp_width=dp_width,
                     rip_width=rip_width,
                     improvement_percent=improvement,

@@ -2,124 +2,59 @@
 
 Section 6 of the paper designs every net twenty times, with timing targets
 ranging from ``1.05 * tau_min`` to ``2.05 * tau_min`` where ``tau_min`` is
-the minimum achievable delay of the net.  This module generates the net
-population (via :class:`repro.net.RandomNetGenerator` with the paper's
-parameters), computes ``tau_min`` for each net with the delay-optimal DP and
-a rich library, and packages everything as :class:`NetCase` objects the
-individual experiments consume.
+the minimum achievable delay of the net.
+
+The canonical implementation now lives in the engine layer:
+:mod:`repro.engine.cache` owns :class:`ProtocolConfig`, :class:`NetCase`,
+:func:`timing_targets` and the shared, disk-cacheable
+:class:`~repro.engine.cache.ProtocolStore` every experiment draws its
+population from.  This module re-exports those names (so existing imports
+keep working) and keeps the thin aggregation helpers the reports use.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from repro.dp.candidates import uniform_candidates
-from repro.dp.vanginneken import DelayOptimalDp
-from repro.net.generator import NetGenerationConfig, RandomNetGenerator
-from repro.net.twopin import TwoPinNet
-from repro.tech.library import RepeaterLibrary
-from repro.tech.nodes import NODE_180NM
-from repro.tech.technology import Technology
-from repro.utils.validation import require, require_positive
+from repro.engine.cache import (  # noqa: F401  (re-exported API)
+    NetCase,
+    ProtocolConfig,
+    ProtocolStore,
+    default_store,
+    timing_targets,
+)
+from repro.utils.validation import require
 
-
-def timing_targets(
-    tau_min: float,
-    *,
-    count: int = 20,
-    min_factor: float = 1.05,
-    max_factor: float = 2.05,
-) -> Tuple[float, ...]:
-    """The paper's sweep of timing targets: ``count`` factors of ``tau_min``."""
-    require_positive(tau_min, "tau_min")
-    require(count >= 1, "count must be >= 1")
-    require(max_factor >= min_factor > 0.0, "factors must satisfy 0 < min <= max")
-    if count == 1:
-        return (tau_min * min_factor,)
-    step = (max_factor - min_factor) / (count - 1)
-    return tuple(tau_min * (min_factor + index * step) for index in range(count))
-
-
-@dataclass(frozen=True)
-class ProtocolConfig:
-    """Workload configuration shared by all experiments.
-
-    Attributes
-    ----------
-    technology:
-        Technology node (defaults to the 0.18 µm node of the paper).
-    num_nets:
-        Number of random nets in the population (the paper uses 20).
-    seed:
-        Seed of the net generator; experiments are fully deterministic.
-    targets_per_net:
-        Number of timing targets per net (the paper uses 20).
-    min_target_factor / max_target_factor:
-        Range of the timing targets as multiples of each net's ``tau_min``.
-    candidate_pitch:
-        Candidate-location pitch of the baseline DP runs, meters (200 µm in
-        the paper).
-    tau_min_library:
-        Library used when computing each net's minimum delay.
-    tau_min_pitch:
-        Candidate pitch used when computing the minimum delay; finer than
-        the baseline pitch so that ``tau_min`` is a property of the net, not
-        of the baseline's discretisation.
-    net_config:
-        Parameters of the random net generator (defaults follow Section 6).
-    """
-
-    technology: Technology = field(default_factory=lambda: NODE_180NM)
-    num_nets: int = 20
-    seed: int = 2005
-    targets_per_net: int = 20
-    min_target_factor: float = 1.05
-    max_target_factor: float = 2.05
-    candidate_pitch: float = 200.0e-6
-    tau_min_library: RepeaterLibrary = field(
-        default_factory=lambda: RepeaterLibrary.uniform(10.0, 400.0, 10.0)
-    )
-    tau_min_pitch: float = 50.0e-6
-    net_config: NetGenerationConfig = field(default_factory=NetGenerationConfig)
-
-    def __post_init__(self) -> None:
-        require(self.num_nets >= 1, "num_nets must be >= 1")
-        require(self.targets_per_net >= 1, "targets_per_net must be >= 1")
-        require_positive(self.candidate_pitch, "candidate_pitch")
-        require_positive(self.tau_min_pitch, "tau_min_pitch")
-
-
-@dataclass(frozen=True)
-class NetCase:
-    """One net of the experimental population, with its derived quantities.
-
-    Attributes
-    ----------
-    net:
-        The random net.
-    tau_min:
-        Minimum achievable Elmore delay of the net (seconds), computed with
-        the delay-optimal DP, a 10u-granularity library up to 400u and a
-        50 µm candidate pitch.
-    targets:
-        The timing targets this net is designed for.
-    candidates:
-        Baseline candidate locations (uniform pitch, outside forbidden zones).
-    """
-
-    net: TwoPinNet
-    tau_min: float
-    targets: Tuple[float, ...]
-    candidates: Tuple[float, ...]
+__all__ = [
+    "ExperimentProtocol",
+    "NetCase",
+    "ProtocolConfig",
+    "ProtocolStore",
+    "default_store",
+    "mean",
+    "savings_percent",
+    "timing_targets",
+]
 
 
 class ExperimentProtocol:
-    """Builds and caches the net population used by all experiments."""
+    """Builds and caches the net population used by all experiments.
 
-    def __init__(self, config: Optional[ProtocolConfig] = None) -> None:
+    A thin veneer over the process-wide :func:`default_store` (or an
+    explicit :class:`ProtocolStore`): two experiments configured with the
+    same :class:`ProtocolConfig` share one population build and one
+    ``tau_min`` DP pass per net — in the same process via the in-memory
+    cache, across processes via the optional disk cache.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ProtocolConfig] = None,
+        *,
+        store: Optional[ProtocolStore] = None,
+    ) -> None:
         self._config = config or ProtocolConfig()
-        self._cases: Optional[List[NetCase]] = None
+        self._store = store
 
     @property
     def config(self) -> ProtocolConfig:
@@ -127,36 +62,9 @@ class ExperimentProtocol:
         return self._config
 
     def cases(self) -> List[NetCase]:
-        """The net population (generated lazily, cached afterwards)."""
-        if self._cases is None:
-            self._cases = self._build_cases()
-        return self._cases
-
-    def _build_cases(self) -> List[NetCase]:
-        config = self._config
-        generator = RandomNetGenerator(
-            config.technology, config=config.net_config, seed=config.seed
-        )
-        delay_dp = DelayOptimalDp(config.technology)
-        cases: List[NetCase] = []
-        for net in generator.generate_many(config.num_nets):
-            fine_candidates = uniform_candidates(net, config.tau_min_pitch)
-            tau_min = delay_dp.minimum_delay(net, config.tau_min_library, fine_candidates)
-            targets = timing_targets(
-                tau_min,
-                count=config.targets_per_net,
-                min_factor=config.min_target_factor,
-                max_factor=config.max_target_factor,
-            )
-            cases.append(
-                NetCase(
-                    net=net,
-                    tau_min=tau_min,
-                    targets=targets,
-                    candidates=tuple(uniform_candidates(net, config.candidate_pitch)),
-                )
-            )
-        return cases
+        """The net population (built once per config, then served cached)."""
+        store = self._store if self._store is not None else default_store()
+        return store.cases(self._config)
 
 
 def savings_percent(baseline_width: float, rip_width: float) -> float:

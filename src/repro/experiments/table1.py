@@ -8,7 +8,10 @@ For every net in the population and every timing target between
   net and granularity answers all twenty targets);
 * RIP is run per target (its coarse DP pass is shared across targets).
 
-Reported per net, as in the paper:
+The sweep itself runs through the batch :class:`repro.engine.DesignEngine`
+(one method per scheme), so the population and ``tau_min`` are shared with
+the other experiments and the per-net work can fan out over worker
+processes.  Reported per net, as in the paper:
 
 * ``delta_max`` and the number of timing violations ``V_DP`` of the g=10u
   baseline (savings are computed only over targets where both schemes meet
@@ -22,11 +25,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.rip import Rip, RipConfig
-from repro.dp.powerdp import PowerAwareDp
+from repro.core.rip import RipConfig
+from repro.engine.design import DesignEngine, MethodSpec, NetDesignResult
 from repro.experiments.protocol import (
     ExperimentProtocol,
-    NetCase,
     ProtocolConfig,
     mean,
     savings_percent,
@@ -104,77 +106,83 @@ def _baseline_library(config: Table1Config, granularity: float) -> RepeaterLibra
     )
 
 
-def _evaluate_case(
-    case: NetCase,
-    config: Table1Config,
-    rip: Rip,
-    dp: PowerAwareDp,
-) -> Table1Row:
-    """Run all schemes on one net and summarise the comparison."""
-    baseline_widths: Dict[float, List[Optional[float]]] = {}
-    baseline_runtimes: Dict[float, float] = {}
-    for granularity in config.baseline_granularities:
-        library = _baseline_library(config, granularity)
-        started = time.perf_counter()
-        result = dp.run(case.net, library, case.candidates)
-        baseline_runtimes[granularity] = time.perf_counter() - started
-        per_target: List[Optional[float]] = []
-        for target in case.targets:
-            point = result.best_for_delay(target)
-            per_target.append(None if point is None else point.total_width)
-        baseline_widths[granularity] = per_target
+def baseline_method_name(granularity: float) -> str:
+    """Engine method name of the size-10 baseline at ``granularity``."""
+    return f"dp-g{granularity:g}"
 
-    prepared = rip.prepare(case.net)
-    rip_widths: List[Optional[float]] = []
-    rip_runtimes: List[float] = []
-    for target in case.targets:
-        outcome = rip.run_prepared(prepared, target)
-        rip_runtimes.append(outcome.runtime_seconds)
-        rip_widths.append(outcome.total_width if outcome.feasible else None)
+
+def table1_methods(config: Table1Config) -> List[MethodSpec]:
+    """The engine method set of the Table 1 sweep (RIP + three baselines)."""
+    methods = [MethodSpec.rip_method(config=config.rip)]
+    for granularity in config.baseline_granularities:
+        methods.append(
+            MethodSpec.dp_baseline(
+                baseline_method_name(granularity), _baseline_library(config, granularity)
+            )
+        )
+    return methods
+
+
+def _row_from_net(net_result: NetDesignResult, config: Table1Config) -> Table1Row:
+    """Aggregate one net's engine records into its Table 1 row."""
+    rip_records = net_result.records_for("rip")
+    rip_widths = [record.total_width if record.feasible else None for record in rip_records]
 
     delta_max: Dict[float, float] = {}
     delta_mean: Dict[float, float] = {}
     violations: Dict[float, int] = {}
+    baseline_runtimes: Dict[float, float] = {}
     for granularity in config.baseline_granularities:
+        method = baseline_method_name(granularity)
+        baseline_records = net_result.records_for(method)
+        baseline_runtimes[granularity] = net_result.method_runtimes[method]
         savings: List[float] = []
         missing = 0
-        for dp_width, rip_width in zip(baseline_widths[granularity], rip_widths):
-            if dp_width is None:
+        for baseline_record, rip_width in zip(baseline_records, rip_widths):
+            if not baseline_record.feasible:
                 missing += 1
                 continue
             if rip_width is None:
                 continue
-            savings.append(savings_percent(dp_width, rip_width))
+            savings.append(savings_percent(baseline_record.total_width, rip_width))
         delta_max[granularity] = max(savings) if savings else 0.0
         delta_mean[granularity] = mean(savings)
         violations[granularity] = missing
 
     return Table1Row(
-        net_name=case.net.name,
-        tau_min=case.tau_min,
+        net_name=net_result.net_name,
+        tau_min=net_result.tau_min,
         delta_max=delta_max,
         delta_mean=delta_mean,
         violations=violations,
         rip_violations=sum(1 for width in rip_widths if width is None),
-        rip_mean_runtime=mean(rip_runtimes),
+        rip_mean_runtime=net_result.method_runtimes["rip"],
         baseline_runtimes=baseline_runtimes,
     )
 
 
-def run_table1(config: Optional[Table1Config] = None) -> Table1Result:
+def run_table1(
+    config: Optional[Table1Config] = None,
+    *,
+    engine: Optional[DesignEngine] = None,
+    workers: int = 0,
+) -> Table1Result:
     """Run the full Table 1 experiment and return the per-net rows."""
     config = config or Table1Config()
     require(len(config.baseline_granularities) > 0, "need at least one baseline granularity")
     started = time.perf_counter()
 
-    protocol = ExperimentProtocol(config.protocol)
-    technology = config.protocol.technology
-    rip = Rip(technology, config.rip)
-    dp = PowerAwareDp(technology, pruning=config.rip.pruning)
+    if engine is None:
+        engine = DesignEngine(
+            config.protocol.technology,
+            rip_config=config.rip,
+            pruning=config.rip.pruning,
+            workers=workers,
+        )
+    cases = ExperimentProtocol(config.protocol, store=engine.store).cases()
+    population = engine.design_population(cases, table1_methods(config))
 
-    rows = tuple(
-        _evaluate_case(case, config, rip, dp) for case in protocol.cases()
-    )
+    rows = tuple(_row_from_net(net_result, config) for net_result in population.nets)
 
     granularities = tuple(config.baseline_granularities)
     average_delta_max = {

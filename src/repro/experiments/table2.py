@@ -11,6 +11,11 @@ the table reports
 * the speedup (DP runtime / RIP runtime), which the paper shows growing by
   roughly two orders of magnitude as ``g_DP`` reaches 10u.
 
+The whole sweep is one :class:`repro.engine.DesignEngine` population run:
+RIP is a single method shared by every granularity row, each granularity is
+one ``dp`` method (one frontier run per net answering all targets), and the
+per-net work can fan out over worker processes.
+
 Runtime accounting: the baseline DP is frontier-based, so one run per net
 serves every timing target; its per-net wall-clock time is what we report
 (this *favours* the baseline relative to the paper, which re-ran the DP per
@@ -21,10 +26,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from repro.core.rip import Rip, RipConfig
-from repro.dp.powerdp import PowerAwareDp
+from repro.core.rip import RipConfig
+from repro.engine.design import DesignEngine, MethodSpec
 from repro.experiments.protocol import (
     ExperimentProtocol,
     ProtocolConfig,
@@ -79,55 +84,63 @@ class Table2Result:
     total_runtime_seconds: float
 
 
-def run_table2(config: Optional[Table2Config] = None) -> Table2Result:
+def run_table2(
+    config: Optional[Table2Config] = None,
+    *,
+    engine: Optional[DesignEngine] = None,
+    workers: int = 0,
+) -> Table2Result:
     """Run the Table 2 sweep and return one row per DP granularity."""
     config = config or Table2Config()
     started = time.perf_counter()
 
-    protocol = ExperimentProtocol(config.protocol)
-    cases = protocol.cases()
-    technology = config.protocol.technology
+    if engine is None:
+        engine = DesignEngine(
+            config.protocol.technology,
+            rip_config=config.rip,
+            pruning=config.rip.pruning,
+            workers=workers,
+        )
+    cases = ExperimentProtocol(config.protocol, store=engine.store).cases()
 
-    # RIP runs once per (net, target); shared across all granularity rows.
-    rip = Rip(technology, config.rip)
-    rip_widths: List[List[Optional[float]]] = []
-    rip_runtimes: List[float] = []
-    for case in cases:
-        prepared = rip.prepare(case.net)
-        per_net: List[Optional[float]] = []
-        for target in case.targets:
-            outcome = rip.run_prepared(prepared, target)
-            rip_runtimes.append(outcome.runtime_seconds)
-            per_net.append(outcome.total_width if outcome.feasible else None)
-        rip_widths.append(per_net)
-    rip_runtime = mean(rip_runtimes)
-
-    dp = PowerAwareDp(technology, pruning=config.rip.pruning)
-    rows: List[Table2Row] = []
     low, high = config.width_range
+    libraries = {
+        granularity: RepeaterLibrary.uniform(low, high, granularity)
+        for granularity in config.granularities
+    }
+    methods = [MethodSpec.rip_method(config=config.rip)] + [
+        MethodSpec.dp_baseline(f"dp-g{granularity:g}", library)
+        for granularity, library in libraries.items()
+    ]
+    population = engine.design_population(cases, methods)
+
+    rip_runtime = mean(
+        [record.runtime_seconds for net in population.nets for record in net.records_for("rip")]
+    )
+
+    rows: List[Table2Row] = []
     for granularity in config.granularities:
-        library = RepeaterLibrary.uniform(low, high, granularity)
+        method = f"dp-g{granularity:g}"
         savings: List[float] = []
         runtimes: List[float] = []
         violations = 0
-        for case_index, case in enumerate(cases):
-            run_started = time.perf_counter()
-            frontier = dp.run(case.net, library, case.candidates)
-            runtimes.append(time.perf_counter() - run_started)
-            for target_index, target in enumerate(case.targets):
-                point = frontier.best_for_delay(target)
-                rip_width = rip_widths[case_index][target_index]
-                if point is None:
+        for net_result in population.nets:
+            runtimes.append(net_result.method_runtimes[method])
+            rip_records = net_result.records_for("rip")
+            for dp_record, rip_record in zip(net_result.records_for(method), rip_records):
+                if not dp_record.feasible:
                     violations += 1
                     continue
-                if rip_width is None:
+                if not rip_record.feasible:
                     continue
-                savings.append(savings_percent(point.total_width, rip_width))
+                savings.append(
+                    savings_percent(dp_record.total_width, rip_record.total_width)
+                )
         dp_runtime = mean(runtimes)
         rows.append(
             Table2Row(
                 granularity=granularity,
-                library_size=len(library),
+                library_size=len(libraries[granularity]),
                 average_saving_percent=mean(savings),
                 dp_runtime_seconds=dp_runtime,
                 rip_runtime_seconds=rip_runtime,

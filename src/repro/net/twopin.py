@@ -213,19 +213,27 @@ class TwoPinNet:
     def legal_positions(self, spacing: float, *, offset: float = 0.0) -> List[float]:
         """Uniformly spaced legal repeater positions along the net.
 
-        Positions start at ``offset + spacing`` and advance by ``spacing``;
-        positions falling inside forbidden zones are dropped (not snapped),
-        matching the paper's "uniformly distributed ... excluding the
-        forbidden zone" candidate construction.
+        Positions are ``offset + k * spacing`` for ``k = 1, 2, ...`` up to
+        the receiver; positions falling inside forbidden zones are dropped
+        (not snapped), matching the paper's "uniformly distributed ...
+        excluding the forbidden zone" candidate construction.
+
+        Each position is generated as a single integer-step product (via
+        ``np.arange``), not by repeated float addition — accumulation drifts
+        by an ulp per step, which on long nets with fine pitches moved
+        candidates off-grid and could flip the legality of positions near
+        zone edges.
         """
         require_positive(spacing, "spacing")
-        positions: List[float] = []
-        position = offset + spacing
-        while position < self.total_length - 1e-12:
-            if self.is_legal_position(position):
-                positions.append(position)
-            position += spacing
-        return positions
+        count = int(np.ceil((self.total_length - 1e-12 - offset) / spacing)) - 1
+        if count < 1:
+            return []
+        grid = offset + spacing * np.arange(1, count + 1)
+        # Guard against ceil landing exactly on (or past) the receiver.
+        while count >= 1 and grid[count - 1] >= self.total_length - 1e-12:
+            count -= 1
+            grid = grid[:count]
+        return [float(position) for position in grid if self.is_legal_position(position)]
 
     # ------------------------------------------------------------------ #
     # convenience

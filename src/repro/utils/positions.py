@@ -1,0 +1,22 @@
+"""Position-list helpers shared by the candidate and engine layers."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+def merge_positions(positions: Iterable[float], *, tolerance: float = 1e-9) -> List[float]:
+    """Sort positions and merge near-duplicates (within ``tolerance``).
+
+    This is the canonical dedup rule for candidate repeater locations; both
+    :func:`repro.dp.candidates.merge_candidates` and
+    :class:`repro.engine.compiled.CompiledNet` delegate to it so the compiled
+    and non-compiled DP paths can never disagree about the candidate set.
+    """
+    ordered = sorted(positions)
+    merged: List[float] = []
+    for position in ordered:
+        if merged and abs(position - merged[-1]) <= tolerance:
+            continue
+        merged.append(position)
+    return merged

@@ -1,0 +1,231 @@
+"""Tests for the batch DesignEngine, the protocol store and the CLI sweep."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.rip import InfeasibleNetError, PreparedNet, Rip, RipConfig
+from repro.dp.candidates import uniform_candidates
+from repro.dp.frontier import DelayWidthFrontier
+from repro.dp.powerdp import DpStatistics, PowerAwareDp, PowerDpResult
+from repro.dp.vanginneken import DelayOptimalDp
+from repro.engine.cache import (
+    ProtocolConfig,
+    ProtocolStore,
+    protocol_key,
+    timing_targets,
+)
+from repro.engine.design import DesignEngine, MethodSpec, TargetSpec
+from repro.tech.library import RepeaterLibrary
+from repro.utils.validation import ValidationError
+
+TINY = ProtocolConfig(num_nets=2, targets_per_net=4, seed=13)
+
+
+@pytest.fixture(scope="module")
+def tiny_store():
+    return ProtocolStore()
+
+
+@pytest.fixture(scope="module")
+def tiny_cases(tiny_store):
+    return tiny_store.cases(TINY)
+
+
+def _methods():
+    return [
+        MethodSpec.rip_method(),
+        MethodSpec.dp_baseline("dp-g40", RepeaterLibrary.uniform_count(10.0, 40.0, 10)),
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# protocol store
+# --------------------------------------------------------------------------- #
+def test_store_builds_cases_with_tau_min(tiny_cases, tech):
+    assert len(tiny_cases) == TINY.num_nets
+    delay_dp = DelayOptimalDp(tech)
+    for case in tiny_cases:
+        assert case.targets == timing_targets(case.tau_min, count=TINY.targets_per_net)
+        direct = delay_dp.minimum_delay(
+            case.net, TINY.tau_min_library, uniform_candidates(case.net, TINY.tau_min_pitch)
+        )
+        assert case.tau_min == direct
+
+
+def test_store_memoizes_in_memory(tiny_store, tiny_cases):
+    assert tiny_store.cases(TINY) is tiny_cases
+
+
+def test_store_disk_roundtrip_is_exact(tmp_path, tiny_cases):
+    first = ProtocolStore(cache_dir=tmp_path)
+    built = first.cases(TINY)
+    assert (tmp_path / f"protocol-{protocol_key(TINY)}.json").is_file()
+    second = ProtocolStore(cache_dir=tmp_path)
+    loaded = second.cases(TINY)
+    assert loaded is not built
+    for a, b in zip(built, loaded):
+        assert a.tau_min == b.tau_min
+        assert a.targets == b.targets
+        assert a.candidates == b.candidates
+        assert a.net.segments == b.net.segments
+        assert a.net.forbidden_zones == b.net.forbidden_zones
+
+
+def test_protocol_key_distinguishes_configs():
+    base = protocol_key(TINY)
+    assert protocol_key(dataclasses.replace(TINY, seed=14)) != base
+    assert protocol_key(dataclasses.replace(TINY, num_nets=3)) != base
+    assert protocol_key(TINY) == base
+
+
+def test_store_ignores_stale_format(tmp_path):
+    store = ProtocolStore(cache_dir=tmp_path)
+    path = tmp_path / f"protocol-{protocol_key(TINY)}.json"
+    path.write_text(json.dumps({"format_version": -1, "cases": []}), encoding="utf-8")
+    cases = store.cases(TINY)  # falls back to building
+    assert len(cases) == TINY.num_nets
+
+
+# --------------------------------------------------------------------------- #
+# engine vs. a hand-rolled seed-style harness (golden equivalence)
+# --------------------------------------------------------------------------- #
+def test_engine_records_match_hand_rolled_loop(tiny_cases, tech):
+    rip_config = RipConfig()
+    engine = DesignEngine(tech, rip_config=rip_config, workers=0, store=ProtocolStore())
+    methods = _methods()
+    population = engine.design_population(tiny_cases, methods)
+
+    rip = Rip(tech, rip_config)
+    dp = PowerAwareDp(tech, pruning=rip_config.pruning)
+    library = methods[1].library
+    for case, net_result in zip(tiny_cases, population.nets):
+        frontier = dp.run(case.net, library, case.candidates)
+        prepared = rip.prepare(case.net)
+        for record_rip, record_dp, target in zip(
+            net_result.records_for("rip"), net_result.records_for("dp-g40"), case.targets
+        ):
+            outcome = rip.run_prepared(prepared, target)
+            assert record_rip.feasible == outcome.feasible
+            if outcome.feasible:
+                assert record_rip.total_width == outcome.total_width
+                assert record_rip.delay == outcome.delay
+            point = frontier.best_for_delay(target)
+            assert record_dp.feasible == (point is not None)
+            if point is not None:
+                assert record_dp.total_width == point.total_width
+                assert record_dp.delay == point.delay
+
+
+def test_engine_parallel_matches_serial(tiny_cases, tech):
+    methods = _methods()
+    serial = DesignEngine(tech, workers=0, store=ProtocolStore())
+    parallel = DesignEngine(tech, workers=2, store=ProtocolStore())
+    key = lambda result: [
+        (r.net_name, r.method, r.target, r.feasible, r.total_width, r.delay)
+        for r in result.records()
+    ]
+    assert key(serial.design_population(tiny_cases, methods)) == key(
+        parallel.design_population(tiny_cases, methods)
+    )
+
+
+def test_engine_target_spec_resweeps(tiny_cases, tech):
+    engine = DesignEngine(tech, workers=0, store=ProtocolStore())
+    spec = TargetSpec(count=3, min_factor=1.2, max_factor=1.8)
+    population = engine.design_population(tiny_cases[:1], _methods(), targets=spec)
+    net_result = population.nets[0]
+    assert net_result.targets == spec.targets_for(net_result.tau_min)
+    assert len(net_result.records_for("rip")) == 3
+
+
+def test_engine_statistics(tiny_cases, tech):
+    engine = DesignEngine(tech, workers=0, store=ProtocolStore())
+    population = engine.design_population(tiny_cases, _methods())
+    stats = population.statistics
+    assert stats.num_designs == len(population.records())
+    assert stats.states_generated > 0
+    assert stats.states_per_second > 0
+    assert population.net(tiny_cases[0].net.name).net_name == tiny_cases[0].net.name
+    with pytest.raises(KeyError):
+        population.net("nope")
+
+
+def test_method_spec_validation():
+    with pytest.raises(ValidationError):
+        MethodSpec(name="dp", kind="dp")  # dp without library
+    with pytest.raises(ValidationError):
+        MethodSpec(name="x", kind="magic")
+    engine_methods = [MethodSpec.rip_method(), MethodSpec.rip_method()]
+    from repro.tech.nodes import NODE_180NM
+
+    engine = DesignEngine(NODE_180NM)
+    with pytest.raises(ValidationError):
+        engine.design_population([], engine_methods)  # duplicate names
+
+
+# --------------------------------------------------------------------------- #
+# InfeasibleNetError (satellite bugfix)
+# --------------------------------------------------------------------------- #
+def _empty_dp_result():
+    statistics = DpStatistics(
+        num_candidates=0,
+        library_size=0,
+        states_generated=0,
+        max_front_size=0,
+        runtime_seconds=0.0,
+    )
+    return PowerDpResult(frontier=DelayWidthFrontier([]), statistics=statistics)
+
+
+def _empty_prepared(net):
+    return PreparedNet(
+        net=net, coarse_result=_empty_dp_result(), coarse_candidates=(), preparation_seconds=0.0
+    )
+
+
+def test_rip_raises_infeasible_on_empty_coarse_frontier(tech, uniform_net):
+    rip = Rip(tech)
+    with pytest.raises(InfeasibleNetError) as excinfo:
+        rip.run_prepared(_empty_prepared(uniform_net), 1e-9)
+    assert excinfo.value.net_name == uniform_net.name
+    assert "coarse" in excinfo.value.stage
+
+
+def test_rip_raises_infeasible_on_empty_final_frontier(tech, uniform_net, monkeypatch):
+    rip = Rip(tech)
+    prepared = rip.prepare(uniform_net)
+    monkeypatch.setattr(rip._dp, "run", lambda *args, **kwargs: _empty_dp_result())
+    with pytest.raises(InfeasibleNetError) as excinfo:
+        rip.run_prepared(prepared, 1e-9)
+    assert "final" in excinfo.value.stage
+
+
+# --------------------------------------------------------------------------- #
+# integer-step candidate grid (satellite bugfix)
+# --------------------------------------------------------------------------- #
+def test_legal_positions_are_exact_grid_products(tech):
+    from tests.conftest import build_uniform_net
+
+    net = build_uniform_net(tech, length_um=12000.0)
+    pitch = 37e-6  # deliberately not representable as a clean binary fraction
+    positions = net.legal_positions(pitch)
+    assert positions
+    for index, position in enumerate(positions):
+        assert position == (index + 1) * pitch  # exact, not approx
+    assert positions[-1] < net.total_length
+
+
+def test_legal_positions_no_drift_on_long_fine_grids(tech):
+    from tests.conftest import build_uniform_net
+
+    net = build_uniform_net(tech, length_um=10000.0)
+    pitch = 1e-6
+    positions = np.asarray(net.legal_positions(pitch))
+    assert len(positions) == 9999
+    expected = pitch * np.arange(1, len(positions) + 1)
+    assert np.array_equal(positions, expected)
