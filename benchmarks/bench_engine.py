@@ -1,18 +1,25 @@
 """Smoke benchmark of the batch DesignEngine — writes ``BENCH_engine.json``.
 
-Runs the Table-1-style sweep (RIP + three size-10 baselines over the shared
-population) twice through :class:`repro.engine.DesignEngine`:
+Three sections, all on the shared protocol-store population:
 
-* with the default **vectorized** pruning kernels (the compiled hot path);
-* with the **reference** kernels (the seed harness' per-row Python loops),
-
-verifies both produce identical records, and writes wall-clock, speedup and
-states/second to ``BENCH_engine.json`` so CI can track the perf trajectory.
+* **kernels** — the Table-1-style sweep (RIP + three size-10 baselines)
+  with the default **vectorized** pruning kernels vs. the **reference**
+  kernels (the seed harness' per-row Python loops); verifies identical
+  records and reports the speedup.
+* **window_cache** — the RIP multi-target sweep with the shared
+  :class:`~repro.engine.wincache.WindowCompilationCache` off, cold and
+  warm (the repeated-sweep/service scenario: same nets and targets hit a
+  warm cache and skip the final DP pass entirely on frontier hits);
+  verifies bit-identical design outcomes on vs. off.
+* **technologies** — a multi-node population sweep through
+  ``DesignEngine.design_population(technologies=[...])``, with per-node
+  record/state counts so `EngineStatistics` trends are comparable across
+  CI runs per technology.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine.py [--nets N] [--targets M]
-        [--workers W] [--output BENCH_engine.json]
+        [--workers W] [--tech NODE ...] [--output BENCH_engine.json]
 
 Defaults are the reduced benchmark population (6 nets x 10 targets);
 ``REPRO_FULL=1`` or ``--nets 20 --targets 20`` runs the paper-sized sweep.
@@ -30,28 +37,31 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.core.rip import Rip  # noqa: E402
 from repro.dp.pruning import PruningConfig  # noqa: E402
 from repro.engine.cache import ProtocolConfig, ProtocolStore  # noqa: E402
-from repro.engine.design import DesignEngine  # noqa: E402
+from repro.engine.design import DesignEngine, MethodSpec  # noqa: E402
 from repro.experiments.table1 import Table1Config, table1_methods  # noqa: E402
-from repro.tech.nodes import NODE_180NM  # noqa: E402
+from repro.tech.nodes import NODE_180NM, get_node  # noqa: E402
 
 FULL_SCALE = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false", "False")
 
 
-def run(num_nets: int, targets_per_net: int, workers: int, output: str) -> dict:
-    technology = NODE_180NM
-    protocol = ProtocolConfig(
-        technology=technology, num_nets=num_nets, targets_per_net=targets_per_net, seed=2005
+def _record_key(record):
+    return (
+        record.technology,
+        record.net_name,
+        record.method,
+        round(record.target, 18),
+        record.feasible,
+        record.total_width,
     )
-    store = ProtocolStore()
-    engine_config = Table1Config(protocol=protocol)
-    methods = table1_methods(engine_config)
 
-    build_started = time.perf_counter()
+
+def bench_kernels(store, protocol, technology, workers):
+    """Vectorized vs. reference pruning kernels on the Table-1-style sweep."""
+    methods = table1_methods(Table1Config(protocol=protocol))
     cases = store.cases(protocol)
-    population_build_seconds = time.perf_counter() - build_started
-
     results = {}
     records = {}
     for kernel in ("vectorized", "reference"):
@@ -63,10 +73,7 @@ def run(num_nets: int, targets_per_net: int, workers: int, output: str) -> dict:
         outcome = engine.design_population(cases, methods)
         stats = outcome.statistics
         results[kernel] = stats
-        records[kernel] = [
-            (r.net_name, r.method, round(r.target, 18), r.feasible, r.total_width)
-            for r in outcome.records()
-        ]
+        records[kernel] = [_record_key(r) for r in outcome.records()]
         print(
             f"[{kernel:>10}] {stats.wall_clock_seconds:7.2f}s  "
             f"{stats.states_generated:>12,} states  "
@@ -80,28 +87,153 @@ def run(num_nets: int, targets_per_net: int, workers: int, output: str) -> dict:
         else float("inf")
     )
     print(f"records identical: {matches}; speedup (reference/vectorized): {speedup:.2f}x")
+    return {
+        "num_designs": results["vectorized"].num_designs,
+        "vectorized_wall_clock_seconds": results["vectorized"].wall_clock_seconds,
+        "reference_wall_clock_seconds": results["reference"].wall_clock_seconds,
+        "speedup": speedup,
+        "states_generated": results["vectorized"].states_generated,
+        "states_per_second": results["vectorized"].states_per_second,
+        "records_identical": matches,
+    }
+
+
+def bench_window_cache(store, protocol, technology):
+    """RIP multi-target sweep: window-compilation cache off / cold / warm."""
+    cases = store.cases(protocol)
+
+    def sweep(rips, prepared):
+        started = time.perf_counter()
+        outcomes = []
+        for case in cases:
+            rip = rips[case.net.name]
+            for target in case.targets:
+                result = rip.run_prepared(prepared[case.net.name], target)
+                outcomes.append(
+                    (
+                        case.net.name,
+                        round(target, 18),
+                        result.feasible,
+                        result.total_width,
+                        result.delay,
+                    )
+                )
+        return time.perf_counter() - started, outcomes
+
+    rips_off = {case.net.name: Rip(technology, window_cache=False) for case in cases}
+    prepared_off = {
+        case.net.name: rips_off[case.net.name].prepare(case.net) for case in cases
+    }
+    off_seconds, off_outcomes = sweep(rips_off, prepared_off)
+
+    rips_on = {case.net.name: Rip(technology) for case in cases}
+    prepared_on = {
+        case.net.name: rips_on[case.net.name].prepare(case.net) for case in cases
+    }
+    cold_seconds, cold_outcomes = sweep(rips_on, prepared_on)
+    warm_seconds, warm_outcomes = sweep(rips_on, prepared_on)
+
+    identical = off_outcomes == cold_outcomes == warm_outcomes
+    hits = misses = 0
+    for rip in rips_on.values():
+        statistics = rip.window_cache.statistics
+        hits += statistics.hits
+        misses += statistics.misses
+    warm_speedup = off_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    print(
+        f"[win-cache ] off {off_seconds:5.2f}s  cold {cold_seconds:5.2f}s  "
+        f"warm {warm_seconds:5.2f}s  warm speedup {warm_speedup:.2f}x  "
+        f"hit rate {hits / (hits + misses):.0%}  identical: {identical}"
+    )
+    return {
+        "num_designs": len(off_outcomes),
+        "off_wall_clock_seconds": off_seconds,
+        "cold_wall_clock_seconds": cold_seconds,
+        "warm_wall_clock_seconds": warm_seconds,
+        "warm_speedup": warm_speedup,
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "records_identical": identical,
+    }
+
+
+def bench_technologies(store, protocol, technology, workers, tech_names):
+    """Multi-technology population sweep with per-node statistics."""
+    engine = DesignEngine(technology, workers=workers, store=store)
+    table1 = table1_methods(Table1Config(protocol=protocol))
+    methods = [
+        MethodSpec.rip_method(),
+        next(method for method in table1 if method.name == "dp-g10"),
+    ]
+    technologies = [get_node(name) for name in tech_names]
+    started = time.perf_counter()
+    outcome = engine.design_population(
+        methods=methods, technologies=technologies, protocol=protocol
+    )
+    wall_clock = time.perf_counter() - started
+    section = {"wall_clock_seconds": wall_clock, "nodes": {}}
+    for name in outcome.technologies:
+        nets = outcome.for_technology(name)
+        records = [record for net in nets for record in net.records]
+        states = sum(net.states_generated for net in nets)
+        infeasible = sum(1 for record in records if not record.feasible)
+        failures = sum(1 for net in nets if net.failed)
+        section["nodes"][name] = {
+            "num_nets": len(nets),
+            "num_designs": len(records),
+            "states_generated": states,
+            "infeasible_designs": infeasible,
+            "failed_nets": failures,
+        }
+        print(
+            f"[{name:>10}] {len(records):4d} designs over {len(nets)} nets  "
+            f"{states:>12,} states  {infeasible} infeasible  {failures} failed"
+        )
+    return section
+
+
+def run(num_nets, targets_per_net, workers, tech_names, output):
+    technology = NODE_180NM
+    protocol = ProtocolConfig(
+        technology=technology, num_nets=num_nets, targets_per_net=targets_per_net, seed=2005
+    )
+    store = ProtocolStore()
+
+    build_started = time.perf_counter()
+    store.cases(protocol)
+    population_build_seconds = time.perf_counter() - build_started
+
+    kernels = bench_kernels(store, protocol, technology, workers)
+    window_cache = bench_window_cache(store, protocol, technology)
+    technologies = bench_technologies(store, protocol, technology, workers, tech_names)
 
     payload = {
         "benchmark": "engine-population-sweep",
         "scale": "paper" if (FULL_SCALE or num_nets >= 20) else "reduced",
         "num_nets": num_nets,
         "targets_per_net": targets_per_net,
-        "num_designs": results["vectorized"].num_designs,
         "population_build_seconds": population_build_seconds,
-        "vectorized_wall_clock_seconds": results["vectorized"].wall_clock_seconds,
-        "reference_wall_clock_seconds": results["reference"].wall_clock_seconds,
-        "speedup": speedup,
-        "states_generated": results["vectorized"].states_generated,
-        "states_per_second": results["vectorized"].states_per_second,
         "workers": workers,
-        "records_identical": matches,
+        "kernels": kernels,
+        "window_cache": window_cache,
+        "technologies": technologies,
+        # Legacy top-level aliases so existing trend tooling keeps parsing.
+        "num_designs": kernels["num_designs"],
+        "vectorized_wall_clock_seconds": kernels["vectorized_wall_clock_seconds"],
+        "reference_wall_clock_seconds": kernels["reference_wall_clock_seconds"],
+        "speedup": kernels["speedup"],
+        "states_generated": kernels["states_generated"],
+        "states_per_second": kernels["states_per_second"],
+        "records_identical": kernels["records_identical"],
         "python": platform.python_version(),
         "platform": platform.platform(),
     }
     Path(output).write_text(json.dumps(payload, indent=2), encoding="utf-8")
     print(f"wrote {output}")
-    if not matches:
+    if not kernels["records_identical"]:
         raise SystemExit("vectorized and reference records diverged")
+    if not window_cache["records_identical"]:
+        raise SystemExit("window-cache on and off records diverged")
     return payload
 
 
@@ -112,9 +244,17 @@ def main() -> None:
     parser.add_argument("--nets", type=int, default=default_nets)
     parser.add_argument("--targets", type=int, default=default_targets)
     parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument(
+        "--tech",
+        action="append",
+        default=None,
+        help="technology nodes of the multi-node section (repeatable; "
+        "default: cmos180 cmos90)",
+    )
     parser.add_argument("--output", default="BENCH_engine.json")
     args = parser.parse_args()
-    run(args.nets, args.targets, args.workers, args.output)
+    tech_names = args.tech or ["cmos180", "cmos90"]
+    run(args.nets, args.targets, args.workers, tech_names, args.output)
 
 
 if __name__ == "__main__":

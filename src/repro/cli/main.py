@@ -131,6 +131,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--targets", type=int, default=20, help="timing targets per net")
     sweep.add_argument("--seed", type=int, default=2005, help="population seed")
     sweep.add_argument(
+        "--tech",
+        action="append",
+        choices=available_nodes(),
+        default=None,
+        metavar="NODE",
+        help=(
+            "technology node to sweep (repeatable: --tech cmos65 --tech cmos90 "
+            "batches the nodes side by side in one population sweep; "
+            "default: the global --technology)"
+        ),
+    )
+    sweep.add_argument(
         "--methods",
         default="rip,dp-g10",
         help=(
@@ -352,21 +364,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         targets_per_net=args.targets,
         seed=args.seed,
     )
-    cases = engine.build_cases(protocol)
-    result = engine.design_population(cases, methods)
+    if args.tech:
+        technologies = [get_node(name) for name in dict.fromkeys(args.tech)]
+        result = engine.design_population(
+            methods=methods, technologies=technologies, protocol=protocol
+        )
+        num_nets = args.nets * len(technologies)
+    else:
+        cases = engine.build_cases(protocol)
+        result = engine.design_population(cases, methods)
+        num_nets = len(cases)
 
     stats = result.statistics
     print(
         f"designed {stats.num_designs} (net, target, method) records over "
-        f"{len(cases)} nets with methods {', '.join(result.methods)}"
+        f"{num_nets} nets with methods {', '.join(result.methods)}"
     )
     print(
         f"wall clock {stats.wall_clock_seconds:.2f}s, "
         f"{stats.states_generated:,} DP states "
         f"({stats.states_per_second:,.0f} states/s), workers={stats.workers}"
     )
+    for tech_name in result.technologies:
+        tech_nets = result.for_technology(tech_name)
+        tech_records = [record for net in tech_nets for record in net.records]
+        tech_infeasible = sum(1 for record in tech_records if not record.feasible)
+        print(
+            f"  [{tech_name}] {len(tech_records)} records over {len(tech_nets)} nets, "
+            f"{tech_infeasible} infeasible"
+        )
     infeasible = sum(1 for record in result.records() if not record.feasible)
     print(f"infeasible designs: {infeasible}")
+    for failure in result.failures():
+        print(f"FAILED {failure.technology}/{failure.net_name}: {failure.error}")
     if args.json:
         import json as _json
         from dataclasses import asdict

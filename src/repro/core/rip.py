@@ -32,6 +32,11 @@ from repro.core.solution import InsertionSolution
 from repro.dp.candidates import merge_candidates, uniform_candidates, window_candidates
 from repro.dp.powerdp import PowerAwareDp, PowerDpResult
 from repro.dp.pruning import PruningConfig
+from repro.engine.wincache import (
+    WindowCompilationCache,
+    dp_context_fingerprint,
+    resolve_window_cache,
+)
 from repro.net.twopin import TwoPinNet
 from repro.tech.library import RepeaterLibrary
 from repro.tech.technology import Technology
@@ -56,6 +61,13 @@ class InfeasibleNetError(RuntimeError):
         )
         self.net_name = net_name
         self.stage = stage
+
+    def __reduce__(self):
+        # The default exception reduction replays ``args`` — here the single
+        # formatted message — into ``__init__(net_name, stage)``, so the
+        # error died with a TypeError on its way back through a
+        # ``ProcessPoolExecutor``.  Reconstruct from both real arguments.
+        return (self.__class__, (self.net_name, self.stage))
 
 
 @dataclass(frozen=True)
@@ -157,7 +169,12 @@ class RipResult:
     states_generated:
         DP states generated by this call's final (and fallback) DP passes —
         the coarse pass is shared via :class:`PreparedNet` and accounted
-        there (``prepared.coarse_result.statistics``).
+        there (``prepared.coarse_result.statistics``).  When the window
+        cache serves a memoized frontier, this reports the memoized run's
+        count (the states this design *logically* required, not the work
+        performed by this call) — by design, so that sweep records are
+        bit-identical with the cache on or off; use
+        ``window_cache.statistics`` to observe actual cache work.
     """
 
     solution: InsertionSolution
@@ -183,13 +200,38 @@ class RipResult:
 
 
 class Rip:
-    """The hybrid analytical + dynamic-programming repeater inserter."""
+    """The hybrid analytical + dynamic-programming repeater inserter.
 
-    def __init__(self, technology: Technology, config: Optional[RipConfig] = None) -> None:
+    ``window_cache`` controls the shared window-compilation cache of the
+    final DP pass (step 4): ``None``/``True`` give this inserter a private
+    :class:`~repro.engine.wincache.WindowCompilationCache` (so repeated
+    targets on the same net reuse candidate grids and compiled wire
+    intervals), an explicit cache instance is shared as given (the batch
+    engine passes one per net task), and ``False`` disables caching.
+    Results are bit-for-bit identical with the cache on or off — keys use
+    exact float equality, never quantization.
+    """
+
+    def __init__(
+        self,
+        technology: Technology,
+        config: Optional[RipConfig] = None,
+        *,
+        window_cache: "Optional[WindowCompilationCache] | bool" = None,
+    ) -> None:
         self._technology = technology
         self._config = config or RipConfig()
         self._dp = PowerAwareDp(technology, pruning=self._config.pruning)
         self._refine = Refine(technology, config=self._config.refine)
+        self._window_cache = resolve_window_cache(window_cache)
+        # Everything a final-pass frontier depends on besides (net, library,
+        # candidates); scopes cache entries when the cache is shared across
+        # differently-configured inserters.
+        self._dp_context = (
+            dp_context_fingerprint(technology, self._config.pruning)
+            if self._window_cache is not None
+            else ""
+        )
 
     @property
     def technology(self) -> Technology:
@@ -200,6 +242,11 @@ class Rip:
     def config(self) -> RipConfig:
         """The RIP configuration in use."""
         return self._config
+
+    @property
+    def window_cache(self) -> Optional[WindowCompilationCache]:
+        """The final-pass compilation cache (``None`` when disabled)."""
+        return self._window_cache
 
     # ------------------------------------------------------------------ #
     def prepare(self, net: TwoPinNet) -> PreparedNet:
@@ -240,8 +287,12 @@ class Rip:
         refined = self._refine.run(net, coarse_solution, timing_target)
 
         # ---- step 3: design-specific library and candidate locations ---- #
+        cache = self._window_cache
         final_library = self._build_library(refined.solution.widths)
-        final_candidates = window_candidates(
+        build_window = (
+            cache.window_candidates if cache is not None else window_candidates
+        )
+        final_candidates: Sequence[float] = build_window(
             net,
             refined.solution.positions,
             window=config.location_window,
@@ -249,7 +300,7 @@ class Rip:
         )
 
         # ---- step 4: final DP pass --------------------------------------- #
-        final_result = self._dp.run(net, final_library, final_candidates)
+        final_result = self._run_final_dp(net, final_library, final_candidates)
         best = final_result.best_for_delay(timing_target)
         states_generated = final_result.statistics.states_generated
 
@@ -262,7 +313,7 @@ class Rip:
             )
             final_library = merged_library
             final_candidates = merged_candidates
-            final_result = self._dp.run(net, merged_library, merged_candidates)
+            final_result = self._run_final_dp(net, merged_library, merged_candidates)
             best = final_result.best_for_delay(timing_target)
             states_generated += final_result.statistics.states_generated
 
@@ -293,6 +344,33 @@ class Rip:
         )
 
     # ------------------------------------------------------------------ #
+    def _run_final_dp(
+        self,
+        net: TwoPinNet,
+        library: RepeaterLibrary,
+        candidates: Sequence[float],
+    ) -> PowerDpResult:
+        """One final-pass DP run, drawing frontier and compilation from the cache.
+
+        On a frontier hit the whole DP run is skipped (the frontier is a
+        deterministic function of the key); on a miss the compilation is
+        still shared via the compiled-net layer.  ``CompiledNet`` legalises
+        and merges the candidates exactly like the uncached
+        ``PowerAwareDp.run`` path, so both paths are bit-identical.
+        """
+        cache = self._window_cache
+        if cache is not None:
+            return cache.final_dp_result(
+                net,
+                self._dp_context,
+                library.widths,
+                candidates,
+                lambda: self._dp.run(
+                    net, library, compiled=cache.compiled(net, candidates)
+                ),
+            )
+        return self._dp.run(net, library, candidates)
+
     def _build_library(self, refined_widths: Sequence[float]) -> RepeaterLibrary:
         """Round the refined widths to the fine grid to form the library ``B``."""
         config = self._config

@@ -8,9 +8,13 @@ This package sits directly above the net model and below the DP/RIP layers:
   per-interval wire representation both DP engines traverse;
 * :mod:`repro.engine.cache` — the shared, disk-cacheable protocol store
   (net population + ``tau_min``) keyed by ``(seed, net_config, technology)``;
+* :mod:`repro.engine.wincache` — :class:`WindowCompilationCache`, the
+  per-process LRU memo of window candidate grids and per-window
+  :class:`CompiledNet` slices RIP's final DP pass draws from;
 * :mod:`repro.engine.design` — :class:`DesignEngine`, the batch harness
-  that fans a population of nets out over methods, targets and worker
-  processes and returns structured per-(net, target, method) records.
+  that fans a population of nets out over methods, targets, technologies
+  and worker processes and returns structured per-(net, target, method)
+  records.
 
 ``kernels`` and ``compiled`` are leaf modules imported by :mod:`repro.dp`;
 to keep that import acyclic the higher-level names (``DesignEngine`` and
@@ -25,6 +29,9 @@ _LAZY = {
     "DesignCase": "repro.engine.cache",
     "ProtocolStore": "repro.engine.cache",
     "default_store": "repro.engine.cache",
+    "CacheStatistics": "repro.engine.wincache",
+    "WindowCompilationCache": "repro.engine.wincache",
+    "net_fingerprint": "repro.engine.wincache",
     "DesignEngine": "repro.engine.design",
     "DesignRecord": "repro.engine.design",
     "EngineStatistics": "repro.engine.design",

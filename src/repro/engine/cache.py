@@ -23,7 +23,7 @@ backwards compatibility.
 
 from __future__ import annotations
 
-import hashlib
+import dataclasses
 import json
 import os
 from dataclasses import dataclass, field
@@ -33,11 +33,13 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.dp.candidates import uniform_candidates
 from repro.dp.vanginneken import DelayOptimalDp
 from repro.net.generator import NetGenerationConfig, RandomNetGenerator
+from repro.net.io import FORMAT_VERSION as NET_FORMAT_VERSION
 from repro.net.io import net_from_dict, net_to_dict
 from repro.net.twopin import TwoPinNet
 from repro.tech.library import RepeaterLibrary
 from repro.tech.nodes import NODE_180NM
 from repro.tech.technology import Technology
+from repro.utils.canonical import stable_digest
 from repro.utils.validation import require, require_positive
 
 __all__ = [
@@ -46,6 +48,8 @@ __all__ = [
     "ProtocolConfig",
     "ProtocolStore",
     "default_store",
+    "protocol_key",
+    "technology_fingerprint",
     "timing_targets",
 ]
 
@@ -144,7 +148,12 @@ class NetCase:
 DesignCase = NetCase
 
 
-def _technology_fingerprint(technology: Technology) -> Dict[str, Any]:
+def technology_fingerprint(technology: Technology) -> Dict[str, Any]:
+    """Canonical payload of every technology constant the DPs consume.
+
+    Used by both the protocol key and the window-compilation cache's DP
+    context, so two differently-tuned nodes can never share cache entries.
+    """
     repeater = technology.repeater
     power = technology.power
     return {
@@ -154,7 +163,15 @@ def _technology_fingerprint(technology: Technology) -> Dict[str, Any]:
             "unit_input_capacitance": repeater.unit_input_capacitance,
             "intrinsic_delay": repeater.intrinsic_delay,
         },
-        "power": vars(power).copy() if hasattr(power, "__dict__") else repr(power),
+        # Explicit field extraction: anything that is not a plain dataclass
+        # of numbers has no stable serialization and must fail loudly in
+        # canonical_json rather than fall back to repr (unstable keys).
+        "power": {
+            field.name: getattr(power, field.name)
+            for field in dataclasses.fields(power)
+        }
+        if dataclasses.is_dataclass(power)
+        else power,
         "layers": {
             name: {
                 "resistance_per_meter": layer.resistance_per_meter,
@@ -167,7 +184,15 @@ def _technology_fingerprint(technology: Technology) -> Dict[str, Any]:
 
 
 def protocol_key(config: ProtocolConfig) -> str:
-    """Stable hex fingerprint of ``(seed, net_config, technology, protocol)``."""
+    """Stable hex fingerprint of ``(seed, net_config, technology, protocol)``.
+
+    The payload is serialized with the *strict* canonical serializer
+    (:func:`repro.utils.canonical.canonical_json`): values without a
+    well-defined canonical form raise instead of being ``repr``-ed, so the
+    key is byte-identical across interpreter runs and machines (the old
+    ``json.dumps(..., default=repr)`` embedded ``0x...`` memory addresses
+    for bare objects, making keys process-local).
+    """
     net_config = config.net_config
     payload = {
         "seed": config.seed,
@@ -182,18 +207,25 @@ def protocol_key(config: ProtocolConfig) -> str:
             field_name: getattr(net_config, field_name)
             for field_name in sorted(net_config.__dataclass_fields__)
         },
-        "technology": _technology_fingerprint(config.technology),
+        "technology": technology_fingerprint(config.technology),
     }
-    digest = hashlib.sha256(
-        json.dumps(payload, sort_keys=True, default=repr).encode("utf-8")
-    ).hexdigest()
-    return digest[:20]
+    return stable_digest(payload)
 
 
 class ProtocolStore:
-    """Builds, memoises and (optionally) persists net populations."""
+    """Builds, memoises and (optionally) persists net populations.
 
-    FORMAT_VERSION = 1
+    Disk entries are versioned twice: ``format_version`` covers the store's
+    own payload layout, ``net_format_version`` the :class:`NetCase` net
+    serialization (:mod:`repro.net.io`).  A cache file whose versions or
+    embedded key do not match — or that fails to parse or reconstruct — is
+    **evicted** (deleted and rebuilt), never trusted and never fatal.
+    """
+
+    #: Bump when the shape of the on-disk payload changes.  Version 2:
+    #: strict-serializer cache keys, embedded ``key`` verification and the
+    #: ``net_format_version`` stamp.
+    FORMAT_VERSION = 2
 
     def __init__(self, cache_dir: Optional[os.PathLike] = None) -> None:
         self._cache_dir = Path(cache_dir) if cache_dir is not None else None
@@ -249,25 +281,46 @@ class ProtocolStore:
             return None
         return self._cache_dir / f"protocol-{key}.json"
 
+    @staticmethod
+    def _evict(path: Path) -> None:
+        """Delete a stale/corrupted cache file (best-effort)."""
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing eviction is harmless
+            pass
+
     def _load(self, key: str) -> Optional[List[NetCase]]:
         path = self._path(key)
         if path is None or not path.is_file():
             return None
         try:
             data = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):  # pragma: no cover - corrupted cache
+        except (OSError, ValueError):  # corrupted cache file
+            self._evict(path)
             return None
-        if data.get("format_version") != self.FORMAT_VERSION:
+        if (
+            not isinstance(data, dict)
+            or data.get("format_version") != self.FORMAT_VERSION
+            or data.get("net_format_version") != NET_FORMAT_VERSION
+            or data.get("key") != key
+        ):
+            # Old format, changed net serialization, or a file whose content
+            # does not belong to its name: evict and rebuild.
+            self._evict(path)
             return None
-        return [
-            NetCase(
-                net=net_from_dict(entry["net"]),
-                tau_min=float(entry["tau_min"]),
-                targets=tuple(float(t) for t in entry["targets"]),
-                candidates=tuple(float(c) for c in entry["candidates"]),
-            )
-            for entry in data["cases"]
-        ]
+        try:
+            return [
+                NetCase(
+                    net=net_from_dict(entry["net"]),
+                    tau_min=float(entry["tau_min"]),
+                    targets=tuple(float(t) for t in entry["targets"]),
+                    candidates=tuple(float(c) for c in entry["candidates"]),
+                )
+                for entry in data["cases"]
+            ]
+        except (KeyError, TypeError, ValueError):  # structurally broken payload
+            self._evict(path)
+            return None
 
     def _save(self, key: str, cases: List[NetCase]) -> None:
         path = self._path(key)
@@ -276,6 +329,7 @@ class ProtocolStore:
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "format_version": self.FORMAT_VERSION,
+            "net_format_version": NET_FORMAT_VERSION,
             "key": key,
             "cases": [
                 {

@@ -12,11 +12,19 @@ reusable, parallel, cache-backed primitive:
   optionally persisted to disk);
 * each net is designed for **all** methods and targets in one task — the
   baseline DP runs once per (net, library) and its frontier answers every
-  target, RIP shares its coarse pass across targets, and all DP methods
+  target, RIP shares its coarse pass across targets and draws its final-pass
+  window compilation from a per-task
+  :class:`~repro.engine.wincache.WindowCompilationCache`, and all DP methods
   share one :class:`~repro.engine.compiled.CompiledNet` compilation;
+* a sweep can batch **multiple technologies** at once
+  (``design_population(methods=..., technologies=[...], protocol=...)``):
+  every (net, technology) pair is one task in the same worker pool, with
+  side-by-side per-technology protocol stores (sub-directories of the
+  engine's disk cache);
 * tasks fan out over a ``ProcessPoolExecutor`` when ``workers > 1``
   (results are deterministic and identical to the serial path — the golden
-  tests check this);
+  tests check this); a net whose DP passes are infeasible is reported
+  per-net (``NetDesignResult.error``) instead of aborting the sweep;
 * the result is a flat, structured set of :class:`DesignRecord` rows that
   Table 1/2, Figure 7 and any future sweep can aggregate without re-running
   anything.
@@ -26,10 +34,10 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.rip import Rip, RipConfig
+from repro.core.rip import InfeasibleNetError, Rip, RipConfig
 from repro.dp.powerdp import PowerAwareDp
 from repro.dp.pruning import PruningConfig
 from repro.engine.cache import (
@@ -40,6 +48,7 @@ from repro.engine.cache import (
     timing_targets,
 )
 from repro.engine.compiled import CompiledNet
+from repro.engine.wincache import WindowCompilationCache
 from repro.tech.library import RepeaterLibrary
 from repro.tech.technology import Technology
 from repro.utils.validation import require
@@ -132,11 +141,20 @@ class DesignRecord:
     runtime_seconds: float
     num_repeaters: int = 0
     fallback_used: bool = False
+    technology: str = ""
 
 
 @dataclass(frozen=True)
 class NetDesignResult:
-    """All records of one net, plus per-method instrumentation."""
+    """All records of one net, plus per-method instrumentation.
+
+    ``error`` is set when the net raised
+    :class:`~repro.core.rip.InfeasibleNetError` — the sweep carries on and
+    reports the failure per-net instead of aborting.  A failed net carries
+    no records (rows completed before the failure are dropped), so flat
+    record counts always agree with the table aggregations, which skip
+    failed nets.
+    """
 
     net_name: str
     tau_min: float
@@ -144,6 +162,13 @@ class NetDesignResult:
     records: Tuple[DesignRecord, ...]
     method_runtimes: Dict[str, float]
     states_generated: int
+    technology: str = ""
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        """True when this net's design aborted with an infeasibility error."""
+        return self.error is not None
 
     def records_for(self, method: str) -> Tuple[DesignRecord, ...]:
         """This net's records of one method, in target order."""
@@ -169,22 +194,40 @@ class EngineStatistics:
 
 @dataclass(frozen=True)
 class PopulationDesignResult:
-    """Structured outcome of one ``design_population`` call."""
+    """Structured outcome of one ``design_population`` call.
+
+    Multi-technology sweeps interleave one :class:`NetDesignResult` per
+    (technology, net) pair — technology-major, then net-major in population
+    order; ``technologies`` lists the swept node names and
+    :meth:`for_technology` slices the per-node results back out.
+    """
 
     nets: Tuple[NetDesignResult, ...]
     methods: Tuple[str, ...]
     statistics: EngineStatistics
+    technologies: Tuple[str, ...] = ()
 
     def records(self) -> Tuple[DesignRecord, ...]:
-        """All records, flattened (net-major, then method, then target)."""
+        """All records, flattened (technology- then net-major)."""
         return tuple(record for net in self.nets for record in net.records)
 
-    def net(self, net_name: str) -> NetDesignResult:
-        """The result of one net by name."""
+    def net(self, net_name: str, technology: Optional[str] = None) -> NetDesignResult:
+        """The result of one net by name (and technology, when swept)."""
         for entry in self.nets:
-            if entry.net_name == net_name:
+            if entry.net_name == net_name and technology in (None, entry.technology):
                 return entry
         raise KeyError(f"no net called {net_name!r} in this result")
+
+    def for_technology(self, technology: str) -> Tuple[NetDesignResult, ...]:
+        """The per-net results of one swept technology node."""
+        if technology not in self.technologies:
+            known = ", ".join(self.technologies)
+            raise KeyError(f"no technology {technology!r} in this result (swept: {known})")
+        return tuple(net for net in self.nets if net.technology == technology)
+
+    def failures(self) -> Tuple[NetDesignResult, ...]:
+        """Nets whose design aborted with an infeasibility error."""
+        return tuple(net for net in self.nets if net.failed)
 
 
 # --------------------------------------------------------------------------- #
@@ -197,6 +240,7 @@ def _design_case(
     technology: Technology,
     rip_config: RipConfig,
     pruning: PruningConfig,
+    use_window_cache: bool = True,
 ) -> NetDesignResult:
     resolved_targets = (
         case.targets if targets is None else targets.targets_for(case.tau_min)
@@ -204,65 +248,86 @@ def _design_case(
     records: List[DesignRecord] = []
     method_runtimes: Dict[str, float] = {}
     states = 0
+    error: Optional[str] = None
     compiled: Optional[CompiledNet] = None
     compile_seconds = 0.0
+    # One shared window-compilation cache serves every RIP method and every
+    # timing target of this net task (the keys cover the RIP configuration's
+    # window/pitch, so differently-configured methods cannot collide).
+    window_cache = WindowCompilationCache() if use_window_cache else False
 
-    for spec in methods:
-        if spec.kind == "rip":
-            rip = Rip(technology, spec.rip or rip_config)
-            prepared = rip.prepare(case.net)
-            states += prepared.coarse_result.statistics.states_generated
-            runtimes: List[float] = []
-            for target in resolved_targets:
-                outcome = rip.run_prepared(prepared, target)
-                states += outcome.states_generated
-                runtimes.append(outcome.runtime_seconds)
-                feasible = outcome.feasible
-                records.append(
-                    DesignRecord(
-                        net_name=case.net.name,
-                        method=spec.name,
-                        target=target,
-                        target_factor=target / case.tau_min,
-                        feasible=feasible,
-                        total_width=outcome.total_width if feasible else None,
-                        delay=outcome.delay if feasible else None,
-                        runtime_seconds=outcome.runtime_seconds,
-                        num_repeaters=outcome.solution.num_repeaters,
-                        fallback_used=outcome.fallback_used,
+    try:
+        for spec in methods:
+            if spec.kind == "rip":
+                rip = Rip(technology, spec.rip or rip_config, window_cache=window_cache)
+                prepared = rip.prepare(case.net)
+                states += prepared.coarse_result.statistics.states_generated
+                runtimes: List[float] = []
+                for target in resolved_targets:
+                    outcome = rip.run_prepared(prepared, target)
+                    states += outcome.states_generated
+                    runtimes.append(outcome.runtime_seconds)
+                    feasible = outcome.feasible
+                    records.append(
+                        DesignRecord(
+                            net_name=case.net.name,
+                            method=spec.name,
+                            target=target,
+                            target_factor=target / case.tau_min,
+                            feasible=feasible,
+                            total_width=outcome.total_width if feasible else None,
+                            delay=outcome.delay if feasible else None,
+                            runtime_seconds=outcome.runtime_seconds,
+                            num_repeaters=outcome.solution.num_repeaters,
+                            fallback_used=outcome.fallback_used,
+                            technology=technology.name,
+                        )
                     )
+                method_runtimes[spec.name] = (
+                    sum(runtimes) / len(runtimes) if runtimes else 0.0
                 )
-            method_runtimes[spec.name] = sum(runtimes) / len(runtimes) if runtimes else 0.0
-        else:
-            if compiled is None:
-                # One compilation serves every dp method of this net.
-                compile_started = time.perf_counter()
-                compiled = CompiledNet(case.net, case.candidates)
-                compile_seconds = time.perf_counter() - compile_started
-            dp = PowerAwareDp(technology, pruning=pruning)
-            run_started = time.perf_counter()
-            result = dp.run(case.net, spec.library, compiled=compiled)
-            # Each method is charged the (shared) compilation, mirroring the
-            # legacy harness where every dp run legalised its own candidates
-            # — keeps reported DP runtimes comparable across PRs.
-            runtime = (time.perf_counter() - run_started) + compile_seconds
-            method_runtimes[spec.name] = runtime
-            states += result.statistics.states_generated
-            for target in resolved_targets:
-                point = result.best_for_delay(target)
-                records.append(
-                    DesignRecord(
-                        net_name=case.net.name,
-                        method=spec.name,
-                        target=target,
-                        target_factor=target / case.tau_min,
-                        feasible=point is not None,
-                        total_width=None if point is None else point.total_width,
-                        delay=None if point is None else point.delay,
-                        runtime_seconds=runtime,
-                        num_repeaters=0 if point is None else point.solution.num_repeaters,
+            else:
+                if compiled is None:
+                    # One compilation serves every dp method of this net.
+                    compile_started = time.perf_counter()
+                    compiled = CompiledNet(case.net, case.candidates)
+                    compile_seconds = time.perf_counter() - compile_started
+                dp = PowerAwareDp(technology, pruning=pruning)
+                run_started = time.perf_counter()
+                result = dp.run(case.net, spec.library, compiled=compiled)
+                # Each method is charged the (shared) compilation, mirroring the
+                # legacy harness where every dp run legalised its own candidates
+                # — keeps reported DP runtimes comparable across PRs.
+                runtime = (time.perf_counter() - run_started) + compile_seconds
+                method_runtimes[spec.name] = runtime
+                states += result.statistics.states_generated
+                for target in resolved_targets:
+                    point = result.best_for_delay(target)
+                    records.append(
+                        DesignRecord(
+                            net_name=case.net.name,
+                            method=spec.name,
+                            target=target,
+                            target_factor=target / case.tau_min,
+                            feasible=point is not None,
+                            total_width=None if point is None else point.total_width,
+                            delay=None if point is None else point.delay,
+                            runtime_seconds=runtime,
+                            num_repeaters=0
+                            if point is None
+                            else point.solution.num_repeaters,
+                            technology=technology.name,
+                        )
                     )
-                )
+    except InfeasibleNetError as infeasible:
+        # Report per-net instead of aborting the whole population sweep.
+        # Records completed before the failure are dropped so that a failed
+        # net never contributes rows: ``PopulationDesignResult.records()``,
+        # ``EngineStatistics.num_designs`` and the table aggregations (which
+        # skip failed nets) stay consistent with each other.
+        error = str(infeasible)
+        records.clear()
+        method_runtimes.clear()
 
     return NetDesignResult(
         net_name=case.net.name,
@@ -271,6 +336,8 @@ def _design_case(
         records=tuple(records),
         method_runtimes=method_runtimes,
         states_generated=states,
+        technology=technology.name,
+        error=error,
     )
 
 
@@ -279,7 +346,7 @@ def _design_case_payload(payload) -> NetDesignResult:
 
 
 class DesignEngine:
-    """Batch designer for net populations: methods x targets x workers."""
+    """Batch designer for net populations: methods x targets x technologies."""
 
     def __init__(
         self,
@@ -289,6 +356,7 @@ class DesignEngine:
         pruning: Optional[PruningConfig] = None,
         workers: int = 0,
         store: Optional[ProtocolStore] = None,
+        window_cache: bool = True,
     ) -> None:
         require(workers >= 0, "workers must be >= 0")
         self._technology = technology
@@ -296,15 +364,17 @@ class DesignEngine:
         self._pruning = pruning or self._rip_config.pruning
         self._workers = workers
         self._store = store if store is not None else default_store()
+        self._window_cache = window_cache
+        self._tech_stores: Dict[str, ProtocolStore] = {technology.name: self._store}
 
     @property
     def technology(self) -> Technology:
-        """Technology the engine designs for."""
+        """Primary technology the engine designs for."""
         return self._technology
 
     @property
     def store(self) -> ProtocolStore:
-        """The protocol store populations are served from."""
+        """The protocol store populations of the primary technology use."""
         return self._store
 
     @property
@@ -312,32 +382,132 @@ class DesignEngine:
         """Worker processes used by :meth:`design_population` (0/1 = serial)."""
         return self._workers
 
+    @property
+    def window_cache_enabled(self) -> bool:
+        """Whether RIP tasks share per-net window-compilation caches."""
+        return self._window_cache
+
     # ------------------------------------------------------------------ #
-    def build_cases(self, protocol: ProtocolConfig) -> List[NetCase]:
-        """The net population for ``protocol``, via the shared store."""
-        return self._store.cases(protocol)
+    def store_for(self, technology: Technology) -> ProtocolStore:
+        """The side-by-side protocol store of one swept technology.
+
+        The primary technology uses the engine's own store; every other node
+        gets a dedicated store whose disk cache (when the engine is
+        disk-backed) lives in a per-technology sub-directory, so multi-node
+        populations sit side by side and can be inspected/evicted per node.
+        """
+        store = self._tech_stores.get(technology.name)
+        if store is None:
+            root = self._store.cache_dir
+            store = ProtocolStore(
+                cache_dir=root / technology.name if root is not None else None
+            )
+            self._tech_stores[technology.name] = store
+        return store
+
+    @staticmethod
+    def protocol_for(protocol: ProtocolConfig, technology: Technology) -> ProtocolConfig:
+        """Re-anchor a protocol on another technology node.
+
+        Besides swapping the technology, the net-generation recipe is kept
+        viable: when the configured routing layers do not exist on the
+        target node (e.g. the paper's metal4/metal5 on a 65 nm stack), they
+        are replaced by the node's global (lowest-resistance) layers — the
+        same construction the paper's recipe encodes for 0.18 µm.
+        """
+        net_config = protocol.net_config
+        if any(layer not in technology.layers for layer in net_config.layers):
+            net_config = replace(
+                net_config,
+                layers=technology.global_routing_layers(len(net_config.layers)),
+            )
+        return replace(protocol, technology=technology, net_config=net_config)
+
+    def build_cases(
+        self, protocol: ProtocolConfig, technology: Optional[Technology] = None
+    ) -> List[NetCase]:
+        """The net population for ``protocol``, via the shared store.
+
+        With an explicit ``technology`` the protocol is re-anchored on that
+        node (see :meth:`protocol_for`) and served from its side-by-side
+        store.
+        """
+        if technology is None:
+            return self._store.cases(protocol)
+        return self.store_for(technology).cases(self.protocol_for(protocol, technology))
 
     def design_population(
         self,
-        cases: Sequence[NetCase],
-        methods: Sequence[MethodSpec],
+        cases: Optional[Sequence[NetCase]] = None,
+        methods: Sequence[MethodSpec] = (),
         targets: Optional[TargetSpec] = None,
+        *,
+        technologies: Optional[Sequence[Technology]] = None,
+        protocol: Optional[ProtocolConfig] = None,
     ) -> PopulationDesignResult:
-        """Design every net of ``cases`` with every method.
+        """Design every net of a population with every method.
+
+        Two calling shapes:
+
+        * ``design_population(cases, methods, targets)`` — the classic
+          single-technology sweep over prebuilt cases (the engine's own
+          technology);
+        * ``design_population(methods=..., technologies=[...],
+          protocol=...)`` — a multi-technology sweep: each node's population
+          is built from ``protocol`` (re-anchored per node, via the
+          side-by-side stores) and every (net, technology) pair becomes one
+          task in the same worker pool.
 
         ``targets=None`` uses each case's own protocol targets; passing a
         :class:`TargetSpec` re-sweeps every net with a custom target grid
-        (Figure 7 uses a denser one).  Records are returned net-major in the
-        input order regardless of worker count.
+        (Figure 7 uses a denser one).  Records come back technology- then
+        net-major in input order regardless of worker count.
         """
         require(len(methods) > 0, "need at least one method")
         names = [spec.name for spec in methods]
         require(len(set(names)) == len(names), "method names must be unique")
+
+        if technologies is None:
+            require(
+                cases is not None,
+                "design_population needs prebuilt cases (or technologies= and protocol=)",
+            )
+            jobs = [(self._technology, case) for case in cases]
+            tech_names = (self._technology.name,)
+        else:
+            require(
+                cases is None,
+                "pass either prebuilt cases or technologies=, not both",
+            )
+            require(
+                protocol is not None,
+                "a multi-technology sweep needs protocol= to build each population",
+            )
+            require(len(technologies) > 0, "need at least one technology")
+            tech_names = tuple(technology.name for technology in technologies)
+            require(
+                len(set(tech_names)) == len(tech_names),
+                "technology names must be unique",
+            )
+            jobs = [
+                (technology, case)
+                for technology in technologies
+                for case in self.build_cases(protocol, technology)
+            ]
+
         started = time.perf_counter()
         method_tuple = tuple(methods)
         payloads = [
-            (case, method_tuple, targets, self._technology, self._rip_config, self._pruning)
-            for case in cases
+            (
+                case,
+                method_tuple,
+                targets,
+                technology,
+                self._rip_config,
+                self._pruning,
+                self._window_cache,
+            )
+            for technology, case in jobs
         ]
         if self._workers > 1 and len(payloads) > 1:
             with ProcessPoolExecutor(max_workers=self._workers) as pool:
@@ -356,4 +526,5 @@ class DesignEngine:
                 num_designs=num_designs,
                 workers=self._workers,
             ),
+            technologies=tech_names,
         )

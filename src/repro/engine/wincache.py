@@ -1,0 +1,288 @@
+"""Shared window-compilation cache for RIP's final DP pass.
+
+With the DP frontier kernels vectorized (PR 1), the residual per-design
+Python cost of the hybrid RIP flow is *window compilation*: for every
+``(net, timing target)`` pair the final DP pass rebuilds its design-specific
+candidate set (:func:`repro.dp.candidates.window_candidates` — one
+``is_legal_position`` check per ``center x offset``) and recompiles the net
+against it (:class:`repro.engine.compiled.CompiledNet` — one
+``pieces_between`` walk per interval).
+
+Across a multi-target sweep those structures repeat heavily: REFINE
+converges to the *same* refined locations for many adjacent timing targets
+(loose targets all land on the unconstrained power optimum), the fallback
+pass re-merges the same coarse grid, and re-runs of the same design hit
+identical inputs.  :class:`WindowCompilationCache` memoizes three layers:
+
+* ``window_candidates`` keyed by ``(net fingerprint, refined locations,
+  window, pitch)``;
+* ``CompiledNet`` slices keyed by ``(net fingerprint, candidate grid)`` —
+  shared across every library run on the same window;
+* the final-pass **DP frontier** keyed by ``(net fingerprint, dp context,
+  library widths, candidate grid)``, where the *dp context* fingerprints
+  the technology constants and pruning configuration.  The frontier is a
+  deterministic pure function of that key, so when two timing targets
+  produce the same design-specific library and window (the common case for
+  adjacent targets), the second one skips the final DP entirely and reads
+  its answer off the memoized frontier — this layer is what turns the
+  repeated-window structure into wall-clock savings.
+
+Keys use **exact** float equality (no quantization), so a cache hit returns
+a structure built from byte-identical inputs — DP results with the cache on
+are bit-for-bit identical to the cache-off path (tested).  All layers are
+bounded LRU maps; the cache is per-process state (each
+:class:`~repro.engine.design.DesignEngine` worker builds its own) and is
+not thread-safe.
+
+The net fingerprint is a :func:`repro.utils.canonical.stable_digest` over
+the net's canonical serialization (:func:`repro.net.io.net_to_dict`), so it
+is stable across processes — two workers given equal nets compute equal
+keys, and a future shared (on-disk / service) cache can reuse them as-is.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple, TypeVar
+
+from repro.dp.candidates import window_candidates
+from repro.engine.compiled import CompiledNet
+from repro.net.io import net_to_dict
+from repro.net.twopin import TwoPinNet
+from repro.utils.canonical import stable_digest
+from repro.utils.validation import require
+
+__all__ = [
+    "CacheStatistics",
+    "WindowCompilationCache",
+    "dp_context_fingerprint",
+    "net_fingerprint",
+    "resolve_window_cache",
+]
+
+_ResultT = TypeVar("_ResultT")
+
+
+#: Memoized per-net fingerprints.  Keyed by the (hashable, frozen) net value,
+#: so equal nets share one entry; weak references keep the map from pinning
+#: populations in memory.
+_FINGERPRINTS: "weakref.WeakKeyDictionary[TwoPinNet, str]" = weakref.WeakKeyDictionary()
+
+
+def net_fingerprint(net: TwoPinNet) -> str:
+    """Process-stable hex fingerprint of a net's canonical serialization."""
+    cached = _FINGERPRINTS.get(net)
+    if cached is None:
+        cached = stable_digest(net_to_dict(net))
+        _FINGERPRINTS[net] = cached
+    return cached
+
+
+def dp_context_fingerprint(technology, pruning) -> str:
+    """Fingerprint of everything *besides* (net, library, candidates) a
+    power-aware DP result depends on: the technology constants and the
+    pruning configuration (including the kernel — kernels may legitimately
+    differ inside the pruning tolerance band, so they must not share
+    frontier entries)."""
+    from repro.engine.cache import technology_fingerprint  # heavy module; defer
+
+    return stable_digest(
+        {
+            "technology": technology_fingerprint(technology),
+            "pruning": {
+                field.name: getattr(pruning, field.name)
+                for field in dataclasses.fields(pruning)
+            },
+        }
+    )
+
+
+@dataclass(frozen=True)
+class CacheStatistics:
+    """Hit/miss instrumentation of one :class:`WindowCompilationCache`."""
+
+    candidate_hits: int
+    candidate_misses: int
+    compiled_hits: int
+    compiled_misses: int
+    frontier_hits: int
+    frontier_misses: int
+    entries: int
+    evictions: int
+
+    @property
+    def hits(self) -> int:
+        """Total hits over all cache layers."""
+        return self.candidate_hits + self.compiled_hits + self.frontier_hits
+
+    @property
+    def misses(self) -> int:
+        """Total misses over all cache layers."""
+        return self.candidate_misses + self.compiled_misses + self.frontier_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never used)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class WindowCompilationCache:
+    """Bounded LRU memo of window candidate grids and compiled-net slices."""
+
+    def __init__(self, max_entries: int = 512) -> None:
+        require(max_entries >= 1, "max_entries must be >= 1")
+        self._max_entries = max_entries
+        self._candidates: "OrderedDict[tuple, Tuple[float, ...]]" = OrderedDict()
+        self._compiled: "OrderedDict[tuple, CompiledNet]" = OrderedDict()
+        self._frontiers: "OrderedDict[tuple, object]" = OrderedDict()
+        self._candidate_hits = 0
+        self._candidate_misses = 0
+        self._compiled_hits = 0
+        self._compiled_misses = 0
+        self._frontier_hits = 0
+        self._frontier_misses = 0
+        self._evictions = 0
+
+    @property
+    def max_entries(self) -> int:
+        """LRU capacity of each cache layer."""
+        return self._max_entries
+
+    @property
+    def statistics(self) -> CacheStatistics:
+        """Current hit/miss/eviction counters."""
+        return CacheStatistics(
+            candidate_hits=self._candidate_hits,
+            candidate_misses=self._candidate_misses,
+            compiled_hits=self._compiled_hits,
+            compiled_misses=self._compiled_misses,
+            frontier_hits=self._frontier_hits,
+            frontier_misses=self._frontier_misses,
+            entries=len(self._candidates) + len(self._compiled) + len(self._frontiers),
+            evictions=self._evictions,
+        )
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._candidates.clear()
+        self._compiled.clear()
+        self._frontiers.clear()
+
+    # ------------------------------------------------------------------ #
+    def _evict_to_capacity(self, table: "OrderedDict") -> None:
+        while len(table) > self._max_entries:
+            table.popitem(last=False)
+            self._evictions += 1
+
+    def window_candidates(
+        self,
+        net: TwoPinNet,
+        centers: Sequence[float],
+        *,
+        window: int,
+        pitch: float,
+        include_centers: bool = True,
+    ) -> Tuple[float, ...]:
+        """Memoized :func:`repro.dp.candidates.window_candidates`.
+
+        The key uses the exact center values (REFINE's refined locations),
+        so a hit returns the grid of a byte-identical earlier query.
+        """
+        key = (
+            net_fingerprint(net),
+            tuple(float(center) for center in centers),
+            int(window),
+            float(pitch),
+            bool(include_centers),
+        )
+        cached = self._candidates.get(key)
+        if cached is not None:
+            self._candidate_hits += 1
+            self._candidates.move_to_end(key)
+            return cached
+        self._candidate_misses += 1
+        grid = tuple(
+            window_candidates(
+                net, key[1], window=window, pitch=pitch, include_centers=include_centers
+            )
+        )
+        self._candidates[key] = grid
+        self._evict_to_capacity(self._candidates)
+        return grid
+
+    def compiled(
+        self, net: TwoPinNet, candidate_positions: Sequence[float]
+    ) -> CompiledNet:
+        """Memoized :class:`CompiledNet` for ``(net, candidate_positions)``.
+
+        ``candidate_positions`` may contain illegal/duplicate positions (the
+        constructor legalises and merges exactly like the uncached path).
+        """
+        key = (
+            net_fingerprint(net),
+            tuple(float(position) for position in candidate_positions),
+        )
+        cached = self._compiled.get(key)
+        if cached is not None:
+            self._compiled_hits += 1
+            self._compiled.move_to_end(key)
+            return cached
+        self._compiled_misses += 1
+        compiled = CompiledNet(net, key[1])
+        self._compiled[key] = compiled
+        self._evict_to_capacity(self._compiled)
+        return compiled
+
+    def final_dp_result(
+        self,
+        net: TwoPinNet,
+        context: str,
+        library_widths: Sequence[float],
+        candidate_positions: Sequence[float],
+        factory: Callable[[], _ResultT],
+    ) -> _ResultT:
+        """Memoized final-pass DP frontier.
+
+        ``context`` must fingerprint every DP input besides the key's own
+        components — use :func:`dp_context_fingerprint` for the technology
+        and pruning configuration.  A frontier run is deterministic given
+        ``(net, context, library, candidates)``, so a hit returns a result
+        bit-for-bit equal to what ``factory()`` would recompute; on a hit
+        the factory (and hence the whole DP run) is skipped.
+        """
+        key = (
+            net_fingerprint(net),
+            str(context),
+            tuple(float(width) for width in library_widths),
+            tuple(float(position) for position in candidate_positions),
+        )
+        cached = self._frontiers.get(key)
+        if cached is not None:
+            self._frontier_hits += 1
+            self._frontiers.move_to_end(key)
+            return cached  # type: ignore[return-value]
+        self._frontier_misses += 1
+        result = factory()
+        self._frontiers[key] = result
+        self._evict_to_capacity(self._frontiers)
+        return result
+
+
+def resolve_window_cache(
+    window_cache: "Optional[WindowCompilationCache] | bool",
+) -> Optional[WindowCompilationCache]:
+    """Normalize the ``window_cache`` argument accepted by :class:`Rip`.
+
+    ``None``/``True`` create a fresh private cache, ``False`` disables
+    caching, and an explicit :class:`WindowCompilationCache` is shared as
+    given.
+    """
+    if window_cache is False:
+        return None
+    if window_cache is None or window_cache is True:
+        return WindowCompilationCache()
+    return window_cache

@@ -151,6 +151,10 @@ def run_figure7(
         ),
     )
     net_result = population.nets[0]
+    require(
+        not net_result.failed,
+        f"net {net_result.net_name!r} failed to design: {net_result.error}",
+    )
     rip_records = net_result.records_for("rip")
 
     series = {}

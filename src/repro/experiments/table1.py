@@ -182,7 +182,14 @@ def run_table1(
     cases = ExperimentProtocol(config.protocol, store=engine.store).cases()
     population = engine.design_population(cases, table1_methods(config))
 
-    rows = tuple(_row_from_net(net_result, config) for net_result in population.nets)
+    # Infeasible nets are reported per-net by the engine; the table
+    # aggregates the nets that designed cleanly.
+    rows = tuple(
+        _row_from_net(net_result, config)
+        for net_result in population.nets
+        if not net_result.failed
+    )
+    require(len(rows) > 0, "every net of the population failed to design")
 
     granularities = tuple(config.baseline_granularities)
     average_delta_max = {

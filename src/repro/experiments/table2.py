@@ -37,6 +37,7 @@ from repro.experiments.protocol import (
     savings_percent,
 )
 from repro.tech.library import RepeaterLibrary
+from repro.utils.validation import require
 
 
 @dataclass(frozen=True)
@@ -114,8 +115,12 @@ def run_table2(
     ]
     population = engine.design_population(cases, methods)
 
+    # Infeasible nets are reported per-net by the engine; aggregate the
+    # nets that designed cleanly.
+    designed_nets = [net for net in population.nets if not net.failed]
+    require(len(designed_nets) > 0, "every net of the population failed to design")
     rip_runtime = mean(
-        [record.runtime_seconds for net in population.nets for record in net.records_for("rip")]
+        [record.runtime_seconds for net in designed_nets for record in net.records_for("rip")]
     )
 
     rows: List[Table2Row] = []
@@ -124,7 +129,7 @@ def run_table2(
         savings: List[float] = []
         runtimes: List[float] = []
         violations = 0
-        for net_result in population.nets:
+        for net_result in designed_nets:
             runtimes.append(net_result.method_runtimes[method])
             rip_records = net_result.records_for("rip")
             for dp_record, rip_record in zip(net_result.records_for(method), rip_records):

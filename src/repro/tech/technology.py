@@ -60,6 +60,21 @@ class Technology:
         """Names of the available routing layers, sorted."""
         return tuple(sorted(self.layers))
 
+    def global_routing_layers(self, count: int = 2) -> Tuple[str, ...]:
+        """The ``count`` lowest-resistance layers, in deterministic order.
+
+        Global nets route on the thick upper layers, which are the ones with
+        the lowest resistance per meter; ordering is by ``(resistance,
+        name)`` so the result is stable for cache keys.  Multi-technology
+        sweeps use this to re-anchor a net-generation recipe whose layer
+        names do not exist on a scaled node.
+        """
+        require_positive(count, "count")
+        ordered = sorted(
+            self.layers.values(), key=lambda layer: (layer.resistance_per_meter, layer.name)
+        )
+        return tuple(layer.name for layer in ordered[:count])
+
     def repeater_power(self, total_width: float) -> float:
         """Total repeater power (W) for a solution with the given total width.
 

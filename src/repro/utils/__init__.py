@@ -14,6 +14,7 @@ from repro.utils.units import (
     to_nanoseconds,
     to_picoseconds,
 )
+from repro.utils.canonical import CanonicalizationError, canonical_json, stable_digest
 from repro.utils.pareto import prune_pareto_2d, prune_pareto_3d
 from repro.utils.rng import child_rng, make_rng
 from repro.utils.validation import (
@@ -39,6 +40,9 @@ __all__ = [
     "to_microns",
     "to_nanoseconds",
     "to_picoseconds",
+    "CanonicalizationError",
+    "canonical_json",
+    "stable_digest",
     "prune_pareto_2d",
     "prune_pareto_3d",
     "child_rng",

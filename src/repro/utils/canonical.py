@@ -1,0 +1,88 @@
+"""Strict canonical JSON serialization for cache keys and fingerprints.
+
+Cache keys must be *byte-stable across interpreter runs*: the same
+configuration must hash to the same key in every process, on every machine.
+``json.dumps(..., default=repr)`` silently violates this — the default
+``repr`` of a bare object embeds its memory address (``<Foo object at
+0x7f...>``), so any payload containing an object without an explicit
+serialization produced a different key per process and the disk cache never
+hit (or worse, a colliding ``repr`` hit a stale entry).
+
+:func:`canonical_json` takes the opposite stance: it accepts only values
+with a well-defined canonical form (``None``, ``bool``, ``int``, ``str``,
+finite ``float`` — including numpy scalar subclasses — and ``dict`` /
+``list`` / ``tuple`` thereof) and **raises** ``CanonicalizationError`` on
+anything else, naming the offending path.  Floats are canonicalized through
+``float()`` (collapsing numpy float subclasses) and rejected when
+non-finite, since ``NaN != NaN`` breaks cache-key equality semantics;
+dictionary keys must be strings and are emitted sorted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any
+
+__all__ = ["CanonicalizationError", "canonical_json", "stable_digest"]
+
+
+class CanonicalizationError(TypeError):
+    """A payload value has no strict canonical serialization."""
+
+
+def _canonicalize(value: Any, path: str) -> Any:
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, float):  # bool already handled; np.float64 passes here
+        if not math.isfinite(value):
+            raise CanonicalizationError(
+                f"{path}: non-finite float {value!r} has no stable canonical form"
+            )
+        return float(value)
+    if isinstance(value, int):  # after bool/float; covers int subclasses
+        return int(value)
+    if isinstance(value, (list, tuple)):
+        return [
+            _canonicalize(item, f"{path}[{index}]") for index, item in enumerate(value)
+        ]
+    if isinstance(value, dict):
+        result = {}
+        for key in sorted(value, key=str):
+            if not isinstance(key, str):
+                raise CanonicalizationError(
+                    f"{path}: dict key {key!r} is not a string"
+                )
+            result[key] = _canonicalize(value[key], f"{path}.{key}")
+        return result
+    raise CanonicalizationError(
+        f"{path}: {type(value).__qualname__} value {value!r} has no strict "
+        "canonical serialization; convert it to plain dict/list/str/number "
+        "fields explicitly (a repr fallback would embed memory addresses and "
+        "make cache keys unstable across processes)"
+    )
+
+
+def canonical_json(payload: Any) -> str:
+    """Serialize ``payload`` to a canonical JSON string.
+
+    The output is byte-identical for equal payloads in every interpreter
+    run: keys are sorted, separators are fixed, floats use CPython's exact
+    shortest-round-trip ``repr``, and any value without a well-defined
+    canonical form raises :class:`CanonicalizationError` instead of being
+    silently ``repr``-ed.
+    """
+    return json.dumps(
+        _canonicalize(payload, "$"),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+        ensure_ascii=True,
+    )
+
+
+def stable_digest(payload: Any, *, length: int = 20) -> str:
+    """Hex SHA-256 digest (truncated to ``length`` chars) of ``payload``."""
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+    return digest[:length]

@@ -100,3 +100,38 @@ def test_experiment_figure7_small(capsys):
     captured = capsys.readouterr()
     assert code == 0
     assert "Figure 7" in captured.out
+
+
+def test_sweep_single_technology(tmp_path, capsys):
+    json_path = tmp_path / "records.json"
+    code = main([
+        "sweep", "--nets", "1", "--targets", "2",
+        "--methods", "rip", "--json", str(json_path),
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "designed 2 (net, target, method) records" in captured.out
+    records = json.loads(json_path.read_text())
+    assert len(records) == 2
+    assert all(record["technology"] == "cmos180" for record in records)
+
+
+def test_sweep_multiple_technologies(tmp_path, capsys):
+    json_path = tmp_path / "records.json"
+    code = main([
+        "sweep", "--nets", "1", "--targets", "2", "--methods", "rip",
+        "--tech", "cmos180", "--tech", "cmos90", "--json", str(json_path),
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "[cmos180]" in captured.out
+    assert "[cmos90]" in captured.out
+    records = json.loads(json_path.read_text())
+    assert sorted({record["technology"] for record in records}) == ["cmos180", "cmos90"]
+    assert len(records) == 4
+
+
+def test_sweep_rejects_unknown_technology():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["sweep", "--tech", "cmos3"])

@@ -47,6 +47,47 @@ def test_window_candidates_exclude_centers_option(mixed_net):
     assert all(abs(c - center) > 1e-12 for c in candidates)
 
 
+def test_window_candidates_clipped_by_forbidden_zone(zoned_net):
+    # A center just downstream of the zone: the window reaches back into the
+    # zone and every in-zone position must be clipped, keeping the rest.
+    zone = zoned_net.forbidden_zones[0]
+    pitch = from_microns(50.0)
+    center = zone.end + 2 * pitch
+    candidates = window_candidates(zoned_net, [center], window=10, pitch=pitch)
+    assert candidates  # the downstream half of the window survives
+    assert all(not zone.contains(c) for c in candidates)
+    assert all(zoned_net.is_legal_position(c) for c in candidates)
+    # Positions the zone would have claimed are really gone.
+    assert min(candidates) >= zone.end
+
+
+def test_window_candidates_duplicate_centers_merge_without_duplicates(mixed_net):
+    pitch = from_microns(50.0)
+    # Identical and fully-overlapping centers: the union must contain each
+    # grid position exactly once and stay sorted.
+    centers = [2e-3, 2e-3, 2e-3 + pitch]
+    candidates = window_candidates(mixed_net, centers, window=3, pitch=pitch)
+    assert candidates == sorted(candidates)
+    assert all(b - a > 1e-12 for a, b in zip(candidates, candidates[1:]))
+    single = window_candidates(mixed_net, [2e-3], window=3, pitch=pitch)
+    assert set(round(c, 12) for c in single) <= set(round(c, 12) for c in candidates)
+
+
+def test_window_candidates_collapse_to_zero_legal_positions(tech):
+    from repro.net.zones import ForbiddenZone
+    from tests.conftest import build_mixed_net
+
+    # Zone [3.5mm, 6mm]; a window centered mid-zone with total reach
+    # 2 * 2 * 50um = 200um cannot escape it: no legal position remains.
+    net = build_mixed_net(
+        tech, zones=(ForbiddenZone(from_microns(3500.0), from_microns(6000.0)),)
+    )
+    candidates = window_candidates(
+        net, [from_microns(4750.0)], window=2, pitch=from_microns(50.0)
+    )
+    assert candidates == []
+
+
 def test_merge_candidates_dedups_within_tolerance():
     merged = merge_candidates([1.0, 1.0 + 1e-12, 2.0], tolerance=1e-9)
     assert merged == [1.0, 2.0]

@@ -1,0 +1,57 @@
+"""Tests for the strict canonical JSON serializer behind all cache keys."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.canonical import CanonicalizationError, canonical_json, stable_digest
+
+
+def test_canonical_json_sorts_keys_and_fixes_separators():
+    assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+    assert canonical_json([1, "x", None, True]) == '[1,"x",null,true]'
+
+
+def test_canonical_json_tuples_and_lists_agree():
+    assert canonical_json((1, 2, 3)) == canonical_json([1, 2, 3])
+
+
+def test_canonical_json_floats_are_exact_and_type_distinct():
+    # Shortest-round-trip repr: exact for every finite float.
+    assert canonical_json(0.1) == "0.1"
+    assert canonical_json(2.0) != canonical_json(2)  # float vs int differ
+    value = 200.0e-6
+    assert float(canonical_json(value)) == value
+
+
+def test_canonical_json_collapses_numpy_scalars():
+    assert canonical_json(np.float64(0.5)) == canonical_json(0.5)
+
+
+def test_canonical_json_rejects_bare_objects():
+    class Opaque:
+        pass
+
+    # The whole point of the strict serializer: a bare object must raise
+    # (its default repr embeds a memory address -> unstable keys), and the
+    # error names where in the payload it sits.
+    with pytest.raises(CanonicalizationError, match=r"\$\.config\[1\]"):
+        canonical_json({"config": [1, Opaque()]})
+
+
+def test_canonical_json_rejects_non_finite_floats_and_non_string_keys():
+    with pytest.raises(CanonicalizationError):
+        canonical_json(float("nan"))
+    with pytest.raises(CanonicalizationError):
+        canonical_json(float("inf"))
+    with pytest.raises(CanonicalizationError):
+        canonical_json({1: "x"})
+
+
+def test_stable_digest_is_deterministic_and_length_bounded():
+    payload = {"seed": 2005, "pitch": 200.0e-6, "layers": ["metal4", "metal5"]}
+    assert stable_digest(payload) == stable_digest(dict(reversed(payload.items())))
+    assert len(stable_digest(payload)) == 20
+    assert stable_digest(payload, length=8) == stable_digest(payload)[:8]
+    assert stable_digest(payload) != stable_digest({**payload, "seed": 2006})
