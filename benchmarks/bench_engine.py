@@ -1,6 +1,6 @@
 """Smoke benchmark of the batch DesignEngine — writes ``BENCH_engine.json``.
 
-Three sections, all on the shared protocol-store population:
+Six sections, all on the shared protocol-store population:
 
 * **kernels** — the Table-1-style sweep (RIP + three size-10 baselines)
   with the default **vectorized** pruning kernels vs. the **reference**
@@ -9,8 +9,20 @@ Three sections, all on the shared protocol-store population:
 * **window_cache** — the RIP multi-target sweep with the shared
   :class:`~repro.engine.wincache.WindowCompilationCache` off, cold and
   warm (the repeated-sweep/service scenario: same nets and targets hit a
-  warm cache and skip the final DP pass entirely on frontier hits);
+  warm cache and skip REFINE and the final DP pass entirely);
   verifies bit-identical design outcomes on vs. off.
+* **refine_warmstart** — cold-start vs. warm-started REFINE (the per-net
+  continuation threading of ISSUE 3): reports the speedup, verifies that
+  feasibility verdicts never change and reports the analytical drift.
+* **persistence** — the design-state layer on disk: a cold disk-backed
+  sweep, a *restart* sweep (fresh inserters + fresh cache attached to the
+  same directory — REFINE records and frontiers read back from disk) and a
+  *resident* warm sweep (same inserters, second pass).  Verifies all three
+  are bit-identical and asserts the warm repeated sweep is >= 2x faster
+  than the cold run (the ISSUE 3 acceptance bar).
+* **fast_mode** — the opt-in ``traverse_affine`` DP traversal vs. the
+  bit-exact kernel: speedup and maximum relative delay drift (documented
+  ~1 ulp per interval).
 * **technologies** — a multi-node population sweep through
   ``DesignEngine.design_population(technologies=[...])``, with per-node
   record/state counts so `EngineStatistics` trends are comparable across
@@ -32,16 +44,21 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.core.rip import Rip  # noqa: E402
+from repro.core.refine import RefineConfig  # noqa: E402
+from repro.core.rip import Rip, RipConfig  # noqa: E402
+from repro.dp.powerdp import PowerAwareDp  # noqa: E402
 from repro.dp.pruning import PruningConfig  # noqa: E402
 from repro.engine.cache import ProtocolConfig, ProtocolStore  # noqa: E402
 from repro.engine.design import DesignEngine, MethodSpec  # noqa: E402
+from repro.engine.wincache import WindowCompilationCache  # noqa: E402
 from repro.experiments.table1 import Table1Config, table1_methods  # noqa: E402
+from repro.tech.library import RepeaterLibrary  # noqa: E402
 from repro.tech.nodes import NODE_180NM, get_node  # noqa: E402
 
 FULL_SCALE = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false", "False")
@@ -157,6 +174,166 @@ def bench_window_cache(store, protocol, technology):
     }
 
 
+def _rip_sweep(cases, rips, prepared):
+    """One multi-target RIP sweep; returns (seconds, outcome rows)."""
+    started = time.perf_counter()
+    outcomes = []
+    for case in cases:
+        rip = rips[case.net.name]
+        for target in case.targets:
+            result = rip.run_prepared(prepared[case.net.name], target)
+            outcomes.append(
+                (
+                    case.net.name,
+                    round(target, 18),
+                    result.feasible,
+                    result.total_width,
+                    result.delay,
+                    result.states_generated,
+                )
+            )
+    return time.perf_counter() - started, outcomes
+
+
+def bench_refine_warmstart(store, protocol, technology):
+    """Cold-start vs. warm-started REFINE (continuation threading)."""
+    cases = store.cases(protocol)
+
+    def sweep(warm):
+        config = RipConfig(refine=RefineConfig(warm_start=warm))
+        rips = {case.net.name: Rip(technology, config, window_cache=False) for case in cases}
+        prepared = {case.net.name: rips[case.net.name].prepare(case.net) for case in cases}
+        seconds, outcomes = _rip_sweep(cases, rips, prepared)
+        return seconds, outcomes, rips
+
+    cold_seconds, cold_outcomes, _ = sweep(False)
+    warm_seconds, warm_outcomes, warm_rips = sweep(True)
+
+    feasibility_identical = [o[:3] for o in cold_outcomes] == [
+        o[:3] for o in warm_outcomes
+    ]
+    max_width_drift = max(
+        (
+            abs(c[3] - w[3]) / max(c[3], 1e-12)
+            for c, w in zip(cold_outcomes, warm_outcomes)
+            if c[2] and w[2]
+        ),
+        default=0.0,
+    )
+    seeded = sum(
+        rip.continuation_statistics.seeded_runs for rip in warm_rips.values()
+    )
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    print(
+        f"[refine-ws ] cold {cold_seconds:5.2f}s  warm {warm_seconds:5.2f}s  "
+        f"speedup {speedup:.2f}x  seeded {seeded}  "
+        f"feasibility identical: {feasibility_identical}  "
+        f"max width drift {max_width_drift:.2e}"
+    )
+    return {
+        "num_designs": len(cold_outcomes),
+        "cold_wall_clock_seconds": cold_seconds,
+        "warm_wall_clock_seconds": warm_seconds,
+        "speedup": speedup,
+        "seeded_runs": seeded,
+        "feasibility_identical": feasibility_identical,
+        "max_feasible_width_drift": max_width_drift,
+    }
+
+
+def bench_persistence(store, protocol, technology):
+    """The on-disk design-state layer: cold vs. restart vs. resident warm."""
+    cases = store.cases(protocol)
+
+    with tempfile.TemporaryDirectory(prefix="repro-wincache-") as cache_dir:
+
+        def attach():
+            cache = WindowCompilationCache(cache_dir=cache_dir)
+            rips = {case.net.name: Rip(technology, window_cache=cache) for case in cases}
+            started = time.perf_counter()
+            prepared = {
+                case.net.name: rips[case.net.name].prepare(case.net) for case in cases
+            }
+            prepare_seconds = time.perf_counter() - started
+            return cache, rips, prepared, prepare_seconds
+
+        # Cold: empty directory, everything computed and persisted.
+        cache, rips, prepared, cold_prepare = attach()
+        cold_sweep, cold_outcomes = _rip_sweep(cases, rips, prepared)
+        cold_seconds = cold_prepare + cold_sweep
+
+        # Resident warm: the same inserters answer the same sweep again
+        # (REFINE continuations + in-memory frontier layer).
+        resident_sweep, resident_outcomes = _rip_sweep(cases, rips, prepared)
+        resident_seconds = resident_sweep
+
+        # Restart warm: fresh inserters + fresh cache attach to the same
+        # directory — the process-restart / service-redeploy scenario.
+        restart_cache, rips, prepared, restart_prepare = attach()
+        restart_sweep, restart_outcomes = _rip_sweep(cases, rips, prepared)
+        restart_seconds = restart_prepare + restart_sweep
+        disk_hits = restart_cache.statistics.disk_hits
+
+    identical = cold_outcomes == resident_outcomes == restart_outcomes
+    warm_speedup = cold_seconds / resident_seconds if resident_seconds > 0 else float("inf")
+    restart_speedup = cold_seconds / restart_seconds if restart_seconds > 0 else float("inf")
+    print(
+        f"[persist   ] cold {cold_seconds:5.2f}s  resident {resident_seconds:5.2f}s "
+        f"({warm_speedup:.1f}x)  restart {restart_seconds:5.2f}s "
+        f"({restart_speedup:.1f}x)  disk hits {disk_hits}  identical: {identical}"
+    )
+    return {
+        "num_designs": len(cold_outcomes),
+        "cold_wall_clock_seconds": cold_seconds,
+        "resident_warm_wall_clock_seconds": resident_seconds,
+        "restart_warm_wall_clock_seconds": restart_seconds,
+        "warm_speedup": warm_speedup,
+        "restart_speedup": restart_speedup,
+        "disk_hits": disk_hits,
+        "records_identical": identical,
+    }
+
+
+def bench_fast_mode(store, protocol, technology):
+    """Exact vs. affine wire traversal on the baseline DP sweep."""
+    cases = store.cases(protocol)
+    library = RepeaterLibrary.uniform(10.0, 400.0, 10.0)
+
+    def sweep(traversal):
+        dp = PowerAwareDp(technology, traversal=traversal)
+        started = time.perf_counter()
+        results = {case.net.name: dp.run(case.net, library, case.candidates) for case in cases}
+        return time.perf_counter() - started, results
+
+    exact_seconds, exact_results = sweep("exact")
+    affine_seconds, affine_results = sweep("affine")
+
+    max_drift = 0.0
+    widths_identical = True
+    for case in cases:
+        exact_points = exact_results[case.net.name].frontier.points
+        affine_points = affine_results[case.net.name].frontier.points
+        if len(exact_points) != len(affine_points):
+            widths_identical = False
+            continue
+        for a, b in zip(exact_points, affine_points):
+            widths_identical &= a.total_width == b.total_width
+            max_drift = max(max_drift, abs(a.delay - b.delay) / a.delay)
+    speedup = exact_seconds / affine_seconds if affine_seconds > 0 else float("inf")
+    print(
+        f"[fast-mode ] exact {exact_seconds:5.2f}s  affine {affine_seconds:5.2f}s  "
+        f"speedup {speedup:.2f}x  max delay drift {max_drift:.2e}  "
+        f"widths identical: {widths_identical}"
+    )
+    return {
+        "exact_wall_clock_seconds": exact_seconds,
+        "affine_wall_clock_seconds": affine_seconds,
+        "speedup": speedup,
+        "max_relative_delay_drift": max_drift,
+        "widths_identical": widths_identical,
+    }
+
+
 def bench_technologies(store, protocol, technology, workers, tech_names):
     """Multi-technology population sweep with per-node statistics."""
     engine = DesignEngine(technology, workers=workers, store=store)
@@ -205,6 +382,9 @@ def run(num_nets, targets_per_net, workers, tech_names, output):
 
     kernels = bench_kernels(store, protocol, technology, workers)
     window_cache = bench_window_cache(store, protocol, technology)
+    refine_warmstart = bench_refine_warmstart(store, protocol, technology)
+    persistence = bench_persistence(store, protocol, technology)
+    fast_mode = bench_fast_mode(store, protocol, technology)
     technologies = bench_technologies(store, protocol, technology, workers, tech_names)
 
     payload = {
@@ -216,6 +396,9 @@ def run(num_nets, targets_per_net, workers, tech_names, output):
         "workers": workers,
         "kernels": kernels,
         "window_cache": window_cache,
+        "refine_warmstart": refine_warmstart,
+        "persistence": persistence,
+        "fast_mode": fast_mode,
         "technologies": technologies,
         # Legacy top-level aliases so existing trend tooling keeps parsing.
         "num_designs": kernels["num_designs"],
@@ -234,6 +417,15 @@ def run(num_nets, targets_per_net, workers, tech_names, output):
         raise SystemExit("vectorized and reference records diverged")
     if not window_cache["records_identical"]:
         raise SystemExit("window-cache on and off records diverged")
+    if not refine_warmstart["feasibility_identical"]:
+        raise SystemExit("warm-started REFINE changed a feasibility verdict")
+    if not persistence["records_identical"]:
+        raise SystemExit("persisted/warm sweep records diverged from the cold run")
+    if persistence["warm_speedup"] < 2.0:
+        raise SystemExit(
+            "warm repeated sweep below the 2x acceptance bar: "
+            f"{persistence['warm_speedup']:.2f}x"
+        )
     return payload
 
 

@@ -24,6 +24,22 @@ delay is monotonically decreasing in ``lambda``; an outer bisection then
 pins ``tau_total(lambda) = tau_t``.  This variant has no convergence basin
 issues, which matters because REFINE calls the solver at every iteration
 from fairly arbitrary starting points.
+
+Warm starts
+-----------
+Both solvers accept an ``initial_lambda`` seed in addition to the
+``initial_widths`` they always supported.  With a seed the dual solver
+brackets the multiplier *around the seed* (geometric expansion by a fixed
+factor) instead of spanning twelve decades from scratch, which turns the
+outer bisection into a short continuation when the caller already holds the
+converged multiplier of a nearby problem — REFINE's inner iterations and
+the multi-target RIP sweep both do.  The warm path shares the cold path's
+feasibility pre-check (which consumes only the starting widths, never the
+seed) and falls back to the cold bracket whenever the seed turns out to be
+useless — so for the same ``initial_widths`` a warm and a cold solve reach
+the byte-identical feasibility verdict, and their converged widths/delay
+agree within the solver tolerance (the cold start remains the equivalence
+oracle — see ``tests/test_refine_warmstart.py``).
 """
 
 from __future__ import annotations
@@ -103,8 +119,18 @@ class DualBisectionWidthSolver:
         timing_target: float,
         *,
         initial_widths: Optional[Sequence[float]] = None,
+        initial_lambda: Optional[float] = None,
     ) -> WidthSolution:
-        """Compute the power-optimal continuous widths at ``positions``."""
+        """Compute the power-optimal continuous widths at ``positions``.
+
+        ``initial_lambda`` is an optional warm-start seed for the timing
+        multiplier (typically the converged multiplier of a nearby problem);
+        the bisection bracket is then built around the seed instead of
+        spanning twelve decades.  A useless seed silently falls back to the
+        cold bracket, so the result is always within the solver tolerance of
+        a cold solve and the feasibility verdict is decided by the same
+        pre-check on both paths.
+        """
         require_positive(timing_target, "timing_target")
         n = len(positions)
         if n == 0:
@@ -127,7 +153,9 @@ class DualBisectionWidthSolver:
         require(len(start) == n, "initial_widths must match the number of positions")
 
         # Delay at the "infinite lambda" end (delay-optimal widths) tells us
-        # whether the target is achievable at all for these positions.
+        # whether the target is achievable at all for these positions.  The
+        # warm path shares this pre-check, so warm starts can never flip the
+        # feasibility verdict.
         lambda_high = self._initial_lambda(net, positions, start) * 1e6
         widths_fast = self._fixed_point(lambda_high, stage_resistance, stage_capacitance, net, start)
         delay_fast = buffered_net_delay(net, self._technology, positions, widths_fast)
@@ -141,37 +169,59 @@ class DualBisectionWidthSolver:
                 iterations=0,
             )
 
-        # Bracket: find a small lambda whose delay exceeds the target.
-        lambda_low = self._initial_lambda(net, positions, start) * 1e-6
-        widths_low = self._fixed_point(lambda_low, stage_resistance, stage_capacitance, net, start)
-        delay_low = buffered_net_delay(net, self._technology, positions, widths_low)
-        guard = 0
-        while delay_low <= timing_target and guard < 60:
-            lambda_low *= 0.1
-            widths_low = self._fixed_point(
-                lambda_low, stage_resistance, stage_capacitance, net, widths_low
-            )
-            delay_low = buffered_net_delay(net, self._technology, positions, widths_low)
-            guard += 1
-        if delay_low <= timing_target:
-            # Even with vanishing widths the net meets timing: the cheapest
-            # legal design is every repeater at its minimum width.
-            widths_min = np.full(n, self._min_width)
-            delay_min = buffered_net_delay(net, self._technology, positions, widths_min)
-            return WidthSolution(
-                widths=tuple(widths_min),
-                lagrange_multiplier=lambda_low,
-                delay=delay_min,
-                total_width=float(np.sum(widths_min)),
-                feasible=delay_min <= timing_target,
-                iterations=guard,
+        bracket: Optional[Tuple[float, float, np.ndarray, int]] = None
+        if (
+            initial_lambda is not None
+            and np.isfinite(initial_lambda)
+            and initial_lambda > 0.0
+        ):
+            bracket = self._bracket_from_seed(
+                float(initial_lambda),
+                lambda_high,
+                stage_resistance,
+                stage_capacitance,
+                net,
+                positions,
+                start,
+                timing_target,
             )
 
+        if bracket is None:
+            # Cold bracket: find a small lambda whose delay exceeds the target.
+            lambda_low = self._initial_lambda(net, positions, start) * 1e-6
+            widths_low = self._fixed_point(
+                lambda_low, stage_resistance, stage_capacitance, net, start
+            )
+            delay_low = buffered_net_delay(net, self._technology, positions, widths_low)
+            guard = 0
+            while delay_low <= timing_target and guard < 60:
+                lambda_low *= 0.1
+                widths_low = self._fixed_point(
+                    lambda_low, stage_resistance, stage_capacitance, net, widths_low
+                )
+                delay_low = buffered_net_delay(net, self._technology, positions, widths_low)
+                guard += 1
+            if delay_low <= timing_target:
+                # Even with vanishing widths the net meets timing: the cheapest
+                # legal design is every repeater at its minimum width.
+                widths_min = np.full(n, self._min_width)
+                delay_min = buffered_net_delay(net, self._technology, positions, widths_min)
+                return WidthSolution(
+                    widths=tuple(widths_min),
+                    lagrange_multiplier=lambda_low,
+                    delay=delay_min,
+                    total_width=float(np.sum(widths_min)),
+                    feasible=delay_min <= timing_target,
+                    iterations=guard,
+                )
+            bracket = (lambda_low, lambda_high, widths_low, guard)
+
+        lambda_low, lambda_high, widths, pre_iterations = bracket
+
         # Bisection on log(lambda): delay is monotone decreasing in lambda.
-        widths = widths_low
-        iterations = 0
+        bisection_steps = 0
         log_low, log_high = np.log(lambda_low), np.log(lambda_high)
-        for iterations in range(1, self._max_bisection_steps + 1):
+        for bisection_steps in range(1, self._max_bisection_steps + 1):
             log_mid = 0.5 * (log_low + log_high)
             lambda_mid = float(np.exp(log_mid))
             widths = self._fixed_point(
@@ -194,8 +244,72 @@ class DualBisectionWidthSolver:
             delay=delay_final,
             total_width=float(np.sum(widths)),
             feasible=delay_final <= timing_target * (1.0 + 1e-9),
-            iterations=iterations,
+            iterations=pre_iterations + bisection_steps,
         )
+
+    def _bracket_from_seed(
+        self,
+        seed: float,
+        lambda_high: float,
+        stage_resistance: np.ndarray,
+        stage_capacitance: np.ndarray,
+        net: TwoPinNet,
+        positions: Sequence[float],
+        start: np.ndarray,
+        timing_target: float,
+    ) -> Optional[Tuple[float, float, np.ndarray, int]]:
+        """Bracket the timing multiplier around a warm-start seed.
+
+        Expands geometrically from the seed (factor 4 per step, at most 14
+        evaluations) until ``delay(lambda_low) > target >= delay(lambda_high)``.
+        Returns ``(lambda_low, lambda_high, widths, evaluations)`` or ``None``
+        when no bracket is found near the seed — the caller then falls back to
+        the cold bracket, so a useless seed costs a few evaluations but can
+        never change the outcome class.
+        """
+        expansion = 4.0
+        max_evaluations = 14
+        lam = float(min(max(seed, 1e-300), lambda_high))
+        widths = self._fixed_point(lam, stage_resistance, stage_capacitance, net, start)
+        delay = buffered_net_delay(net, self._technology, positions, widths)
+        evaluations = 1
+        if delay > timing_target:
+            # Seed is on the slow side: expand upward towards lambda_high
+            # (which the feasibility pre-check already showed meets timing).
+            low = lam
+            while lam < lambda_high and evaluations < max_evaluations:
+                lam = min(lam * expansion, lambda_high)
+                widths = self._fixed_point(
+                    lam, stage_resistance, stage_capacitance, net, widths
+                )
+                delay = buffered_net_delay(net, self._technology, positions, widths)
+                evaluations += 1
+                if delay <= timing_target:
+                    return low, lam, widths, evaluations
+                low = lam
+            if lam >= lambda_high:
+                # The fixed point at lambda_high landed on the infeasible
+                # side this time (multi-start noise); let the cold path
+                # decide.
+                return None
+            return low, lambda_high, widths, evaluations
+        # Seed already meets timing: expand downward until it stops doing so.
+        high = lam
+        while evaluations < max_evaluations:
+            lower = lam / expansion
+            next_widths = self._fixed_point(
+                lower, stage_resistance, stage_capacitance, net, widths
+            )
+            next_delay = buffered_net_delay(net, self._technology, positions, next_widths)
+            evaluations += 1
+            if next_delay > timing_target:
+                return lower, high, next_widths, evaluations
+            high = lower
+            lam = lower
+            widths = next_widths
+        # Timing is met many decades below the seed — likely the min-width
+        # regime, which the cold path detects and reports properly.
+        return None
 
     # ------------------------------------------------------------------ #
     def _initial_lambda(
@@ -275,10 +389,15 @@ class NewtonKktWidthSolver:
         timing_target: float,
         *,
         initial_widths: Optional[Sequence[float]] = None,
+        initial_lambda: Optional[float] = None,
     ) -> WidthSolution:
         """Solve the KKT system; falls back to the dual solution if Newton diverges."""
         warm = self._fallback.solve(
-            net, positions, timing_target, initial_widths=initial_widths
+            net,
+            positions,
+            timing_target,
+            initial_widths=initial_widths,
+            initial_lambda=initial_lambda,
         )
         n = len(positions)
         if n == 0 or not warm.feasible:

@@ -159,7 +159,22 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--cache-dir",
         default=None,
-        help="directory for the on-disk protocol store (net population + tau_min)",
+        help=(
+            "shared design-state directory: persists the protocol store "
+            "(net population + tau_min) plus, under <dir>/wincache, the "
+            "final-DP frontiers and REFINE continuation records, so a "
+            "repeated sweep skips REFINE and the final DP outright"
+        ),
+    )
+    sweep.add_argument(
+        "--traversal",
+        choices=("exact", "affine"),
+        default="exact",
+        help=(
+            "wire-traversal kernel of every DP pass: 'exact' is bit-exact, "
+            "'affine' is the ~1 ulp fast mode for throughput-over-exactness "
+            "service workloads"
+        ),
     )
     sweep.add_argument("--json", default=None, help="write the records as JSON to this path")
 
@@ -319,7 +334,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_methods(spec: str):
+def _parse_methods(spec: str, traversal: str = "exact"):
     from repro.engine.design import MethodSpec
 
     methods = []
@@ -328,7 +343,8 @@ def _parse_methods(spec: str):
         if not entry:
             continue
         if entry == "rip":
-            methods.append(MethodSpec.rip_method())
+            config = RipConfig(traversal=traversal) if traversal != "exact" else None
+            methods.append(MethodSpec.rip_method(config=config))
         elif entry.startswith("dp-g"):
             try:
                 granularity = float(entry[len("dp-g"):])
@@ -336,7 +352,9 @@ def _parse_methods(spec: str):
                 raise ValueError(f"malformed method {entry!r}; expected dp-g<granularity>")
             methods.append(
                 MethodSpec.dp_baseline(
-                    entry, RepeaterLibrary.uniform(10.0, 400.0, granularity)
+                    entry,
+                    RepeaterLibrary.uniform(10.0, 400.0, granularity),
+                    traversal=traversal,
                 )
             )
         else:
@@ -353,7 +371,7 @@ def _parse_methods(spec: str):
 def _cmd_sweep(args: argparse.Namespace) -> int:
     technology = get_node(args.technology)
     try:
-        methods = _parse_methods(args.methods)
+        methods = _parse_methods(args.methods, traversal=args.traversal)
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -384,6 +402,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"wall clock {stats.wall_clock_seconds:.2f}s, "
         f"{stats.states_generated:,} DP states "
         f"({stats.states_per_second:,.0f} states/s), workers={stats.workers}"
+    )
+    cache = stats.window_cache
+    if cache is not None:
+        print(
+            f"window cache: {cache.hits} hits / {cache.misses} misses "
+            f"({cache.hit_rate:.0%} hit rate), "
+            f"{cache.frontier_hits} frontier hits, {cache.disk_hits} disk hits, "
+            f"{cache.evictions + cache.disk_evictions} evictions"
+        )
+    else:
+        print("window cache: disabled")
+    store = engine.store_statistics
+    print(
+        f"protocol store: {store.builds} builds, {store.memory_hits} memory hits, "
+        f"{store.disk_hits} disk hits, {store.evictions} evictions"
     )
     for tech_name in result.technologies:
         tech_nets = result.for_technology(tech_name)

@@ -12,8 +12,21 @@ Typical use::
 
 from repro.core.solution import InsertionSolution
 from repro.core.evaluate import SolutionMetrics, evaluate_solution
-from repro.core.refine import Refine, RefineConfig, RefineResult
-from repro.core.rip import InfeasibleNetError, PreparedNet, Rip, RipConfig, RipResult
+from repro.core.refine import (
+    Refine,
+    RefineConfig,
+    RefineContinuation,
+    RefineResult,
+    RefineSeed,
+)
+from repro.core.rip import (
+    ContinuationStatistics,
+    InfeasibleNetError,
+    PreparedNet,
+    Rip,
+    RipConfig,
+    RipResult,
+)
 
 __all__ = [
     "InsertionSolution",
@@ -21,7 +34,10 @@ __all__ = [
     "evaluate_solution",
     "Refine",
     "RefineConfig",
+    "RefineContinuation",
     "RefineResult",
+    "RefineSeed",
+    "ContinuationStatistics",
     "InfeasibleNetError",
     "PreparedNet",
     "Rip",

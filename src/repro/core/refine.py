@@ -15,11 +15,36 @@ iteration
 
 Moves that would land a repeater inside a forbidden zone, cross a
 neighbouring repeater, or leave the net are suppressed.
+
+Warm starts
+-----------
+REFINE is the dominant cost of the hybrid RIP flow, and almost all of that
+cost is the width solver's outer lambda bisection.  When
+``RefineConfig.warm_start`` is on (the default) two continuations cut it
+down:
+
+* every *inner* width solve is seeded with the previous iterate's
+  ``(widths, lambda)`` — the positions moved by one step, so the multiplier
+  barely changes;
+* the *initial* solve can be seeded by the caller via
+  :class:`RefineSeed` — RIP threads the converged solution of the nearest
+  previously-designed timing target through a per-net
+  :class:`RefineContinuation` record.
+
+Warm and cold runs agree within the width solver's tolerance and always
+reach the same feasibility verdict (the solver's feasibility pre-check is
+shared by both paths); ``warm_start=False`` restores the literal cold
+behaviour and serves as the equivalence oracle in the tests.
 """
 
 from __future__ import annotations
 
+import inspect
+import json
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analytical.derivatives import location_derivatives
@@ -27,7 +52,7 @@ from repro.analytical.width_solver import DualBisectionWidthSolver, WidthSolutio
 from repro.core.solution import InsertionSolution
 from repro.net.twopin import TwoPinNet
 from repro.tech.technology import Technology
-from repro.utils.validation import require_positive
+from repro.utils.validation import require, require_positive
 
 
 @dataclass(frozen=True)
@@ -59,6 +84,11 @@ class RefineConfig:
     max_zone_crossing_length:
         Only hop across zones shorter than this (meters); ``None`` means any
         zone may be crossed.
+    warm_start:
+        Seed every inner width solve with the previous iterate's multiplier
+        and honour caller-provided :class:`RefineSeed`s (the default).
+        ``False`` restores the literal cold-start behaviour — the
+        equivalence oracle of the warm-start tests.
     """
 
     movement_step: float = 50.0e-6
@@ -68,12 +98,33 @@ class RefineConfig:
     keep_best: bool = True
     allow_zone_crossing: bool = True
     max_zone_crossing_length: Optional[float] = None
+    warm_start: bool = True
 
     def __post_init__(self) -> None:
         require_positive(self.movement_step, "movement_step")
         require_positive(self.improvement_threshold, "improvement_threshold")
         require_positive(self.max_iterations, "max_iterations")
         require_positive(self.min_separation, "min_separation")
+
+
+@dataclass(frozen=True)
+class RefineSeed:
+    """Warm-start seed for a REFINE run (see :class:`RefineContinuation`).
+
+    Deliberately *only* the timing multiplier: the starting widths of the
+    first width solve are left exactly as the cold path would choose them,
+    so the solver's feasibility pre-check (which consumes the starting
+    widths) is byte-identical warm and cold and the REFINE feasibility
+    verdict — decided by that first solve — can never change.
+
+    Attributes
+    ----------
+    lagrange_multiplier:
+        Converged timing multiplier of a nearby problem; seeds the width
+        solver's bisection bracket.
+    """
+
+    lagrange_multiplier: float
 
 
 @dataclass(frozen=True)
@@ -111,6 +162,227 @@ class RefineResult:
     width_history: Tuple[float, ...]
 
 
+class RefineContinuation:
+    """Bounded per-net memo of converged REFINE runs.
+
+    Two services, both in support of repeated / multi-target traffic on the
+    same net:
+
+    * :meth:`exact` returns the recorded :class:`RefineResult` of a
+      previously designed ``(timing target, initial solution)`` pair
+      verbatim — repeated identical queries are idempotent and free;
+    * :meth:`seed_for` returns a :class:`RefineSeed` built from the
+      recorded run whose timing target is nearest (in log space) to the new
+      one — adjacent targets then warm-start the width solver instead of
+      re-bisecting from scratch.
+
+    Entries are LRU-bounded.  Infeasible runs are recorded (so their exact
+    repeats stay idempotent) but never used for seeding.
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        require(max_entries >= 1, "max_entries must be >= 1")
+        self._max_entries = max_entries
+        self._results: "OrderedDict[tuple, RefineResult]" = OrderedDict()
+        self.exact_hits = 0
+        self.seeded_runs = 0
+        self.cold_runs = 0
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    @staticmethod
+    def _key(timing_target: float, initial: InsertionSolution) -> tuple:
+        return (float(timing_target), initial.positions, initial.widths)
+
+    def exact(
+        self, timing_target: float, initial: InsertionSolution
+    ) -> Optional[RefineResult]:
+        """The recorded result of a byte-identical earlier run, if any."""
+        key = self._key(timing_target, initial)
+        cached = self._results.get(key)
+        if cached is not None:
+            self.exact_hits += 1
+            self._results.move_to_end(key)
+        return cached
+
+    def seed_for(self, timing_target: float) -> Optional[RefineSeed]:
+        """Seed from the feasible recorded run nearest (in log space, since
+        the multiplier scales roughly with the target's order of magnitude)
+        to ``timing_target``."""
+        import math
+
+        best: Optional[RefineResult] = None
+        best_distance = float("inf")
+        log_target = math.log(timing_target)
+        for (target, _positions, _widths), result in self._results.items():
+            if not result.feasible:
+                continue
+            distance = abs(math.log(target) - log_target)
+            if distance < best_distance:
+                best_distance = distance
+                best = result
+        if best is None:
+            return None
+        return RefineSeed(lagrange_multiplier=best.lagrange_multiplier)
+
+    def record(
+        self, timing_target: float, initial: InsertionSolution, result: RefineResult
+    ) -> None:
+        """Record a converged run for later exact reuse / seeding."""
+        self._results[self._key(timing_target, initial)] = result
+        while len(self._results) > self._max_entries:
+            self._results.popitem(last=False)
+
+    def export_records(self) -> List[dict]:
+        """JSON-ready dump of all recorded runs (for :class:`RefineRecordStore`)."""
+        return [
+            {
+                "target": target,
+                "initial_positions": list(positions),
+                "initial_widths": list(widths),
+                "result": refine_result_to_payload(result),
+            }
+            for (target, positions, widths), result in self._results.items()
+        ]
+
+
+#: Bump when the on-disk refine-record payload layout changes.
+REFINE_RECORD_FORMAT_VERSION = 1
+
+
+def refine_result_to_payload(result: RefineResult) -> dict:
+    """JSON-ready payload of a REFINE result (exact float round-trip).
+
+    Scalars are coerced to plain Python types — ``feasible`` and ``delay``
+    may arrive as numpy scalars, which the stock JSON encoder rejects.
+    """
+    return {
+        "positions": [float(p) for p in result.solution.positions],
+        "widths": [float(w) for w in result.solution.widths],
+        "lagrange_multiplier": float(result.lagrange_multiplier),
+        "delay": float(result.delay),
+        "total_width": float(result.total_width),
+        "feasible": bool(result.feasible),
+        "iterations": int(result.iterations),
+        "moves_applied": int(result.moves_applied),
+        "width_history": [float(w) for w in result.width_history],
+    }
+
+
+def refine_result_from_payload(payload: dict) -> RefineResult:
+    """Rebuild a :class:`RefineResult` from :func:`refine_result_to_payload`."""
+    return RefineResult(
+        solution=InsertionSolution.from_lists(
+            [float(p) for p in payload["positions"]],
+            [float(w) for w in payload["widths"]],
+        ),
+        lagrange_multiplier=float(payload["lagrange_multiplier"]),
+        delay=float(payload["delay"]),
+        total_width=float(payload["total_width"]),
+        feasible=bool(payload["feasible"]),
+        iterations=int(payload["iterations"]),
+        moves_applied=int(payload["moves_applied"]),
+        width_history=tuple(float(w) for w in payload["width_history"]),
+    )
+
+
+class RefineRecordStore:
+    """Disk tier for :class:`RefineContinuation` records (one file per net).
+
+    Mirrors the eviction discipline of the other design-state stores
+    (:class:`~repro.engine.cache.ProtocolStore` v2, the frontier tier of
+    :class:`~repro.engine.wincache.WindowCompilationCache`): files are
+    versioned, embed their own key, are written atomically, and any file
+    that fails to parse or whose version/key does not match is deleted and
+    rebuilt — never trusted and never fatal.
+
+    ``context`` must fingerprint everything a REFINE result depends on
+    besides ``(net, timing target, initial solution)`` — the technology
+    constants and the full :class:`RefineConfig` (RIP builds it via
+    :func:`repro.core.rip.refine_context_fingerprint`).
+    """
+
+    def __init__(self, cache_dir: os.PathLike, context: str) -> None:
+        self._cache_dir = Path(cache_dir)
+        self._context = str(context)
+
+    @property
+    def cache_dir(self) -> Path:
+        """Directory holding the per-net record files."""
+        return self._cache_dir
+
+    def _path(self, net_fingerprint: str) -> Path:
+        from repro.utils.canonical import stable_digest  # tiny leaf module
+
+        digest = stable_digest({"net": net_fingerprint, "context": self._context})
+        return self._cache_dir / f"refine-{digest}.json"
+
+    @staticmethod
+    def _evict(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing eviction is harmless
+            pass
+
+    def load(self, net_fingerprint: str, continuation: "RefineContinuation") -> int:
+        """Import the net's recorded runs into ``continuation``.
+
+        Returns the number of records imported (0 when there is no usable
+        file).
+        """
+        path = self._path(net_fingerprint)
+        if not path.is_file():
+            return 0
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self._evict(path)
+            return 0
+        if (
+            not isinstance(data, dict)
+            or data.get("format_version") != REFINE_RECORD_FORMAT_VERSION
+            or data.get("net") != net_fingerprint
+            or data.get("context") != self._context
+        ):
+            self._evict(path)
+            return 0
+        try:
+            imported = 0
+            for entry in data["records"]:
+                initial = InsertionSolution.from_lists(
+                    [float(p) for p in entry["initial_positions"]],
+                    [float(w) for w in entry["initial_widths"]],
+                )
+                continuation.record(
+                    float(entry["target"]),
+                    initial,
+                    refine_result_from_payload(entry["result"]),
+                )
+                imported += 1
+            return imported
+        except (KeyError, TypeError, ValueError):
+            self._evict(path)
+            return 0
+
+    def save(self, net_fingerprint: str, continuation: "RefineContinuation") -> None:
+        """Persist the net's recorded runs (best-effort, atomic replace)."""
+        path = self._path(net_fingerprint)
+        payload = {
+            "format_version": REFINE_RECORD_FORMAT_VERSION,
+            "net": net_fingerprint,
+            "context": self._context,
+            "records": continuation.export_records(),
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            tmp.replace(path)
+        except OSError:  # pragma: no cover - disk persistence is best-effort
+            pass
+
+
 class Refine:
     """Iterative analytical improvement of a repeater-insertion solution."""
 
@@ -123,11 +395,44 @@ class Refine:
         self._technology = technology
         self._solver = width_solver or DualBisectionWidthSolver(technology)
         self._config = config or RefineConfig()
+        # Custom solvers predating the warm-start refactor may not accept
+        # the ``initial_lambda`` keyword; detect once and degrade to cold
+        # calls for them.
+        try:
+            parameters = inspect.signature(self._solver.solve).parameters
+            self._solver_accepts_lambda = "initial_lambda" in parameters
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            self._solver_accepts_lambda = False
 
     @property
     def config(self) -> RefineConfig:
         """The REFINE configuration in use."""
         return self._config
+
+    def _solve(
+        self,
+        net: TwoPinNet,
+        positions: Sequence[float],
+        timing_target: float,
+        initial_widths: Optional[Sequence[float]],
+        initial_lambda: Optional[float],
+    ) -> WidthSolution:
+        """One width solve, warm-seeded when configured and supported."""
+        if (
+            initial_lambda is not None
+            and self._config.warm_start
+            and self._solver_accepts_lambda
+        ):
+            return self._solver.solve(
+                net,
+                positions,
+                timing_target,
+                initial_widths=initial_widths,
+                initial_lambda=initial_lambda,
+            )
+        return self._solver.solve(
+            net, positions, timing_target, initial_widths=initial_widths
+        )
 
     # ------------------------------------------------------------------ #
     def run(
@@ -135,8 +440,14 @@ class Refine:
         net: TwoPinNet,
         initial: InsertionSolution,
         timing_target: float,
+        *,
+        seed: Optional[RefineSeed] = None,
     ) -> RefineResult:
-        """Refine ``initial`` towards minimum total width under ``timing_target``."""
+        """Refine ``initial`` towards minimum total width under ``timing_target``.
+
+        ``seed`` warm-starts the first width solve (ignored when
+        ``config.warm_start`` is off); see :class:`RefineSeed`.
+        """
         require_positive(timing_target, "timing_target")
         config = self._config
 
@@ -151,8 +462,16 @@ class Refine:
                 history=[0.0],
             )
 
-        width_solution = self._solver.solve(
-            net, positions, timing_target, initial_widths=initial.widths
+        # Only the multiplier is seeded; the starting widths stay exactly
+        # what the cold path would use, so the solver's feasibility
+        # pre-check — and with it this run's feasibility verdict — is
+        # byte-identical with and without the seed.
+        initial_lambda: Optional[float] = None
+        if config.warm_start and seed is not None:
+            initial_lambda = seed.lagrange_multiplier
+
+        width_solution = self._solve(
+            net, positions, timing_target, initial.widths, initial_lambda
         )
         history: List[float] = [width_solution.total_width]
         if not width_solution.feasible:
@@ -169,8 +488,12 @@ class Refine:
                 break
             moves_applied += moves
 
-            candidate = self._solver.solve(
-                net, positions, timing_target, initial_widths=width_solution.widths
+            candidate = self._solve(
+                net,
+                positions,
+                timing_target,
+                width_solution.widths,
+                width_solution.lagrange_multiplier,
             )
             if not candidate.feasible:
                 # Undo the move batch: position movement made the target

@@ -23,11 +23,18 @@ neighbourhood.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.evaluate import SolutionMetrics, evaluate_solution
-from repro.core.refine import Refine, RefineConfig, RefineResult
+from repro.core.refine import (
+    Refine,
+    RefineConfig,
+    RefineContinuation,
+    RefineRecordStore,
+    RefineResult,
+)
 from repro.core.solution import InsertionSolution
 from repro.dp.candidates import merge_candidates, uniform_candidates, window_candidates
 from repro.dp.powerdp import PowerAwareDp, PowerDpResult
@@ -35,12 +42,34 @@ from repro.dp.pruning import PruningConfig
 from repro.engine.wincache import (
     WindowCompilationCache,
     dp_context_fingerprint,
+    net_fingerprint,
     resolve_window_cache,
 )
 from repro.net.twopin import TwoPinNet
 from repro.tech.library import RepeaterLibrary
 from repro.tech.technology import Technology
 from repro.utils.validation import require, require_positive
+
+
+def refine_context_fingerprint(technology: Technology, refine: RefineConfig) -> str:
+    """Fingerprint of everything a REFINE result depends on besides the
+    ``(net, timing target, initial solution)`` triple: the technology
+    constants and the full REFINE configuration (warm and cold runs differ
+    within the solver tolerance, so they must not share disk records)."""
+    import dataclasses
+
+    from repro.engine.cache import technology_fingerprint  # heavy module; defer
+    from repro.utils.canonical import stable_digest
+
+    return stable_digest(
+        {
+            "technology": technology_fingerprint(technology),
+            "refine": {
+                field.name: getattr(refine, field.name)
+                for field in dataclasses.fields(refine)
+            },
+        }
+    )
 
 
 class InfeasibleNetError(RuntimeError):
@@ -97,13 +126,25 @@ class RipConfig:
     location_pitch:
         Pitch of those extra positions, meters (paper: 50 µm).
     refine:
-        Configuration of the embedded REFINE algorithm.
+        Configuration of the embedded REFINE algorithm.  Its ``warm_start``
+        flag (on by default) also controls the per-net
+        :class:`~repro.core.refine.RefineContinuation` threading: the
+        converged solution of the nearest previously-designed timing target
+        seeds each new REFINE run, and byte-identical repeated queries are
+        answered from the record outright.
     pruning:
         Dominance-pruning configuration of both DP passes.
     enable_fallback:
         When the final DP cannot meet the timing target with ``B``/``S``
         (rare, caused by rounding), merge the coarse library and coarse
         candidates back in and re-run once.
+    traversal:
+        Wire-traversal kernel of both DP passes: ``"exact"`` (bit-for-bit
+        reproduction of the legacy per-piece arithmetic, the default) or
+        ``"affine"`` (the single-expression fast mode of
+        :meth:`~repro.engine.compiled.CompiledNet.traverse_affine`, ~1 ulp
+        of re-association drift — for throughput-over-exactness service
+        workloads).
     """
 
     coarse_library: RepeaterLibrary = field(default_factory=RepeaterLibrary.paper_coarse)
@@ -115,6 +156,7 @@ class RipConfig:
     refine: RefineConfig = field(default_factory=RefineConfig)
     pruning: PruningConfig = field(default_factory=PruningConfig)
     enable_fallback: bool = True
+    traversal: str = "exact"
 
     def __post_init__(self) -> None:
         require_positive(self.coarse_pitch, "coarse_pitch")
@@ -122,6 +164,10 @@ class RipConfig:
         require(self.library_neighbor_steps >= 0, "library_neighbor_steps must be >= 0")
         require(self.location_window >= 0, "location_window must be >= 0")
         require_positive(self.location_pitch, "location_pitch")
+        require(
+            self.traversal in ("exact", "affine"),
+            f"unknown traversal mode {self.traversal!r}",
+        )
 
 
 @dataclass(frozen=True)
@@ -139,6 +185,21 @@ class PreparedNet:
     coarse_result: PowerDpResult
     coarse_candidates: Tuple[float, ...]
     preparation_seconds: float
+
+
+@dataclass(frozen=True)
+class ContinuationStatistics:
+    """Aggregate instrumentation of one inserter's REFINE continuations."""
+
+    exact_hits: int
+    seeded_runs: int
+    cold_runs: int
+    nets: int
+
+    @property
+    def runs(self) -> int:
+        """Total REFINE queries answered (memoized or computed)."""
+        return self.exact_hits + self.seeded_runs + self.cold_runs
 
 
 @dataclass(frozen=True)
@@ -212,6 +273,9 @@ class Rip:
     exact float equality, never quantization.
     """
 
+    #: LRU bound on the number of nets with live REFINE continuations.
+    MAX_CONTINUATION_NETS = 256
+
     def __init__(
         self,
         technology: Technology,
@@ -221,14 +285,40 @@ class Rip:
     ) -> None:
         self._technology = technology
         self._config = config or RipConfig()
-        self._dp = PowerAwareDp(technology, pruning=self._config.pruning)
+        self._dp = PowerAwareDp(
+            technology,
+            pruning=self._config.pruning,
+            traversal=self._config.traversal,
+        )
         self._refine = Refine(technology, config=self._config.refine)
         self._window_cache = resolve_window_cache(window_cache)
+        # Per-net warm-start records for REFINE, keyed by the process-stable
+        # net fingerprint; only populated when refine.warm_start is on.
+        # When the window cache is disk-backed, the records share its
+        # directory, so warm REFINE survives process restarts too.
+        self._continuations: "OrderedDict[str, RefineContinuation]" = OrderedDict()
+        # Counters of continuations already evicted from the LRU, so the
+        # reported statistics stay monotone across evictions.
+        self._evicted_exact_hits = 0
+        self._evicted_seeded_runs = 0
+        self._evicted_cold_runs = 0
+        self._refine_store: Optional[RefineRecordStore] = None
+        if (
+            self._config.refine.warm_start
+            and self._window_cache is not None
+            and self._window_cache.cache_dir is not None
+        ):
+            self._refine_store = RefineRecordStore(
+                self._window_cache.cache_dir,
+                refine_context_fingerprint(technology, self._config.refine),
+            )
         # Everything a final-pass frontier depends on besides (net, library,
         # candidates); scopes cache entries when the cache is shared across
         # differently-configured inserters.
         self._dp_context = (
-            dp_context_fingerprint(technology, self._config.pruning)
+            dp_context_fingerprint(
+                technology, self._config.pruning, traversal=self._config.traversal
+            )
             if self._window_cache is not None
             else ""
         )
@@ -248,12 +338,50 @@ class Rip:
         """The final-pass compilation cache (``None`` when disabled)."""
         return self._window_cache
 
+    @property
+    def continuation_statistics(self) -> ContinuationStatistics:
+        """Aggregate REFINE-continuation counters over this inserter's nets
+        (monotone: counters of LRU-evicted continuations are retained)."""
+        return ContinuationStatistics(
+            exact_hits=self._evicted_exact_hits
+            + sum(c.exact_hits for c in self._continuations.values()),
+            seeded_runs=self._evicted_seeded_runs
+            + sum(c.seeded_runs for c in self._continuations.values()),
+            cold_runs=self._evicted_cold_runs
+            + sum(c.cold_runs for c in self._continuations.values()),
+            nets=len(self._continuations),
+        )
+
+    def reset_continuations(self) -> None:
+        """Drop all REFINE continuation records (counters included)."""
+        self._continuations.clear()
+        self._evicted_exact_hits = 0
+        self._evicted_seeded_runs = 0
+        self._evicted_cold_runs = 0
+
     # ------------------------------------------------------------------ #
     def prepare(self, net: TwoPinNet) -> PreparedNet:
-        """Run the target-independent coarse DP pass for ``net``."""
+        """Run the target-independent coarse DP pass for ``net``.
+
+        The coarse frontier is drawn from (and recorded in) the window
+        cache's frontier layer when one is attached — its key space
+        ``(net, dp context, library, candidates)`` covers the coarse pass
+        exactly like the final one, so repeated preparations (and, with a
+        disk-backed cache, process restarts) skip the coarse DP outright.
+        """
         started = time.perf_counter()
         candidates = uniform_candidates(net, self._config.coarse_pitch)
-        coarse = self._dp.run(net, self._config.coarse_library, candidates)
+        cache = self._window_cache
+        if cache is not None:
+            coarse = cache.final_dp_result(
+                net,
+                self._dp_context,
+                self._config.coarse_library.widths,
+                candidates,
+                lambda: self._dp.run(net, self._config.coarse_library, candidates),
+            )
+        else:
+            coarse = self._dp.run(net, self._config.coarse_library, candidates)
         return PreparedNet(
             net=net,
             coarse_result=coarse,
@@ -284,7 +412,7 @@ class Rip:
         coarse_solution = InsertionSolution.from_dp(coarse_point.solution)
 
         # ---- step 2: analytical refinement ------------------------------ #
-        refined = self._refine.run(net, coarse_solution, timing_target)
+        refined = self._refined_solution(net, coarse_solution, timing_target)
 
         # ---- step 3: design-specific library and candidate locations ---- #
         cache = self._window_cache
@@ -342,6 +470,61 @@ class Rip:
             runtime_seconds=runtime,
             states_generated=states_generated,
         )
+
+    # ------------------------------------------------------------------ #
+    def _refined_solution(
+        self,
+        net: TwoPinNet,
+        coarse_solution: InsertionSolution,
+        timing_target: float,
+    ) -> RefineResult:
+        """Run REFINE, threading the net's warm-start continuation.
+
+        With ``refine.warm_start`` on, a byte-identical repeated query
+        ``(net, target, coarse solution)`` is answered from the per-net
+        :class:`RefineContinuation` record verbatim (idempotent repeats);
+        otherwise the converged solution of the nearest recorded timing
+        target seeds the width solver and the new result is recorded.  Cold
+        start (``warm_start=False``) bypasses the continuations entirely.
+        """
+        if not self._config.refine.warm_start:
+            return self._refine.run(net, coarse_solution, timing_target)
+        continuation = self._continuation_for(net)
+        cached = continuation.exact(timing_target, coarse_solution)
+        if cached is not None:
+            return cached
+        seed = continuation.seed_for(timing_target)
+        if seed is not None:
+            continuation.seeded_runs += 1
+        else:
+            continuation.cold_runs += 1
+        refined = self._refine.run(net, coarse_solution, timing_target, seed=seed)
+        continuation.record(timing_target, coarse_solution, refined)
+        if self._refine_store is not None:
+            # Rewrites the net's (small) record file per computed run —
+            # quadratic in targets but ~1ms per save against ~10ms per
+            # avoided REFINE run, and crash-safe at every point; revisit
+            # with a size budget if record counts grow past the LRU bound.
+            self._refine_store.save(net_fingerprint(net), continuation)
+        return refined
+
+    def _continuation_for(self, net: TwoPinNet) -> RefineContinuation:
+        """The net's continuation record (LRU-bounded across nets)."""
+        key = net_fingerprint(net)
+        continuation = self._continuations.get(key)
+        if continuation is None:
+            continuation = RefineContinuation()
+            if self._refine_store is not None:
+                self._refine_store.load(key, continuation)
+            self._continuations[key] = continuation
+            while len(self._continuations) > self.MAX_CONTINUATION_NETS:
+                _, evicted = self._continuations.popitem(last=False)
+                self._evicted_exact_hits += evicted.exact_hits
+                self._evicted_seeded_runs += evicted.seeded_runs
+                self._evicted_cold_runs += evicted.cold_runs
+        else:
+            self._continuations.move_to_end(key)
+        return continuation
 
     # ------------------------------------------------------------------ #
     def _run_final_dp(

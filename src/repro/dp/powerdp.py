@@ -116,20 +116,41 @@ class PowerDpResult:
 
 
 class PowerAwareDp:
-    """Lillis-style power-aware repeater-insertion DP on a two-pin net."""
+    """Lillis-style power-aware repeater-insertion DP on a two-pin net.
+
+    ``traversal`` selects the wire-crossing kernel: ``"exact"`` (the
+    default) replays the legacy per-piece arithmetic bit-for-bit via
+    :meth:`CompiledNet.traverse`; ``"affine"`` folds each interval into one
+    closed-form expression (:meth:`CompiledNet.traverse_affine`) — about
+    ~1 ulp of floating-point re-association drift per interval, for
+    throughput-over-exactness service workloads (the fast-mode property
+    tests bound the drift).
+    """
 
     def __init__(
         self,
         technology: Technology,
         pruning: Optional[PruningConfig] = None,
+        *,
+        traversal: str = "exact",
     ) -> None:
+        require(
+            traversal in ("exact", "affine"),
+            f"unknown traversal mode {traversal!r}",
+        )
         self._technology = technology
         self._pruning = pruning or PruningConfig()
+        self._traversal = traversal
 
     @property
     def technology(self) -> Technology:
         """Technology whose repeater constants the DP uses."""
         return self._technology
+
+    @property
+    def traversal(self) -> str:
+        """The wire-traversal kernel in use (``"exact"`` or ``"affine"``)."""
+        return self._traversal
 
     def run(
         self,
@@ -157,6 +178,9 @@ class PowerAwareDp:
         if compiled is None:
             compiled = CompiledNet(net, candidate_positions)
         positions = compiled.positions
+        traverse = (
+            compiled.traverse if self._traversal == "exact" else compiled.traverse_affine
+        )
 
         # State arrays at the current point (initially: at the receiver).
         caps = np.array([unit_input_cap * net.receiver_width])
@@ -171,7 +195,7 @@ class PowerAwareDp:
         library_widths = np.asarray(library.widths, dtype=float)
 
         for level, position in enumerate(reversed(positions)):
-            caps, delays = compiled.traverse(level, caps, delays)
+            caps, delays = traverse(level, caps, delays)
 
             count = len(caps)
             branches = len(library_widths) + 1
@@ -212,7 +236,7 @@ class PowerAwareDp:
             back = np.arange(len(keep), dtype=np.int64)
             max_front = max(max_front, len(keep))
 
-        caps, delays = compiled.traverse(len(positions), caps, delays)
+        caps, delays = traverse(len(positions), caps, delays)
         final_delays = delays + intrinsic + (unit_resistance / net.driver_width) * caps
 
         frontier = self._build_frontier(final_delays, widths, back, levels)

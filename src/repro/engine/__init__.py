@@ -28,6 +28,7 @@ from repro.engine.compiled import CompiledNet, WireInterval  # noqa: F401
 _LAZY = {
     "DesignCase": "repro.engine.cache",
     "ProtocolStore": "repro.engine.cache",
+    "StoreStatistics": "repro.engine.cache",
     "default_store": "repro.engine.cache",
     "CacheStatistics": "repro.engine.wincache",
     "WindowCompilationCache": "repro.engine.wincache",
@@ -39,6 +40,7 @@ _LAZY = {
     "NetDesignResult": "repro.engine.design",
     "PopulationDesignResult": "repro.engine.design",
     "TargetSpec": "repro.engine.design",
+    "WindowCacheSpec": "repro.engine.design",
 }
 
 __all__ = ["CompiledNet", "WireInterval", "kernels", *sorted(_LAZY)]

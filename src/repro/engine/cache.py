@@ -47,11 +47,55 @@ __all__ = [
     "NetCase",
     "ProtocolConfig",
     "ProtocolStore",
+    "StoreStatistics",
     "default_store",
     "protocol_key",
     "technology_fingerprint",
     "timing_targets",
 ]
+
+
+@dataclass(frozen=True)
+class StoreStatistics:
+    """Hit/miss/eviction counters of one :class:`ProtocolStore`.
+
+    ``builds`` counts full population constructions (the expensive path:
+    one delay-optimal DP per net); ``evictions`` counts stale/corrupted
+    disk files deleted and rebuilt.
+    """
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    builds: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total lookups served without building the population."""
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        """Total :meth:`ProtocolStore.cases` calls."""
+        return self.memory_hits + self.disk_hits + self.builds
+
+    def since(self, earlier: "StoreStatistics") -> "StoreStatistics":
+        """Counter deltas relative to an earlier snapshot of the same store."""
+        return StoreStatistics(
+            memory_hits=self.memory_hits - earlier.memory_hits,
+            disk_hits=self.disk_hits - earlier.disk_hits,
+            builds=self.builds - earlier.builds,
+            evictions=self.evictions - earlier.evictions,
+        )
+
+    def merged(self, other: "StoreStatistics") -> "StoreStatistics":
+        """Combine counters of two (delta) snapshots."""
+        return StoreStatistics(
+            memory_hits=self.memory_hits + other.memory_hits,
+            disk_hits=self.disk_hits + other.disk_hits,
+            builds=self.builds + other.builds,
+            evictions=self.evictions + other.evictions,
+        )
 
 
 def timing_targets(
@@ -230,22 +274,40 @@ class ProtocolStore:
     def __init__(self, cache_dir: Optional[os.PathLike] = None) -> None:
         self._cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._memory: Dict[str, List[NetCase]] = {}
+        self._memory_hits = 0
+        self._disk_hits = 0
+        self._builds = 0
+        self._evictions = 0
 
     @property
     def cache_dir(self) -> Optional[Path]:
         """Directory of the on-disk cache (``None`` = in-memory only)."""
         return self._cache_dir
 
+    @property
+    def statistics(self) -> StoreStatistics:
+        """Current hit/build/eviction counters."""
+        return StoreStatistics(
+            memory_hits=self._memory_hits,
+            disk_hits=self._disk_hits,
+            builds=self._builds,
+            evictions=self._evictions,
+        )
+
     def cases(self, config: ProtocolConfig) -> List[NetCase]:
         """The population for ``config`` — built once, then served from cache."""
         key = protocol_key(config)
         cached = self._memory.get(key)
         if cached is not None:
+            self._memory_hits += 1
             return cached
         cases = self._load(key)
         if cases is None:
+            self._builds += 1
             cases = self._build(config)
             self._save(key, cases)
+        else:
+            self._disk_hits += 1
         self._memory[key] = cases
         return cases
 
@@ -281,9 +343,9 @@ class ProtocolStore:
             return None
         return self._cache_dir / f"protocol-{key}.json"
 
-    @staticmethod
-    def _evict(path: Path) -> None:
+    def _evict(self, path: Path) -> None:
         """Delete a stale/corrupted cache file (best-effort)."""
+        self._evictions += 1
         try:
             path.unlink()
         except OSError:  # pragma: no cover - racing eviction is harmless

@@ -12,8 +12,8 @@ reusable, parallel, cache-backed primitive:
   optionally persisted to disk);
 * each net is designed for **all** methods and targets in one task — the
   baseline DP runs once per (net, library) and its frontier answers every
-  target, RIP shares its coarse pass across targets and draws its final-pass
-  window compilation from a per-task
+  target, RIP shares its coarse pass across targets and draws its DP
+  passes from the engine-/process-shared
   :class:`~repro.engine.wincache.WindowCompilationCache`, and all DP methods
   share one :class:`~repro.engine.compiled.CompiledNet` compilation;
 * a sweep can batch **multiple technologies** at once
@@ -28,6 +28,21 @@ reusable, parallel, cache-backed primitive:
 * the result is a flat, structured set of :class:`DesignRecord` rows that
   Table 1/2, Figure 7 and any future sweep can aggregate without re-running
   anything.
+
+Shared design state
+-------------------
+The engine owns **one** window-compilation cache, not one per net task: the
+serial path reuses an engine-lifetime
+:class:`~repro.engine.wincache.WindowCompilationCache` across every task
+and every ``design_population`` call, and the parallel path attaches each
+worker process to a per-process cache via a pool initializer
+(:func:`_attach_window_cache`).  With a disk-backed engine (``store`` has a
+``cache_dir``, or an explicit ``window_cache_dir``) all of them share one
+on-disk frontier/refine-record directory, so repeated sweeps — including
+across process restarts — skip REFINE and the final DP outright.  Each task
+snapshots its cache-counter delta onto ``NetDesignResult.cache_statistics``
+and the engine merges the deltas into ``EngineStatistics.window_cache``, so
+cache behaviour is observable per sweep.
 """
 
 from __future__ import annotations
@@ -35,6 +50,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.rip import InfeasibleNetError, Rip, RipConfig
@@ -44,11 +60,12 @@ from repro.engine.cache import (
     NetCase,
     ProtocolConfig,
     ProtocolStore,
+    StoreStatistics,
     default_store,
     timing_targets,
 )
 from repro.engine.compiled import CompiledNet
-from repro.engine.wincache import WindowCompilationCache
+from repro.engine.wincache import CacheStatistics, WindowCompilationCache
 from repro.tech.library import RepeaterLibrary
 from repro.tech.technology import Technology
 from repro.utils.validation import require
@@ -61,6 +78,7 @@ __all__ = [
     "NetDesignResult",
     "PopulationDesignResult",
     "TargetSpec",
+    "WindowCacheSpec",
 ]
 
 
@@ -97,17 +115,27 @@ class MethodSpec:
         The repeater library of a ``"dp"`` method (ignored for RIP).
     rip:
         Optional per-method override of the engine's RIP configuration.
+    traversal:
+        Wire-traversal kernel of a ``"dp"`` method: ``"exact"`` (bit-exact,
+        the default) or ``"affine"`` (the ~1 ulp fast mode for
+        throughput-over-exactness service workloads).  RIP methods carry
+        the flag on their :class:`RipConfig` instead.
     """
 
     name: str
     kind: str
     library: Optional[RepeaterLibrary] = None
     rip: Optional[RipConfig] = None
+    traversal: str = "exact"
 
     def __post_init__(self) -> None:
         require(self.kind in ("rip", "dp"), f"unknown method kind {self.kind!r}")
         if self.kind == "dp":
             require(self.library is not None, f"dp method {self.name!r} needs a library")
+        require(
+            self.traversal in ("exact", "affine"),
+            f"unknown traversal mode {self.traversal!r}",
+        )
 
     @staticmethod
     def rip_method(name: str = "rip", config: Optional[RipConfig] = None) -> "MethodSpec":
@@ -115,9 +143,11 @@ class MethodSpec:
         return MethodSpec(name=name, kind="rip", rip=config)
 
     @staticmethod
-    def dp_baseline(name: str, library: RepeaterLibrary) -> "MethodSpec":
+    def dp_baseline(
+        name: str, library: RepeaterLibrary, *, traversal: str = "exact"
+    ) -> "MethodSpec":
         """A baseline power-aware DP with a fixed library."""
-        return MethodSpec(name=name, kind="dp", library=library)
+        return MethodSpec(name=name, kind="dp", library=library, traversal=traversal)
 
 
 @dataclass(frozen=True)
@@ -164,6 +194,9 @@ class NetDesignResult:
     states_generated: int
     technology: str = ""
     error: Optional[str] = None
+    #: Shared-window-cache counter delta attributable to this net's task
+    #: (``None`` when the cache is disabled).
+    cache_statistics: Optional[CacheStatistics] = None
 
     @property
     def failed(self) -> bool:
@@ -177,12 +210,21 @@ class NetDesignResult:
 
 @dataclass(frozen=True)
 class EngineStatistics:
-    """Aggregate instrumentation of one population sweep."""
+    """Aggregate instrumentation of one population sweep.
+
+    ``window_cache`` merges the per-task counter deltas of the shared
+    window-compilation cache(s) — one per process; ``None`` when caching is
+    disabled.  ``store`` is the protocol-store counter delta of this sweep
+    (builds happen inside the sweep only for ``technologies=`` calls; the
+    cumulative engine-lifetime view is ``DesignEngine.store_statistics``).
+    """
 
     wall_clock_seconds: float
     states_generated: int
     num_designs: int
     workers: int
+    window_cache: Optional[CacheStatistics] = None
+    store: Optional[StoreStatistics] = None
 
     @property
     def states_per_second(self) -> float:
@@ -231,6 +273,47 @@ class PopulationDesignResult:
 
 
 # --------------------------------------------------------------------------- #
+# shared per-process window cache (workers attach via the pool initializer)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class WindowCacheSpec:
+    """Picklable description of the shared window cache a task attaches to."""
+
+    enabled: bool = True
+    cache_dir: Optional[str] = None
+    max_entries: int = 512
+
+
+#: The process-wide shared cache of worker processes (one per process, all
+#: attached to the same on-disk tier when the spec is disk-backed).
+_PROCESS_WINDOW_CACHE: Optional[WindowCompilationCache] = None
+
+
+def _attach_window_cache(spec: WindowCacheSpec) -> Optional[WindowCompilationCache]:
+    """Create-or-reuse this process's shared cache for ``spec``.
+
+    Used as the ``ProcessPoolExecutor`` initializer (and again by each task,
+    idempotently) so every net task of a worker shares one cache instead of
+    building a private one; correctness does not depend on the sharing
+    because cache keys fully determine cached values.
+    """
+    global _PROCESS_WINDOW_CACHE
+    if not spec.enabled:
+        return None
+    cache = _PROCESS_WINDOW_CACHE
+    if (
+        cache is None
+        or cache.max_entries != spec.max_entries
+        or str(cache.cache_dir or "") != (spec.cache_dir or "")
+    ):
+        cache = WindowCompilationCache(
+            max_entries=spec.max_entries, cache_dir=spec.cache_dir
+        )
+        _PROCESS_WINDOW_CACHE = cache
+    return cache
+
+
+# --------------------------------------------------------------------------- #
 # per-net task (top level so ProcessPoolExecutor can pickle it)
 # --------------------------------------------------------------------------- #
 def _design_case(
@@ -240,7 +323,7 @@ def _design_case(
     technology: Technology,
     rip_config: RipConfig,
     pruning: PruningConfig,
-    use_window_cache: bool = True,
+    window_cache: Optional[WindowCompilationCache],
 ) -> NetDesignResult:
     resolved_targets = (
         case.targets if targets is None else targets.targets_for(case.tau_min)
@@ -251,15 +334,21 @@ def _design_case(
     error: Optional[str] = None
     compiled: Optional[CompiledNet] = None
     compile_seconds = 0.0
-    # One shared window-compilation cache serves every RIP method and every
-    # timing target of this net task (the keys cover the RIP configuration's
-    # window/pitch, so differently-configured methods cannot collide).
-    window_cache = WindowCompilationCache() if use_window_cache else False
+    # The engine-/process-shared window cache serves every RIP method and
+    # every timing target of this task (keys cover the net fingerprint, the
+    # dp context and the RIP configuration's window/pitch, so neither other
+    # nets nor differently-configured methods can collide).  Snapshot the
+    # counters so the task's delta can be merged back by the engine.
+    stats_before = window_cache.statistics if window_cache is not None else None
 
     try:
         for spec in methods:
             if spec.kind == "rip":
-                rip = Rip(technology, spec.rip or rip_config, window_cache=window_cache)
+                rip = Rip(
+                    technology,
+                    spec.rip or rip_config,
+                    window_cache=window_cache if window_cache is not None else False,
+                )
                 prepared = rip.prepare(case.net)
                 states += prepared.coarse_result.statistics.states_generated
                 runtimes: List[float] = []
@@ -290,9 +379,13 @@ def _design_case(
                 if compiled is None:
                     # One compilation serves every dp method of this net.
                     compile_started = time.perf_counter()
-                    compiled = CompiledNet(case.net, case.candidates)
+                    compiled = (
+                        window_cache.compiled(case.net, case.candidates)
+                        if window_cache is not None
+                        else CompiledNet(case.net, case.candidates)
+                    )
                     compile_seconds = time.perf_counter() - compile_started
-                dp = PowerAwareDp(technology, pruning=pruning)
+                dp = PowerAwareDp(technology, pruning=pruning, traversal=spec.traversal)
                 run_started = time.perf_counter()
                 result = dp.run(case.net, spec.library, compiled=compiled)
                 # Each method is charged the (shared) compilation, mirroring the
@@ -329,6 +422,11 @@ def _design_case(
         records.clear()
         method_runtimes.clear()
 
+    cache_statistics = (
+        window_cache.statistics.since(stats_before)
+        if window_cache is not None and stats_before is not None
+        else None
+    )
     return NetDesignResult(
         net_name=case.net.name,
         tau_min=case.tau_min,
@@ -338,11 +436,13 @@ def _design_case(
         states_generated=states,
         technology=technology.name,
         error=error,
+        cache_statistics=cache_statistics,
     )
 
 
 def _design_case_payload(payload) -> NetDesignResult:
-    return _design_case(*payload)
+    *arguments, cache_spec = payload
+    return _design_case(*arguments, _attach_window_cache(cache_spec))
 
 
 class DesignEngine:
@@ -357,6 +457,8 @@ class DesignEngine:
         workers: int = 0,
         store: Optional[ProtocolStore] = None,
         window_cache: bool = True,
+        window_cache_dir: "Optional[str]" = None,
+        window_cache_entries: int = 512,
     ) -> None:
         require(workers >= 0, "workers must be >= 0")
         self._technology = technology
@@ -364,8 +466,23 @@ class DesignEngine:
         self._pruning = pruning or self._rip_config.pruning
         self._workers = workers
         self._store = store if store is not None else default_store()
-        self._window_cache = window_cache
         self._tech_stores: Dict[str, ProtocolStore] = {technology.name: self._store}
+        # The shared design-state directory: an explicit window_cache_dir
+        # wins; otherwise a disk-backed protocol store donates a `wincache`
+        # sub-directory, so `--cache-dir` / REPRO_CACHE_DIR persist the
+        # whole layer (population + tau_min + frontiers + refine records).
+        if window_cache_dir is None and self._store.cache_dir is not None:
+            window_cache_dir = str(self._store.cache_dir / "wincache")
+        self._window_cache_spec = WindowCacheSpec(
+            enabled=window_cache,
+            # Normalized so _attach_window_cache's reuse check (which
+            # compares against str(Path(...))) matches on every task.
+            cache_dir=str(Path(window_cache_dir)) if window_cache_dir is not None else None,
+            max_entries=window_cache_entries,
+        )
+        # Engine-lifetime shared cache of the serial path (and of any
+        # in-process consumers); workers build per-process equivalents.
+        self._shared_window_cache: Optional[WindowCompilationCache] = None
 
     @property
     def technology(self) -> Technology:
@@ -384,8 +501,33 @@ class DesignEngine:
 
     @property
     def window_cache_enabled(self) -> bool:
-        """Whether RIP tasks share per-net window-compilation caches."""
-        return self._window_cache
+        """Whether tasks share the engine's window-compilation cache."""
+        return self._window_cache_spec.enabled
+
+    @property
+    def window_cache_spec(self) -> WindowCacheSpec:
+        """The shared-cache configuration tasks attach to."""
+        return self._window_cache_spec
+
+    @property
+    def window_cache(self) -> Optional[WindowCompilationCache]:
+        """The engine-lifetime shared cache (serial path; ``None`` = disabled)."""
+        if not self._window_cache_spec.enabled:
+            return None
+        if self._shared_window_cache is None:
+            self._shared_window_cache = WindowCompilationCache(
+                max_entries=self._window_cache_spec.max_entries,
+                cache_dir=self._window_cache_spec.cache_dir,
+            )
+        return self._shared_window_cache
+
+    @property
+    def store_statistics(self) -> StoreStatistics:
+        """Cumulative protocol-store counters over all of this engine's stores."""
+        merged = StoreStatistics()
+        for tech_store in self._tech_stores.values():
+            merged = merged.merged(tech_store.statistics)
+        return merged
 
     # ------------------------------------------------------------------ #
     def store_for(self, technology: Technology) -> ProtocolStore:
@@ -466,6 +608,10 @@ class DesignEngine:
         require(len(methods) > 0, "need at least one method")
         names = [spec.name for spec in methods]
         require(len(set(names)) == len(names), "method names must be unique")
+        store_stats_before = {
+            name: tech_store.statistics
+            for name, tech_store in self._tech_stores.items()
+        }
 
         if technologies is None:
             require(
@@ -497,6 +643,7 @@ class DesignEngine:
 
         started = time.perf_counter()
         method_tuple = tuple(methods)
+        spec = self._window_cache_spec
         payloads = [
             (
                 case,
@@ -505,18 +652,46 @@ class DesignEngine:
                 technology,
                 self._rip_config,
                 self._pruning,
-                self._window_cache,
+                spec,
             )
             for technology, case in jobs
         ]
         if self._workers > 1 and len(payloads) > 1:
-            with ProcessPoolExecutor(max_workers=self._workers) as pool:
+            # Workers attach to a per-process shared cache (initializer) —
+            # all of them backed by the same disk tier when one is set.
+            with ProcessPoolExecutor(
+                max_workers=self._workers,
+                initializer=_attach_window_cache,
+                initargs=(spec,),
+            ) as pool:
                 results = list(pool.map(_design_case_payload, payloads))
         else:
-            results = [_design_case_payload(payload) for payload in payloads]
+            # Serial path: every task reuses the engine-lifetime cache.
+            shared = self.window_cache
+            results = [
+                _design_case(*payload[:-1], shared) for payload in payloads
+            ]
         wall_clock = time.perf_counter() - started
         states = sum(result.states_generated for result in results)
         num_designs = sum(len(result.records) for result in results)
+
+        cache_deltas = [
+            result.cache_statistics
+            for result in results
+            if result.cache_statistics is not None
+        ]
+        window_cache_stats: Optional[CacheStatistics] = None
+        if cache_deltas:
+            window_cache_stats = CacheStatistics()
+            for delta in cache_deltas:
+                window_cache_stats = window_cache_stats.merged(delta)
+        store_stats = StoreStatistics()
+        for name, tech_store in self._tech_stores.items():
+            store_stats = store_stats.merged(
+                tech_store.statistics.since(
+                    store_stats_before.get(name, StoreStatistics())
+                )
+            )
         return PopulationDesignResult(
             nets=tuple(results),
             methods=tuple(names),
@@ -525,6 +700,8 @@ class DesignEngine:
                 states_generated=states,
                 num_designs=num_designs,
                 workers=self._workers,
+                window_cache=window_cache_stats,
+                store=store_stats,
             ),
             technologies=tech_names,
         )

@@ -30,25 +30,45 @@ identical inputs.  :class:`WindowCompilationCache` memoizes three layers:
 Keys use **exact** float equality (no quantization), so a cache hit returns
 a structure built from byte-identical inputs — DP results with the cache on
 are bit-for-bit identical to the cache-off path (tested).  All layers are
-bounded LRU maps; the cache is per-process state (each
-:class:`~repro.engine.design.DesignEngine` worker builds its own) and is
-not thread-safe.
+bounded LRU maps; the in-memory tiers are per-process state and not
+thread-safe.
 
 The net fingerprint is a :func:`repro.utils.canonical.stable_digest` over
 the net's canonical serialization (:func:`repro.net.io.net_to_dict`), so it
 is stable across processes — two workers given equal nets compute equal
-keys, and a future shared (on-disk / service) cache can reuse them as-is.
+keys.
+
+Persistent frontier tier
+------------------------
+Because every key component is a process-stable digest or an exact float
+tuple, the **frontier layer** additionally supports a disk tier
+(``cache_dir``): each memoized final-pass DP frontier is written as a
+versioned, self-keyed ``frontier-<digest>.json`` file (atomic
+write-and-replace, safe for concurrent workers sharing one directory).
+Floats round-trip exactly through JSON, so a reloaded frontier is
+bit-for-bit equal to the computed one — repeated sweeps survive process
+restarts with the final DP skipped outright.  The eviction discipline
+matches :class:`~repro.engine.cache.ProtocolStore` v2: a file that fails to
+parse, carries a stale ``format_version``, or whose embedded key/components
+do not match its name is deleted and rebuilt, never trusted and never
+fatal.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
+import os
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Optional, Sequence, Tuple, TypeVar
 
 from repro.dp.candidates import window_candidates
+from repro.dp.frontier import DelayWidthFrontier, FrontierPoint
+from repro.dp.powerdp import DpStatistics, PowerDpResult
+from repro.dp.state import DpSolution
 from repro.engine.compiled import CompiledNet
 from repro.net.io import net_to_dict
 from repro.net.twopin import TwoPinNet
@@ -57,11 +77,17 @@ from repro.utils.validation import require
 
 __all__ = [
     "CacheStatistics",
+    "FRONTIER_FORMAT_VERSION",
     "WindowCompilationCache",
     "dp_context_fingerprint",
+    "dp_result_from_payload",
+    "dp_result_to_payload",
     "net_fingerprint",
     "resolve_window_cache",
 ]
+
+#: Bump when the on-disk frontier payload layout changes.
+FRONTIER_FORMAT_VERSION = 1
 
 _ResultT = TypeVar("_ResultT")
 
@@ -81,12 +107,13 @@ def net_fingerprint(net: TwoPinNet) -> str:
     return cached
 
 
-def dp_context_fingerprint(technology, pruning) -> str:
+def dp_context_fingerprint(technology, pruning, traversal: str = "exact") -> str:
     """Fingerprint of everything *besides* (net, library, candidates) a
-    power-aware DP result depends on: the technology constants and the
-    pruning configuration (including the kernel — kernels may legitimately
-    differ inside the pruning tolerance band, so they must not share
-    frontier entries)."""
+    power-aware DP result depends on: the technology constants, the pruning
+    configuration (including the kernel — kernels may legitimately differ
+    inside the pruning tolerance band, so they must not share frontier
+    entries) and the wire-traversal mode (the affine fast mode drifts by
+    ~1 ulp, so it must not share entries with the exact mode either)."""
     from repro.engine.cache import technology_fingerprint  # heavy module; defer
 
     return stable_digest(
@@ -96,31 +123,94 @@ def dp_context_fingerprint(technology, pruning) -> str:
                 field.name: getattr(pruning, field.name)
                 for field in dataclasses.fields(pruning)
             },
+            "traversal": str(traversal),
         }
     )
 
 
+# --------------------------------------------------------------------------- #
+# frontier (de)serialization for the disk tier
+# --------------------------------------------------------------------------- #
+def dp_result_to_payload(result: PowerDpResult) -> dict:
+    """JSON-ready payload of a final-pass DP result (exact float round-trip)."""
+    return {
+        "statistics": {
+            field.name: getattr(result.statistics, field.name)
+            for field in dataclasses.fields(result.statistics)
+        },
+        "points": [
+            {
+                "delay": point.delay,
+                "total_width": point.total_width,
+                "positions": list(point.solution.positions),
+                "widths": list(point.solution.widths),
+            }
+            for point in result.frontier.points
+        ],
+    }
+
+
+def dp_result_from_payload(payload: dict) -> PowerDpResult:
+    """Rebuild a :class:`PowerDpResult` from :func:`dp_result_to_payload`.
+
+    The reconstruction is bit-for-bit faithful: JSON floats round-trip
+    exactly, and :class:`DelayWidthFrontier`'s construction-time pruning is
+    the identity on an already-pruned frontier.
+    """
+    points = [
+        FrontierPoint(
+            delay=float(entry["delay"]),
+            total_width=float(entry["total_width"]),
+            solution=DpSolution.from_lists(
+                positions=[float(p) for p in entry["positions"]],
+                widths=[float(w) for w in entry["widths"]],
+                delay=float(entry["delay"]),
+                total_width=float(entry["total_width"]),
+            ),
+        )
+        for entry in payload["points"]
+    ]
+    raw = payload["statistics"]
+    statistics = DpStatistics(
+        num_candidates=int(raw["num_candidates"]),
+        library_size=int(raw["library_size"]),
+        states_generated=int(raw["states_generated"]),
+        max_front_size=int(raw["max_front_size"]),
+        runtime_seconds=float(raw["runtime_seconds"]),
+    )
+    return PowerDpResult(frontier=DelayWidthFrontier(points), statistics=statistics)
+
+
 @dataclass(frozen=True)
 class CacheStatistics:
-    """Hit/miss instrumentation of one :class:`WindowCompilationCache`."""
+    """Hit/miss instrumentation of one :class:`WindowCompilationCache`.
 
-    candidate_hits: int
-    candidate_misses: int
-    compiled_hits: int
-    compiled_misses: int
-    frontier_hits: int
-    frontier_misses: int
-    entries: int
-    evictions: int
+    ``frontier_misses`` counts in-memory frontier misses; the ``disk_*``
+    counters instrument the persistent tier beneath them (a disk hit is
+    still an in-memory miss).  ``entries`` is a gauge (current in-memory
+    entry count), every other field a monotone counter.
+    """
+
+    candidate_hits: int = 0
+    candidate_misses: int = 0
+    compiled_hits: int = 0
+    compiled_misses: int = 0
+    frontier_hits: int = 0
+    frontier_misses: int = 0
+    entries: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+    disk_evictions: int = 0
 
     @property
     def hits(self) -> int:
-        """Total hits over all cache layers."""
+        """Total in-memory hits over all cache layers."""
         return self.candidate_hits + self.compiled_hits + self.frontier_hits
 
     @property
     def misses(self) -> int:
-        """Total misses over all cache layers."""
+        """Total in-memory misses over all cache layers."""
         return self.candidate_misses + self.compiled_misses + self.frontier_misses
 
     @property
@@ -129,13 +219,59 @@ class CacheStatistics:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def since(self, earlier: "CacheStatistics") -> "CacheStatistics":
+        """Counter deltas relative to an earlier snapshot of the same cache.
+
+        ``entries`` (a gauge) keeps this snapshot's value.  Used by the
+        batch engine to attribute shared-cache activity to individual net
+        tasks before merging the deltas back together.
+        """
+        return CacheStatistics(
+            candidate_hits=self.candidate_hits - earlier.candidate_hits,
+            candidate_misses=self.candidate_misses - earlier.candidate_misses,
+            compiled_hits=self.compiled_hits - earlier.compiled_hits,
+            compiled_misses=self.compiled_misses - earlier.compiled_misses,
+            frontier_hits=self.frontier_hits - earlier.frontier_hits,
+            frontier_misses=self.frontier_misses - earlier.frontier_misses,
+            entries=self.entries,
+            evictions=self.evictions - earlier.evictions,
+            disk_hits=self.disk_hits - earlier.disk_hits,
+            disk_misses=self.disk_misses - earlier.disk_misses,
+            disk_evictions=self.disk_evictions - earlier.disk_evictions,
+        )
+
+    def merged(self, other: "CacheStatistics") -> "CacheStatistics":
+        """Combine two (delta) snapshots: counters add, ``entries`` takes
+        the maximum (per-process peak — per-worker caches are disjoint)."""
+        return CacheStatistics(
+            candidate_hits=self.candidate_hits + other.candidate_hits,
+            candidate_misses=self.candidate_misses + other.candidate_misses,
+            compiled_hits=self.compiled_hits + other.compiled_hits,
+            compiled_misses=self.compiled_misses + other.compiled_misses,
+            frontier_hits=self.frontier_hits + other.frontier_hits,
+            frontier_misses=self.frontier_misses + other.frontier_misses,
+            entries=max(self.entries, other.entries),
+            evictions=self.evictions + other.evictions,
+            disk_hits=self.disk_hits + other.disk_hits,
+            disk_misses=self.disk_misses + other.disk_misses,
+            disk_evictions=self.disk_evictions + other.disk_evictions,
+        )
+
 
 class WindowCompilationCache:
-    """Bounded LRU memo of window candidate grids and compiled-net slices."""
+    """Bounded LRU memo of window candidate grids and compiled-net slices.
 
-    def __init__(self, max_entries: int = 512) -> None:
+    With ``cache_dir`` set, the frontier layer is additionally persisted to
+    versioned, self-keyed JSON files in that directory (shared safely by
+    concurrent worker processes) — see the module docstring.
+    """
+
+    def __init__(
+        self, max_entries: int = 512, *, cache_dir: Optional[os.PathLike] = None
+    ) -> None:
         require(max_entries >= 1, "max_entries must be >= 1")
         self._max_entries = max_entries
+        self._cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._candidates: "OrderedDict[tuple, Tuple[float, ...]]" = OrderedDict()
         self._compiled: "OrderedDict[tuple, CompiledNet]" = OrderedDict()
         self._frontiers: "OrderedDict[tuple, object]" = OrderedDict()
@@ -146,11 +282,19 @@ class WindowCompilationCache:
         self._frontier_hits = 0
         self._frontier_misses = 0
         self._evictions = 0
+        self._disk_hits = 0
+        self._disk_misses = 0
+        self._disk_evictions = 0
 
     @property
     def max_entries(self) -> int:
         """LRU capacity of each cache layer."""
         return self._max_entries
+
+    @property
+    def cache_dir(self) -> Optional[Path]:
+        """Directory of the persistent frontier tier (``None`` = memory only)."""
+        return self._cache_dir
 
     @property
     def statistics(self) -> CacheStatistics:
@@ -164,10 +308,13 @@ class WindowCompilationCache:
             frontier_misses=self._frontier_misses,
             entries=len(self._candidates) + len(self._compiled) + len(self._frontiers),
             evictions=self._evictions,
+            disk_hits=self._disk_hits,
+            disk_misses=self._disk_misses,
+            disk_evictions=self._disk_evictions,
         )
 
     def clear(self) -> None:
-        """Drop all entries (counters are kept)."""
+        """Drop all in-memory entries (counters and disk files are kept)."""
         self._candidates.clear()
         self._compiled.clear()
         self._frontiers.clear()
@@ -266,10 +413,104 @@ class WindowCompilationCache:
             self._frontiers.move_to_end(key)
             return cached  # type: ignore[return-value]
         self._frontier_misses += 1
+        if self._cache_dir is not None:
+            loaded = self._load_frontier(key)
+            if loaded is not None:
+                self._disk_hits += 1
+                self._frontiers[key] = loaded
+                self._evict_to_capacity(self._frontiers)
+                return loaded  # type: ignore[return-value]
+            self._disk_misses += 1
         result = factory()
         self._frontiers[key] = result
         self._evict_to_capacity(self._frontiers)
+        if self._cache_dir is not None:
+            self._save_frontier(key, result)
         return result
+
+    # ------------------------------------------------------------------ #
+    # persistent frontier tier
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _frontier_digest(key: tuple) -> str:
+        return stable_digest(
+            {
+                "net": key[0],
+                "context": key[1],
+                "library": list(key[2]),
+                "candidates": list(key[3]),
+            }
+        )
+
+    def _frontier_path(self, digest: str) -> Path:
+        assert self._cache_dir is not None
+        return self._cache_dir / f"frontier-{digest}.json"
+
+    def _evict_file(self, path: Path) -> None:
+        """Delete a stale/corrupted frontier file (best-effort)."""
+        self._disk_evictions += 1
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing eviction is harmless
+            pass
+
+    def _load_frontier(self, key: tuple) -> Optional[PowerDpResult]:
+        digest = self._frontier_digest(key)
+        path = self._frontier_path(digest)
+        if not path.is_file():
+            return None
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):  # corrupted cache file
+            self._evict_file(path)
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("format_version") != FRONTIER_FORMAT_VERSION
+            or data.get("key") != digest
+            or data.get("net") != key[0]
+            or data.get("context") != key[1]
+            or data.get("library") != list(key[2])
+            or data.get("candidates") != list(key[3])
+        ):
+            # Old format, or a file whose content does not belong to its
+            # name (digest collision / tampering): evict and rebuild.
+            self._evict_file(path)
+            return None
+        try:
+            return dp_result_from_payload(data["result"])
+        except (KeyError, TypeError, ValueError):  # structurally broken payload
+            self._evict_file(path)
+            return None
+
+    def _save_frontier(self, key: tuple, result: object) -> None:
+        """Persist a computed frontier (best-effort, atomic replace).
+
+        Only :class:`PowerDpResult` values are persisted — the layer is
+        generic in-memory, but the disk schema is not.
+        """
+        if not isinstance(result, PowerDpResult):
+            return
+        digest = self._frontier_digest(key)
+        path = self._frontier_path(digest)
+        payload = {
+            "format_version": FRONTIER_FORMAT_VERSION,
+            "key": digest,
+            "net": key[0],
+            "context": key[1],
+            "library": list(key[2]),
+            "candidates": list(key[3]),
+            "result": dp_result_to_payload(result),
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Per-process temp name: concurrent workers writing the same
+            # (deterministic, identical) entry replace atomically.
+            tmp = path.with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            tmp.replace(path)
+        except OSError:  # pragma: no cover - disk persistence is best-effort
+            pass
 
 
 def resolve_window_cache(

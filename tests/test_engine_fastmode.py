@@ -1,0 +1,126 @@
+"""Opt-in ``traverse_affine`` fast mode: drift bounds and plumbing.
+
+The affine traversal folds each precompiled wire interval into one
+closed-form expression; it re-associates floating-point sums, so delays may
+drift by ~1 ulp per interval relative to the exact per-piece kernel.  The
+property tests here bound that drift on the seed population (empirically
+~2e-15 relative; asserted at 1e-12 with three orders of magnitude margin)
+and check the mode can never flip a feasibility verdict or change a width.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rip import Rip, RipConfig
+from repro.dp.powerdp import PowerAwareDp
+from repro.engine.cache import ProtocolConfig, ProtocolStore
+from repro.engine.design import DesignEngine, MethodSpec
+from repro.tech.library import RepeaterLibrary
+from repro.utils.validation import ValidationError
+
+POPULATION = ProtocolConfig(num_nets=3, targets_per_net=6, seed=2005)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return ProtocolStore().cases(POPULATION)
+
+
+def test_affine_frontier_drift_bounded_on_population(tech, population):
+    library = RepeaterLibrary.uniform(10.0, 400.0, 20.0)
+    for case in population:
+        exact = PowerAwareDp(tech).run(case.net, library, case.candidates)
+        affine = PowerAwareDp(tech, traversal="affine").run(
+            case.net, library, case.candidates
+        )
+        exact_points = exact.frontier.points
+        affine_points = affine.frontier.points
+        assert len(exact_points) == len(affine_points)
+        for a, b in zip(exact_points, affine_points):
+            # Width structure is identical; delays drift by at most ~1 ulp
+            # per interval (documented bound, 1000x margin here).
+            assert b.total_width == a.total_width
+            assert b.solution.positions == a.solution.positions
+            assert b.solution.widths == a.solution.widths
+            assert b.delay == pytest.approx(a.delay, rel=1e-12)
+        for target in case.targets:
+            exact_best = exact.best_for_delay(target)
+            affine_best = affine.best_for_delay(target)
+            assert (exact_best is None) == (affine_best is None)
+            if exact_best is not None:
+                assert affine_best.total_width == exact_best.total_width
+
+
+def test_affine_rip_flow_stays_feasible(tech, population):
+    case = population[0]
+    exact = Rip(tech, window_cache=False)
+    affine = Rip(tech, RipConfig(traversal="affine"), window_cache=False)
+    prepared_exact = exact.prepare(case.net)
+    prepared_affine = affine.prepare(case.net)
+    for target in case.targets:
+        result_exact = exact.run_prepared(prepared_exact, target)
+        result_affine = affine.run_prepared(prepared_affine, target)
+        assert result_affine.feasible == result_exact.feasible
+        if result_exact.feasible:
+            assert result_affine.total_width == pytest.approx(
+                result_exact.total_width, rel=1e-6
+            )
+
+
+def test_affine_and_exact_do_not_share_frontier_cache_entries(tech):
+    from repro.dp.pruning import PruningConfig
+    from repro.engine.wincache import dp_context_fingerprint
+
+    pruning = PruningConfig()
+    assert dp_context_fingerprint(tech, pruning) == dp_context_fingerprint(
+        tech, pruning, traversal="exact"
+    )
+    assert dp_context_fingerprint(tech, pruning, traversal="affine") != (
+        dp_context_fingerprint(tech, pruning, traversal="exact")
+    )
+
+
+def test_engine_method_level_fast_mode(tech, population):
+    library = RepeaterLibrary.uniform_count(10.0, 40.0, 10)
+    engine = DesignEngine(tech, workers=0, store=ProtocolStore())
+    result = engine.design_population(
+        population,
+        [
+            MethodSpec.dp_baseline("dp-exact", library),
+            MethodSpec.dp_baseline("dp-affine", library, traversal="affine"),
+        ],
+    )
+    for net_result in result.nets:
+        exact_records = net_result.records_for("dp-exact")
+        affine_records = net_result.records_for("dp-affine")
+        for a, b in zip(exact_records, affine_records):
+            assert a.feasible == b.feasible
+            if a.feasible:
+                assert b.total_width == a.total_width
+                assert b.delay == pytest.approx(a.delay, rel=1e-12)
+
+
+def test_traversal_validation():
+    from repro.tech.nodes import NODE_180NM
+
+    with pytest.raises(ValidationError):
+        PowerAwareDp(NODE_180NM, traversal="magic")
+    with pytest.raises(ValidationError):
+        RipConfig(traversal="magic")
+    with pytest.raises(ValidationError):
+        MethodSpec.dp_baseline(
+            "dp", RepeaterLibrary.uniform_count(10.0, 40.0, 4), traversal="magic"
+        )
+
+
+def test_cli_traversal_flag_builds_affine_methods():
+    from repro.cli.main import _parse_methods
+
+    methods = _parse_methods("rip,dp-g40", traversal="affine")
+    assert methods[0].rip is not None and methods[0].rip.traversal == "affine"
+    assert methods[1].traversal == "affine"
+    # Default stays exact with no override config allocated for RIP.
+    default = _parse_methods("rip,dp-g40")
+    assert default[0].rip is None
+    assert default[1].traversal == "exact"
