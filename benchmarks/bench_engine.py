@@ -1,6 +1,6 @@
 """Smoke benchmark of the batch DesignEngine — writes ``BENCH_engine.json``.
 
-Six sections, all on the shared protocol-store population:
+Seven sections, all on the shared protocol-store population:
 
 * **kernels** — the Table-1-style sweep (RIP + three size-10 baselines)
   with the default **vectorized** pruning kernels vs. the **reference**
@@ -20,6 +20,11 @@ Six sections, all on the shared protocol-store population:
   *resident* warm sweep (same inserters, second pass).  Verifies all three
   are bit-identical and asserts the warm repeated sweep is >= 2x faster
   than the cold run (the ISSUE 3 acceptance bar).
+* **cold_design** — *first-contact* REFINE with the compiled
+  per-(net, positions) Elmore evaluator vs. the walked oracle
+  (``RefineConfig.evaluator``, ISSUE 4): the whole cold RIP flow must be
+  bit-identical between the two, and the REFINE stage itself must clear
+  the >= 2x acceptance bar (asserted).
 * **fast_mode** — the opt-in ``traverse_affine`` DP traversal vs. the
   bit-exact kernel: speedup and maximum relative delay drift (documented
   ~1 ulp per interval).
@@ -294,6 +299,80 @@ def bench_persistence(store, protocol, technology):
     }
 
 
+def bench_cold_design(store, protocol, technology):
+    """First-contact REFINE: compiled vs. walked Elmore evaluation."""
+    from repro.core.refine import Refine
+    from repro.core.solution import InsertionSolution
+
+    cases = store.cases(protocol)
+
+    def full_sweep(evaluator):
+        config = RipConfig(refine=RefineConfig(evaluator=evaluator))
+        rips = {case.net.name: Rip(technology, config, window_cache=False) for case in cases}
+        started = time.perf_counter()
+        prepared = {
+            case.net.name: rips[case.net.name].prepare(case.net) for case in cases
+        }
+        prepare_seconds = time.perf_counter() - started
+        sweep_seconds, outcomes = _rip_sweep(cases, rips, prepared)
+        return prepare_seconds + sweep_seconds, outcomes
+
+    walked_seconds, walked_outcomes = full_sweep("walked")
+    compiled_seconds, compiled_outcomes = full_sweep("compiled")
+    identical = walked_outcomes == compiled_outcomes
+    flow_speedup = (
+        walked_seconds / compiled_seconds if compiled_seconds > 0 else float("inf")
+    )
+
+    # The acceptance bar is on the REFINE stage itself (the coarse/final DP
+    # passes are evaluator-independent): refine every first-contact
+    # (net, coarse solution, target) problem through both evaluators.
+    rip = Rip(technology, window_cache=False)
+    problems = []
+    for case in cases:
+        prepared = rip.prepare(case.net)
+        for target in case.targets:
+            point = prepared.coarse_result.best_for_delay(target)
+            if point is None:
+                point = prepared.coarse_result.frontier.points[0]
+            problems.append((case.net, InsertionSolution.from_dp(point.solution), target))
+
+    def refine_sweep(evaluator):
+        refine = Refine(technology, config=RefineConfig(evaluator=evaluator))
+        started = time.perf_counter()
+        results = [refine.run(net, initial, target) for net, initial, target in problems]
+        return time.perf_counter() - started, [
+            (r.feasible, r.solution.positions, r.solution.widths, r.delay)
+            for r in results
+        ]
+
+    refine_walked_seconds, refine_walked = refine_sweep("walked")
+    refine_compiled_seconds, refine_compiled = refine_sweep("compiled")
+    refine_identical = refine_walked == refine_compiled
+    refine_speedup = (
+        refine_walked_seconds / refine_compiled_seconds
+        if refine_compiled_seconds > 0
+        else float("inf")
+    )
+    print(
+        f"[cold      ] flow walked {walked_seconds:5.2f}s  compiled "
+        f"{compiled_seconds:5.2f}s ({flow_speedup:.2f}x)  refine walked "
+        f"{refine_walked_seconds:5.2f}s  compiled {refine_compiled_seconds:5.2f}s "
+        f"({refine_speedup:.2f}x)  identical: {identical and refine_identical}"
+    )
+    return {
+        "num_designs": len(walked_outcomes),
+        "walked_wall_clock_seconds": walked_seconds,
+        "compiled_wall_clock_seconds": compiled_seconds,
+        "flow_speedup": flow_speedup,
+        "refine_walked_wall_clock_seconds": refine_walked_seconds,
+        "refine_compiled_wall_clock_seconds": refine_compiled_seconds,
+        "refine_speedup": refine_speedup,
+        "records_identical": identical,
+        "refine_results_identical": refine_identical,
+    }
+
+
 def bench_fast_mode(store, protocol, technology):
     """Exact vs. affine wire traversal on the baseline DP sweep."""
     cases = store.cases(protocol)
@@ -384,6 +463,7 @@ def run(num_nets, targets_per_net, workers, tech_names, output):
     window_cache = bench_window_cache(store, protocol, technology)
     refine_warmstart = bench_refine_warmstart(store, protocol, technology)
     persistence = bench_persistence(store, protocol, technology)
+    cold_design = bench_cold_design(store, protocol, technology)
     fast_mode = bench_fast_mode(store, protocol, technology)
     technologies = bench_technologies(store, protocol, technology, workers, tech_names)
 
@@ -398,6 +478,7 @@ def run(num_nets, targets_per_net, workers, tech_names, output):
         "window_cache": window_cache,
         "refine_warmstart": refine_warmstart,
         "persistence": persistence,
+        "cold_design": cold_design,
         "fast_mode": fast_mode,
         "technologies": technologies,
         # Legacy top-level aliases so existing trend tooling keeps parsing.
@@ -425,6 +506,13 @@ def run(num_nets, targets_per_net, workers, tech_names, output):
         raise SystemExit(
             "warm repeated sweep below the 2x acceptance bar: "
             f"{persistence['warm_speedup']:.2f}x"
+        )
+    if not (cold_design["records_identical"] and cold_design["refine_results_identical"]):
+        raise SystemExit("compiled and walked cold-design results diverged")
+    if cold_design["refine_speedup"] < 2.0:
+        raise SystemExit(
+            "first-contact compiled REFINE below the 2x acceptance bar: "
+            f"{cold_design['refine_speedup']:.2f}x"
         )
     return payload
 

@@ -25,6 +25,19 @@ pins ``tau_total(lambda) = tau_t``.  This variant has no convergence basin
 issues, which matters because REFINE calls the solver at every iteration
 from fairly arbitrary starting points.
 
+Compiled delay evaluation
+-------------------------
+Both solvers spend almost all of their time evaluating the total Elmore
+delay at fixed positions — the feasibility pre-check, the bracket and every
+bisection step each re-walk the net's piece list through
+``buffered_net_delay``.  With ``evaluator="compiled"`` (the default) each
+``solve`` call compiles one
+:class:`~repro.delay.compiled.CompiledElmoreEvaluator` for its
+``(net, positions)`` pair and every evaluation collapses to a few numpy
+ops on the precomputed per-stage coefficients — **bit-for-bit** equal to
+the walked path, which ``evaluator="walked"`` keeps selectable as the
+equivalence oracle (like the DP's ``kernel="reference"``).
+
 Warm starts
 -----------
 Both solvers accept an ``initial_lambda`` seed in addition to the
@@ -44,16 +57,71 @@ oracle — see ``tests/test_refine_warmstart.py``).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analytical.derivatives import delay_width_gradient, stage_lumped_rc
+from repro.delay.compiled import CompiledElmoreEvaluator
 from repro.delay.elmore import buffered_net_delay
 from repro.net.twopin import TwoPinNet
 from repro.tech.technology import Technology
 from repro.utils.validation import require, require_positive
+
+#: Legal delay-evaluation modes of the width solvers.
+EVALUATOR_MODES = ("compiled", "walked")
+
+
+class _WalkedEvaluation:
+    """Per-(net, positions) walked evaluation — the equivalence oracle.
+
+    Presents the same three-method surface as
+    :class:`~repro.delay.compiled.CompiledElmoreEvaluator` but forwards
+    every call to the original per-call module functions, preserving the
+    legacy behaviour (including their per-call validation) exactly.
+    """
+
+    __slots__ = ("_technology", "_net", "_positions")
+
+    def __init__(
+        self, technology: Technology, net: TwoPinNet, positions: Sequence[float]
+    ) -> None:
+        self._technology = technology
+        self._net = net
+        self._positions = [float(position) for position in positions]
+
+    def net_delay(self, widths: Sequence[float]) -> float:
+        return buffered_net_delay(self._net, self._technology, self._positions, widths)
+
+    def stage_lumped_rc(self) -> Tuple[np.ndarray, np.ndarray]:
+        return stage_lumped_rc(self._net, self._positions)
+
+    def delay_width_gradient(self, widths: Sequence[float]) -> np.ndarray:
+        return delay_width_gradient(
+            self._net, self._technology, self._positions, widths
+        )
+
+
+def solve_evaluation(
+    technology: Technology,
+    net: TwoPinNet,
+    positions: Sequence[float],
+    evaluator: str,
+):
+    """The per-(net, positions) evaluation backend of one width solve.
+
+    ``"compiled"`` validates the positions once and returns a
+    :class:`~repro.delay.compiled.CompiledElmoreEvaluator`, whose delay,
+    lumped stage RC and width gradient are all bit-identical numpy
+    evaluations of precompiled coefficients; ``"walked"`` returns the
+    per-call single-source-of-truth walk (the equivalence oracle).
+    """
+    require(evaluator in EVALUATOR_MODES, f"unknown evaluator mode {evaluator!r}")
+    if evaluator == "compiled":
+        return CompiledElmoreEvaluator(net, technology, positions)
+    return _WalkedEvaluation(technology, net, positions)
 
 
 @dataclass(frozen=True)
@@ -99,6 +167,7 @@ class DualBisectionWidthSolver:
         max_bisection_steps: int = 100,
         max_inner_sweeps: int = 200,
         inner_tolerance: float = 1.0e-9,
+        evaluator: str = "compiled",
     ) -> None:
         self._technology = technology
         repeater = technology.repeater
@@ -106,10 +175,17 @@ class DualBisectionWidthSolver:
         self._max_width = repeater.max_width if max_width is None else max_width
         require_positive(self._min_width, "min_width")
         require(self._max_width > self._min_width, "max_width must exceed min_width")
+        require(evaluator in EVALUATOR_MODES, f"unknown evaluator mode {evaluator!r}")
         self._delay_tolerance = delay_tolerance
         self._max_bisection_steps = max_bisection_steps
         self._max_inner_sweeps = max_inner_sweeps
         self._inner_tolerance = inner_tolerance
+        self._evaluator = evaluator
+
+    @property
+    def evaluator(self) -> str:
+        """Delay-evaluation mode: ``"compiled"`` or ``"walked"``."""
+        return self._evaluator
 
     # ------------------------------------------------------------------ #
     def solve(
@@ -133,8 +209,13 @@ class DualBisectionWidthSolver:
         """
         require_positive(timing_target, "timing_target")
         n = len(positions)
+        # One evaluation backend per solve: positions are validated (and,
+        # in compiled mode, the per-stage coefficients aggregated) once
+        # here instead of on every evaluation of the inner loops.
+        evaluation = solve_evaluation(self._technology, net, positions, self._evaluator)
+        net_delay = evaluation.net_delay
         if n == 0:
-            delay = buffered_net_delay(net, self._technology, [], [])
+            delay = net_delay([])
             return WidthSolution(
                 widths=(),
                 lagrange_multiplier=0.0,
@@ -144,7 +225,7 @@ class DualBisectionWidthSolver:
                 iterations=0,
             )
 
-        stage_resistance, stage_capacitance = stage_lumped_rc(net, positions)
+        stage_resistance, stage_capacitance = evaluation.stage_lumped_rc()
         start = (
             np.asarray(initial_widths, dtype=float)
             if initial_widths is not None
@@ -156,9 +237,9 @@ class DualBisectionWidthSolver:
         # whether the target is achievable at all for these positions.  The
         # warm path shares this pre-check, so warm starts can never flip the
         # feasibility verdict.
-        lambda_high = self._initial_lambda(net, positions, start) * 1e6
+        lambda_high = self._initial_lambda(evaluation, start) * 1e6
         widths_fast = self._fixed_point(lambda_high, stage_resistance, stage_capacitance, net, start)
-        delay_fast = buffered_net_delay(net, self._technology, positions, widths_fast)
+        delay_fast = net_delay(widths_fast)
         if delay_fast > timing_target * (1.0 + 1e-12):
             return WidthSolution(
                 widths=tuple(widths_fast),
@@ -181,31 +262,31 @@ class DualBisectionWidthSolver:
                 stage_resistance,
                 stage_capacitance,
                 net,
-                positions,
+                net_delay,
                 start,
                 timing_target,
             )
 
         if bracket is None:
             # Cold bracket: find a small lambda whose delay exceeds the target.
-            lambda_low = self._initial_lambda(net, positions, start) * 1e-6
+            lambda_low = self._initial_lambda(evaluation, start) * 1e-6
             widths_low = self._fixed_point(
                 lambda_low, stage_resistance, stage_capacitance, net, start
             )
-            delay_low = buffered_net_delay(net, self._technology, positions, widths_low)
+            delay_low = net_delay(widths_low)
             guard = 0
             while delay_low <= timing_target and guard < 60:
                 lambda_low *= 0.1
                 widths_low = self._fixed_point(
                     lambda_low, stage_resistance, stage_capacitance, net, widths_low
                 )
-                delay_low = buffered_net_delay(net, self._technology, positions, widths_low)
+                delay_low = net_delay(widths_low)
                 guard += 1
             if delay_low <= timing_target:
                 # Even with vanishing widths the net meets timing: the cheapest
                 # legal design is every repeater at its minimum width.
                 widths_min = np.full(n, self._min_width)
-                delay_min = buffered_net_delay(net, self._technology, positions, widths_min)
+                delay_min = net_delay(widths_min)
                 return WidthSolution(
                     widths=tuple(widths_min),
                     lagrange_multiplier=lambda_low,
@@ -227,7 +308,7 @@ class DualBisectionWidthSolver:
             widths = self._fixed_point(
                 lambda_mid, stage_resistance, stage_capacitance, net, widths
             )
-            delay_mid = buffered_net_delay(net, self._technology, positions, widths)
+            delay_mid = net_delay(widths)
             if delay_mid > timing_target:
                 log_low = log_mid
             else:
@@ -237,7 +318,7 @@ class DualBisectionWidthSolver:
 
         lambda_final = float(np.exp(log_high))
         widths = self._fixed_point(lambda_final, stage_resistance, stage_capacitance, net, widths)
-        delay_final = buffered_net_delay(net, self._technology, positions, widths)
+        delay_final = net_delay(widths)
         return WidthSolution(
             widths=tuple(widths),
             lagrange_multiplier=lambda_final,
@@ -254,7 +335,7 @@ class DualBisectionWidthSolver:
         stage_resistance: np.ndarray,
         stage_capacitance: np.ndarray,
         net: TwoPinNet,
-        positions: Sequence[float],
+        net_delay: Callable[[Sequence[float]], float],
         start: np.ndarray,
         timing_target: float,
     ) -> Optional[Tuple[float, float, np.ndarray, int]]:
@@ -271,7 +352,7 @@ class DualBisectionWidthSolver:
         max_evaluations = 14
         lam = float(min(max(seed, 1e-300), lambda_high))
         widths = self._fixed_point(lam, stage_resistance, stage_capacitance, net, start)
-        delay = buffered_net_delay(net, self._technology, positions, widths)
+        delay = net_delay(widths)
         evaluations = 1
         if delay > timing_target:
             # Seed is on the slow side: expand upward towards lambda_high
@@ -282,7 +363,7 @@ class DualBisectionWidthSolver:
                 widths = self._fixed_point(
                     lam, stage_resistance, stage_capacitance, net, widths
                 )
-                delay = buffered_net_delay(net, self._technology, positions, widths)
+                delay = net_delay(widths)
                 evaluations += 1
                 if delay <= timing_target:
                     return low, lam, widths, evaluations
@@ -300,7 +381,7 @@ class DualBisectionWidthSolver:
             next_widths = self._fixed_point(
                 lower, stage_resistance, stage_capacitance, net, widths
             )
-            next_delay = buffered_net_delay(net, self._technology, positions, next_widths)
+            next_delay = net_delay(next_widths)
             evaluations += 1
             if next_delay > timing_target:
                 return lower, high, next_widths, evaluations
@@ -312,11 +393,9 @@ class DualBisectionWidthSolver:
         return None
 
     # ------------------------------------------------------------------ #
-    def _initial_lambda(
-        self, net: TwoPinNet, positions: Sequence[float], widths: np.ndarray
-    ) -> float:
+    def _initial_lambda(self, evaluation, widths: np.ndarray) -> float:
         """Order-of-magnitude estimate of lambda from the width gradient."""
-        gradient = delay_width_gradient(net, self._technology, positions, widths)
+        gradient = evaluation.delay_width_gradient(widths)
         scale = float(np.mean(np.abs(gradient)))
         if scale <= 0.0:  # pragma: no cover - degenerate nets
             scale = 1e-12
@@ -349,7 +428,9 @@ class DualBisectionWidthSolver:
                     unit_cap * (stage_resistance[i] + unit_resistance / upstream_width)
                     + 1.0 / lam
                 )
-                new_width = float(np.sqrt(numerator / denominator))
+                # math.sqrt and np.sqrt are both the correctly-rounded IEEE
+                # square root — identical results, no array dispatch cost.
+                new_width = math.sqrt(numerator / denominator)
                 new_width = min(max(new_width, self._min_width), self._max_width)
                 largest_change = max(largest_change, abs(new_width - widths[i]))
                 widths[i] = new_width
@@ -369,6 +450,7 @@ class NewtonKktWidthSolver:
         max_width: Optional[float] = None,
         max_iterations: int = 100,
         tolerance: float = 1.0e-10,
+        evaluator: str = "compiled",
     ) -> None:
         self._technology = technology
         repeater = technology.repeater
@@ -376,10 +458,15 @@ class NewtonKktWidthSolver:
         self._max_width = repeater.max_width if max_width is None else max_width
         self._max_iterations = max_iterations
         self._tolerance = tolerance
+        require(evaluator in EVALUATOR_MODES, f"unknown evaluator mode {evaluator!r}")
+        self._evaluator = evaluator
         # The dual solver provides the starting point and the feasibility
         # verdict; Newton then polishes the KKT residuals.
         self._fallback = DualBisectionWidthSolver(
-            technology, min_width=self._min_width, max_width=self._max_width
+            technology,
+            min_width=self._min_width,
+            max_width=self._max_width,
+            evaluator=evaluator,
         )
 
     def solve(
@@ -403,23 +490,26 @@ class NewtonKktWidthSolver:
         if n == 0 or not warm.feasible:
             return warm
 
+        evaluation = solve_evaluation(self._technology, net, positions, self._evaluator)
+        net_delay = evaluation.net_delay
+        width_gradient = evaluation.delay_width_gradient
         repeater = self._technology.repeater
         unit_resistance = repeater.unit_resistance
         unit_cap = repeater.unit_input_capacitance
-        stage_resistance, stage_capacitance = stage_lumped_rc(net, positions)
+        stage_resistance, stage_capacitance = evaluation.stage_lumped_rc()
 
         widths = np.asarray(warm.widths, dtype=float)
         lam = max(warm.lagrange_multiplier, 1e-30)
 
         def residuals(w: np.ndarray, multiplier: float) -> np.ndarray:
-            gradient = delay_width_gradient(net, self._technology, positions, w)
+            gradient = width_gradient(w)
             res = np.empty(n + 1)
             res[:n] = 1.0 + multiplier * gradient
-            res[n] = buffered_net_delay(net, self._technology, positions, w) - timing_target
+            res[n] = net_delay(w) - timing_target
             return res
 
         def jacobian(w: np.ndarray, multiplier: float) -> np.ndarray:
-            gradient = delay_width_gradient(net, self._technology, positions, w)
+            gradient = width_gradient(w)
             matrix = np.zeros((n + 1, n + 1))
             extended = [net.driver_width, *w, net.receiver_width]
             for i in range(1, n + 1):
@@ -476,7 +566,7 @@ class NewtonKktWidthSolver:
         if not converged:
             return warm
 
-        delay = buffered_net_delay(net, self._technology, positions, widths)
+        delay = net_delay(widths)
         return WidthSolution(
             widths=tuple(float(w) for w in widths),
             lagrange_multiplier=float(lam),

@@ -35,6 +35,11 @@ Warm and cold runs agree within the width solver's tolerance and always
 reach the same feasibility verdict (the solver's feasibility pre-check is
 shared by both paths); ``warm_start=False`` restores the literal cold
 behaviour and serves as the equivalence oracle in the tests.
+
+The remaining *cold* (first-contact) cost is the solver's Elmore
+evaluations themselves; ``RefineConfig.evaluator`` selects the compiled
+per-(net, positions) evaluation (default, bit-for-bit equal) or the walked
+oracle — see :mod:`repro.delay.compiled`.
 """
 
 from __future__ import annotations
@@ -48,7 +53,11 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analytical.derivatives import location_derivatives
-from repro.analytical.width_solver import DualBisectionWidthSolver, WidthSolution
+from repro.analytical.width_solver import (
+    EVALUATOR_MODES,
+    DualBisectionWidthSolver,
+    WidthSolution,
+)
 from repro.core.solution import InsertionSolution
 from repro.net.twopin import TwoPinNet
 from repro.tech.technology import Technology
@@ -89,6 +98,16 @@ class RefineConfig:
         and honour caller-provided :class:`RefineSeed`s (the default).
         ``False`` restores the literal cold-start behaviour — the
         equivalence oracle of the warm-start tests.
+    evaluator:
+        Elmore evaluation mode of the default width solver:
+        ``"compiled"`` (the default) builds one
+        :class:`~repro.delay.compiled.CompiledElmoreEvaluator` per
+        ``(net, positions)`` solve and evaluates delays as numpy ops on the
+        precompiled per-stage coefficients — bit-for-bit equal to the
+        walked path; ``"walked"`` keeps the per-call
+        ``buffered_net_delay`` walk as the equivalence oracle (like the
+        DP's ``kernel="reference"``).  Ignored when a custom
+        ``width_solver`` is passed to :class:`Refine`.
     """
 
     movement_step: float = 50.0e-6
@@ -99,12 +118,17 @@ class RefineConfig:
     allow_zone_crossing: bool = True
     max_zone_crossing_length: Optional[float] = None
     warm_start: bool = True
+    evaluator: str = "compiled"
 
     def __post_init__(self) -> None:
         require_positive(self.movement_step, "movement_step")
         require_positive(self.improvement_threshold, "improvement_threshold")
         require_positive(self.max_iterations, "max_iterations")
         require_positive(self.min_separation, "min_separation")
+        require(
+            self.evaluator in EVALUATOR_MODES,
+            f"unknown evaluator mode {self.evaluator!r}",
+        )
 
 
 @dataclass(frozen=True)
@@ -301,16 +325,65 @@ class RefineRecordStore:
     besides ``(net, timing target, initial solution)`` — the technology
     constants and the full :class:`RefineConfig` (RIP builds it via
     :func:`repro.core.rip.refine_context_fingerprint`).
+
+    Disk budget
+    -----------
+    The store shares its directory with the frontier tier, and long-lived
+    services touch unboundedly many nets — so the per-net record files are
+    LRU-bounded on disk: after every save, the oldest-used ``refine-*.json``
+    files beyond ``max_files`` (and, when set, beyond ``max_bytes`` of
+    total size) are evicted.  Recency is tracked via file mtimes (every
+    successful :meth:`load` touches its file), eviction removes whole
+    files, and the newest record always survives — surviving records are
+    never rewritten by eviction, so they stay bit-for-bit intact.
+    ``max_files=None`` disables the count budget (and ``max_bytes=None``,
+    the default, the size budget) for callers that manage the directory
+    themselves.
     """
 
-    def __init__(self, cache_dir: os.PathLike, context: str) -> None:
+    #: Force a full directory re-scan every this many saves, so files
+    #: written by other processes sharing the directory still count against
+    #: the budget even when this process's own estimate stays within it.
+    SCAN_EVERY_SAVES = 64
+
+    def __init__(
+        self,
+        cache_dir: os.PathLike,
+        context: str,
+        *,
+        max_files: Optional[int] = 256,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        require(max_files is None or max_files >= 1, "max_files must be >= 1")
+        require(max_bytes is None or max_bytes > 0, "max_bytes must be > 0")
         self._cache_dir = Path(cache_dir)
         self._context = str(context)
+        self._max_files = max_files
+        self._max_bytes = max_bytes
+        self.evictions = 0
+        # Per-process estimate of the record files on disk, so the common
+        # save (rewriting a known file, directory within budget) skips the
+        # directory scan.  Files written by other processes sharing the
+        # directory are invisible to the estimate, so a full re-scan is
+        # forced every SCAN_EVERY_SAVES saves — the budget is best-effort
+        # but cannot be starved by concurrent writers.
+        self._known_names: "Optional[set]" = None
+        self._saves_since_scan = 0
 
     @property
     def cache_dir(self) -> Path:
         """Directory holding the per-net record files."""
         return self._cache_dir
+
+    @property
+    def max_files(self) -> Optional[int]:
+        """Count budget of the LRU disk tier (``None`` = unbounded)."""
+        return self._max_files
+
+    @property
+    def max_bytes(self) -> Optional[int]:
+        """Size budget (bytes) of the LRU disk tier (``None`` = unbounded)."""
+        return self._max_bytes
 
     def _path(self, net_fingerprint: str) -> Path:
         from repro.utils.canonical import stable_digest  # tiny leaf module
@@ -318,12 +391,62 @@ class RefineRecordStore:
         digest = stable_digest({"net": net_fingerprint, "context": self._context})
         return self._cache_dir / f"refine-{digest}.json"
 
-    @staticmethod
-    def _evict(path: Path) -> None:
+    def _evict(self, path: Path) -> None:
+        self.evictions += 1
+        if self._known_names is not None:
+            self._known_names.discard(path.name)
         try:
             path.unlink()
         except OSError:  # pragma: no cover - racing eviction is harmless
             pass
+
+    def _enforce_budget(self, saved: Path) -> None:
+        """LRU-evict record files beyond the count/size budgets.
+
+        Files are ranked by mtime (saves and successful loads both touch
+        it); the most recently used file is always kept, so a single
+        oversized record can never evict itself.  With only the count
+        budget active, the directory is scanned lazily: the tracked name
+        set answers the common within-budget save without touching disk.
+        """
+        if self._max_files is None and self._max_bytes is None:
+            return
+        self._saves_since_scan += 1
+        if self._max_bytes is None and self._saves_since_scan < self.SCAN_EVERY_SAVES:
+            if self._known_names is None:
+                try:
+                    self._known_names = {
+                        path.name for path in self._cache_dir.glob("refine-*.json")
+                    }
+                except OSError:  # pragma: no cover - unreadable directory
+                    return
+            self._known_names.add(saved.name)
+            if len(self._known_names) <= self._max_files:
+                return
+        self._saves_since_scan = 0
+        entries = []
+        for path in self._cache_dir.glob("refine-*.json"):
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - racing eviction is harmless
+                continue
+            entries.append((stat.st_mtime, path.name, stat.st_size, path))
+        self._known_names = {name for _, name, _, _ in entries}
+        entries.sort(reverse=True)  # most recently used first
+        total_bytes = 0
+        for rank, (_mtime, _name, size, path) in enumerate(entries):
+            total_bytes += size
+            if path == saved:
+                # The record just written always survives its own save,
+                # even on filesystems whose coarse mtimes tie-break it
+                # behind an older file.
+                continue
+            over_count = self._max_files is not None and rank >= self._max_files
+            over_bytes = (
+                self._max_bytes is not None and total_bytes > self._max_bytes and rank > 0
+            )
+            if over_count or over_bytes:
+                self._evict(path)
 
     def load(self, net_fingerprint: str, continuation: "RefineContinuation") -> int:
         """Import the net's recorded runs into ``continuation``.
@@ -360,10 +483,15 @@ class RefineRecordStore:
                     refine_result_from_payload(entry["result"]),
                 )
                 imported += 1
-            return imported
         except (KeyError, TypeError, ValueError):
             self._evict(path)
             return 0
+        try:
+            # Mark the file as recently used for the LRU disk budget.
+            os.utime(path)
+        except OSError:  # pragma: no cover - recency tracking is best-effort
+            pass
+        return imported
 
     def save(self, net_fingerprint: str, continuation: "RefineContinuation") -> None:
         """Persist the net's recorded runs (best-effort, atomic replace)."""
@@ -380,7 +508,8 @@ class RefineRecordStore:
             tmp.write_text(json.dumps(payload), encoding="utf-8")
             tmp.replace(path)
         except OSError:  # pragma: no cover - disk persistence is best-effort
-            pass
+            return
+        self._enforce_budget(path)
 
 
 class Refine:
@@ -393,8 +522,10 @@ class Refine:
         config: Optional[RefineConfig] = None,
     ) -> None:
         self._technology = technology
-        self._solver = width_solver or DualBisectionWidthSolver(technology)
         self._config = config or RefineConfig()
+        self._solver = width_solver or DualBisectionWidthSolver(
+            technology, evaluator=self._config.evaluator
+        )
         # Custom solvers predating the warm-start refactor may not accept
         # the ``initial_lambda`` keyword; detect once and degrade to cold
         # calls for them.

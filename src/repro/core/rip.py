@@ -131,7 +131,10 @@ class RipConfig:
         :class:`~repro.core.refine.RefineContinuation` threading: the
         converged solution of the nearest previously-designed timing target
         seeds each new REFINE run, and byte-identical repeated queries are
-        answered from the record outright.
+        answered from the record outright.  Its ``evaluator`` flag selects
+        the compiled per-(net, positions) Elmore evaluation of the width
+        solver (default; bit-for-bit equal to the walked oracle) and joins
+        the dp-context fingerprint of the window cache.
     pruning:
         Dominance-pruning configuration of both DP passes.
     enable_fallback:
@@ -276,6 +279,13 @@ class Rip:
     #: LRU bound on the number of nets with live REFINE continuations.
     MAX_CONTINUATION_NETS = 256
 
+    #: Disk budget (record-file count) of the persistent refine-record tier;
+    #: deliberately larger than the in-memory LRU so a service cycling
+    #: through more nets than MAX_CONTINUATION_NETS still finds its records
+    #: on disk after re-attach.  Override on the class (or construct
+    #: :class:`~repro.core.refine.RefineRecordStore` directly) to retune.
+    MAX_REFINE_RECORD_FILES = 1024
+
     def __init__(
         self,
         technology: Technology,
@@ -311,13 +321,17 @@ class Rip:
             self._refine_store = RefineRecordStore(
                 self._window_cache.cache_dir,
                 refine_context_fingerprint(technology, self._config.refine),
+                max_files=self.MAX_REFINE_RECORD_FILES,
             )
         # Everything a final-pass frontier depends on besides (net, library,
         # candidates); scopes cache entries when the cache is shared across
         # differently-configured inserters.
         self._dp_context = (
             dp_context_fingerprint(
-                technology, self._config.pruning, traversal=self._config.traversal
+                technology,
+                self._config.pruning,
+                traversal=self._config.traversal,
+                elmore_evaluator=self._config.refine.evaluator,
             )
             if self._window_cache is not None
             else ""

@@ -12,6 +12,7 @@ from repro.delay.stage import (
     stage_delay_breakdown,
     wire_elmore_delay,
 )
+from repro.delay.compiled import CompiledElmoreEvaluator
 from repro.delay.elmore import (
     ElmoreDelayModel,
     buffered_net_delay,
@@ -23,6 +24,7 @@ from repro.delay.twopole import d2m_delay, two_pole_delay
 from repro.delay.slew import elmore_slew, stage_output_slew
 
 __all__ = [
+    "CompiledElmoreEvaluator",
     "StageBreakdown",
     "stage_delay",
     "stage_delay_breakdown",

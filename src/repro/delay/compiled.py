@@ -1,0 +1,242 @@
+"""Compiled per-(net, positions) Elmore evaluator for REFINE's cold path.
+
+Profiling of a *cold* design (no warm continuation, no cached frontier)
+shows ~55% of the flow inside ``buffered_net_delay`` → ``stage_delays`` →
+``pieces_between``: every width-solver evaluation re-walks the net's piece
+list in Python, even though the repeater *positions* — and with them every
+wire-dependent quantity of Eq. (1)/(2) — are fixed for the whole solve.
+
+:class:`CompiledElmoreEvaluator` hoists all of that out of the inner loop,
+the same move :class:`repro.engine.compiled.CompiledNet` made for the DP
+kernels.  Built once per ``(net, sorted positions)``, it
+
+* validates the stage cut points once (the checks ``_check_solution``
+  re-ran on every walked evaluation) and splits the net into the
+  ``len(positions) + 1`` stages;
+* pre-aggregates each stage's wire sums via ``pieces_between``: the lumped
+  wire capacitance ``C_i`` and resistance ``R_i`` and the width-independent
+  distributed wire delay — so the per-stage delay collapses to the affine
+  form ``tau_i = (Rs*Cp + wire_distributed_i) + (Rs / w_drv) * (C_i + Co *
+  w_load) + R_i * (Co * w_load)``, affine in ``1 / w_drv``, ``w_load`` and
+  constants (plus the ``w_load / w_drv`` cross term);
+* evaluates :meth:`stage_delays` / :meth:`net_delay` as a handful of numpy
+  broadcast expressions over those coefficients.
+
+Bit-exactness contract
+----------------------
+The walked evaluation in :mod:`repro.delay.elmore` stays the single source
+of truth; this module is a *compilation* of it, not a reimplementation.
+The coefficients are kept in the factored Eq. (1) grouping (never expanded
+into a flat ``A + B/w + C*w`` polynomial, which would re-associate the
+floating-point sums), the wire sums are computed by the exact expressions
+of ``stage_delay_breakdown``/``wire_elmore_delay`` over the same
+``pieces_between`` output, and elementwise numpy double arithmetic is IEEE
+identical to scalar Python float arithmetic — so :meth:`stage_delays` is
+**bit-for-bit** equal to the walked ``stage_delays`` and :meth:`net_delay`
+to the walked ``buffered_net_delay`` (stricter than the ≤1 ulp allowance
+the ``traverse_affine`` DP fast mode needs; property-tested in
+``tests/test_delay_compiled.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.delay.stage import wire_elmore_delay
+from repro.net.twopin import TwoPinNet
+from repro.tech.technology import Technology
+from repro.utils.validation import ValidationError
+
+__all__ = ["CompiledElmoreEvaluator"]
+
+
+class CompiledElmoreEvaluator:
+    """Per-stage Elmore coefficients of one ``(net, positions)`` pair.
+
+    The evaluator is immutable after construction and safe to share between
+    any number of evaluations; only the repeater *widths* vary per call.
+    Invalid positions raise :class:`~repro.utils.validation.ValidationError`
+    at construction — exactly the errors the walked path raises per call —
+    so per-evaluation validation reduces to the widths.
+    """
+
+    __slots__ = (
+        "_net",
+        "_technology",
+        "_positions",
+        "_num_repeaters",
+        "_unit_resistance",
+        "_unit_capacitance",
+        "_intrinsic",
+        "_driver_width",
+        "_receiver_width",
+        "_wire_capacitance",
+        "_wire_resistance",
+        "_wire_distributed",
+        "_stage_resistance",
+        "_stage_capacitance",
+    )
+
+    def __init__(
+        self, net: TwoPinNet, technology: Technology, positions: Sequence[float]
+    ) -> None:
+        from repro.delay.elmore import _check_positions  # single source of truth
+
+        positions = [float(position) for position in positions]
+        _check_positions(net, positions)
+        self._net = net
+        self._technology = technology
+        self._positions = tuple(positions)
+        self._num_repeaters = len(positions)
+
+        repeater = technology.repeater
+        self._unit_resistance = repeater.unit_resistance
+        self._unit_capacitance = repeater.unit_input_capacitance
+        self._intrinsic = repeater.intrinsic_delay
+        self._driver_width = net.driver_width
+        self._receiver_width = net.receiver_width
+
+        cut_points = [0.0, *positions, net.total_length]
+        stages = len(cut_points) - 1
+        wire_capacitance = np.empty(stages)
+        wire_resistance = np.empty(stages)
+        wire_distributed = np.empty(stages)
+        for stage in range(stages):
+            pieces = net.pieces_between(cut_points[stage], cut_points[stage + 1])
+            # The exact sums of ``stage_delay_breakdown`` (same generator
+            # expressions, same downstream piece order) and the walked
+            # distributed-delay function itself: the compiled constants are
+            # the walked path's own floats.
+            wire_capacitance[stage] = sum(c * l for _, c, l in pieces)
+            wire_resistance[stage] = sum(r * l for r, _, l in pieces)
+            wire_distributed[stage] = wire_elmore_delay(pieces, 0.0)
+        self._wire_capacitance = wire_capacitance
+        self._wire_resistance = wire_resistance
+        self._wire_distributed = wire_distributed
+
+        # The *lumped* stage RC of the analytical layer
+        # (``analytical.derivatives.stage_lumped_rc``) aggregates the same
+        # intervals through the net's prefix integrals, whose floats differ
+        # from the piece sums above in the last ulp — so both flavours are
+        # compiled, each bit-identical to its own oracle.
+        res_interp, cap_interp = net.rc_prefix_at(cut_points)
+        self._stage_resistance = np.diff(res_interp)
+        self._stage_capacitance = np.diff(cap_interp)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def net(self) -> TwoPinNet:
+        """The net the evaluator was compiled for."""
+        return self._net
+
+    @property
+    def technology(self) -> Technology:
+        """The technology whose constants the evaluator bakes in."""
+        return self._technology
+
+    @property
+    def positions(self) -> tuple:
+        """The (validated) repeater positions, ascending."""
+        return self._positions
+
+    @property
+    def num_repeaters(self) -> int:
+        """Number of repeaters; evaluations take exactly this many widths."""
+        return self._num_repeaters
+
+    @property
+    def num_stages(self) -> int:
+        """Number of stages (``num_repeaters + 1``)."""
+        return self._num_repeaters + 1
+
+    # ------------------------------------------------------------------ #
+    def _check_widths(self, widths: np.ndarray) -> None:
+        if widths.ndim != 1 or widths.shape[0] != self._num_repeaters:
+            count = int(widths.size) if widths.ndim == 1 else -1
+            raise ValidationError(
+                f"positions ({self._num_repeaters}) and widths ({count}) "
+                "must have the same length"
+            )
+        if self._num_repeaters:
+            if not np.isfinite(widths).all():
+                raise ValidationError("repeater width must be finite")
+            if not (widths > 0.0).all():
+                raise ValidationError("repeater width must be > 0")
+
+    def _stage_delay_vector(self, widths: Sequence[float]) -> np.ndarray:
+        widths = np.asarray(widths, dtype=float)
+        self._check_widths(widths)
+        n = self._num_repeaters
+        driver_widths = np.empty(n + 1)
+        driver_widths[0] = self._driver_width
+        driver_widths[1:] = widths
+        load_widths = np.empty(n + 1)
+        load_widths[:n] = widths
+        load_widths[n] = self._receiver_width
+        load_capacitance = self._unit_capacitance * load_widths
+        # Term order and grouping replay Eq. (1) exactly as the walked
+        # ``stage_delay_breakdown`` computes it — left-to-right
+        # ``intrinsic + drive + wire_to_load + wire_distributed``.
+        return (
+            self._intrinsic
+            + (self._unit_resistance / driver_widths)
+            * (self._wire_capacitance + load_capacitance)
+            + self._wire_resistance * load_capacitance
+            + self._wire_distributed
+        )
+
+    def stage_delays(self, widths: Sequence[float]) -> List[float]:
+        """Per-stage Elmore delays; bit-for-bit the walked ``stage_delays``."""
+        return self._stage_delay_vector(widths).tolist()
+
+    def net_delay(self, widths: Sequence[float]) -> float:
+        """Total Elmore delay; bit-for-bit the walked ``buffered_net_delay``.
+
+        The per-stage delays are summed left-to-right over Python floats —
+        the same association as ``sum(stage_delays(...))`` — so the total
+        carries no re-association drift either.
+        """
+        return float(sum(self._stage_delay_vector(widths).tolist()))
+
+    # ------------------------------------------------------------------ #
+    # analytical-layer coefficients (KKT width solver support)
+    # ------------------------------------------------------------------ #
+    def stage_lumped_rc(self) -> tuple:
+        """Per-stage lumped wire ``(R_i, C_i)`` arrays of the KKT system.
+
+        Bit-for-bit equal to
+        :func:`repro.analytical.derivatives.stage_lumped_rc` at these
+        positions (prefix-integral arithmetic, not the Eq. (1) piece sums).
+        Returns copies; callers may mutate freely.
+        """
+        return self._stage_resistance.copy(), self._stage_capacitance.copy()
+
+    def delay_width_gradient(self, widths: Sequence[float]) -> np.ndarray:
+        """``d tau_total / d w_i`` for every repeater (Eq. 8).
+
+        Bit-for-bit equal to
+        :func:`repro.analytical.derivatives.delay_width_gradient`: the same
+        lumped stage RC and the same elementwise expression grouping
+        ``Co * (R_{i-1} + Rs / w_{i-1}) - Rs * (C_i + Co * w_{i+1}) / w_i^2``.
+        """
+        widths = np.asarray(widths, dtype=float)
+        n = self._num_repeaters
+        if widths.ndim != 1 or widths.shape[0] != n:
+            raise ValidationError(
+                "positions and widths must have the same length"
+            )
+        if n == 0:
+            return np.empty(0)
+        upstream = np.empty(n)
+        upstream[0] = self._driver_width
+        upstream[1:] = widths[:-1]
+        downstream = np.empty(n)
+        downstream[: n - 1] = widths[1:]
+        downstream[n - 1] = self._receiver_width
+        return self._unit_capacitance * (
+            self._stage_resistance[:-1] + self._unit_resistance / upstream
+        ) - self._unit_resistance * (
+            self._stage_capacitance[1:] + self._unit_capacitance * downstream
+        ) / (widths * widths)

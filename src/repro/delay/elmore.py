@@ -18,13 +18,9 @@ from repro.tech.technology import Technology
 from repro.utils.validation import require, require_positive
 
 
-def _check_solution(
-    net: TwoPinNet, positions: Sequence[float], widths: Sequence[float]
-) -> None:
-    require(
-        len(positions) == len(widths),
-        f"positions ({len(positions)}) and widths ({len(widths)}) must have the same length",
-    )
+def _check_positions(net: TwoPinNet, positions: Sequence[float]) -> None:
+    """Validate the position half of a solution (shared with the compiled
+    evaluator, which runs it once at compile time instead of per call)."""
     previous = 0.0
     for position in positions:
         require(
@@ -33,6 +29,16 @@ def _check_solution(
         )
         require(position >= previous, "repeater positions must be sorted ascending")
         previous = position
+
+
+def _check_solution(
+    net: TwoPinNet, positions: Sequence[float], widths: Sequence[float]
+) -> None:
+    require(
+        len(positions) == len(widths),
+        f"positions ({len(positions)}) and widths ({len(widths)}) must have the same length",
+    )
+    _check_positions(net, positions)
     for width in widths:
         require_positive(width, "repeater width")
 
@@ -113,3 +119,15 @@ class ElmoreDelayModel:
     def unbuffered_delay(self, net: TwoPinNet) -> float:
         """Delay of the bare net (no repeaters)."""
         return unbuffered_net_delay(net, self._technology)
+
+    def compile(self, net: TwoPinNet, positions: Sequence[float]):
+        """Compile a per-(net, positions) evaluator for repeated width sweeps.
+
+        Returns a :class:`repro.delay.compiled.CompiledElmoreEvaluator`
+        whose ``stage_delays(widths)`` / ``net_delay(widths)`` are
+        bit-for-bit equal to this model's walked evaluation; positions are
+        validated once here instead of on every call.
+        """
+        from repro.delay.compiled import CompiledElmoreEvaluator  # avoid cycle
+
+        return CompiledElmoreEvaluator(net, self._technology, positions)

@@ -107,13 +107,19 @@ def net_fingerprint(net: TwoPinNet) -> str:
     return cached
 
 
-def dp_context_fingerprint(technology, pruning, traversal: str = "exact") -> str:
+def dp_context_fingerprint(
+    technology, pruning, traversal: str = "exact", elmore_evaluator: str = "compiled"
+) -> str:
     """Fingerprint of everything *besides* (net, library, candidates) a
     power-aware DP result depends on: the technology constants, the pruning
     configuration (including the kernel — kernels may legitimately differ
     inside the pruning tolerance band, so they must not share frontier
-    entries) and the wire-traversal mode (the affine fast mode drifts by
-    ~1 ulp, so it must not share entries with the exact mode either)."""
+    entries), the wire-traversal mode (the affine fast mode drifts by
+    ~1 ulp, so it must not share entries with the exact mode either) and
+    the Elmore evaluation mode of the surrounding flow (RIP's REFINE step
+    shapes the final-pass library/window; compiled and walked evaluation
+    are bit-identical by contract, but the discipline is that every switch
+    that *could* steer a cached result joins the key)."""
     from repro.engine.cache import technology_fingerprint  # heavy module; defer
 
     return stable_digest(
@@ -124,6 +130,7 @@ def dp_context_fingerprint(technology, pruning, traversal: str = "exact") -> str
                 for field in dataclasses.fields(pruning)
             },
             "traversal": str(traversal),
+            "elmore_evaluator": str(elmore_evaluator),
         }
     )
 

@@ -57,6 +57,16 @@ class TwoPinNet:
         object.__setattr__(self, "_boundaries", boundaries)
         object.__setattr__(self, "_res_prefix", res_prefix)
         object.__setattr__(self, "_cap_prefix", cap_prefix)
+        object.__setattr__(
+            self,
+            "_res_per_meter",
+            np.array([s.resistance_per_meter for s in segments]),
+        )
+        object.__setattr__(
+            self,
+            "_cap_per_meter",
+            np.array([s.capacitance_per_meter for s in segments]),
+        )
 
         validate_zones(zones, float(boundaries[-1]))
 
@@ -131,6 +141,29 @@ class TwoPinNet:
         else:
             per_meter = segment.capacitance_per_meter
         return float(prefix[index] + (position - start) * per_meter)
+
+    def rc_prefix_at(self, positions: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized wire R/C prefix integrals at several positions.
+
+        Returns ``(resistance, capacitance)`` arrays whose elements are
+        **bit-for-bit** the scalar ``_prefix_interp`` results: the same
+        upstream-side segment lookup and the same
+        ``prefix[i] + (position - start) * per_meter`` arithmetic, just
+        evaluated elementwise.  Differencing consecutive entries therefore
+        reproduces :meth:`resistance_between` / :meth:`capacitance_between`
+        over sorted cut points exactly — this is what the compiled Elmore
+        evaluator aggregates its per-stage lumped RC from.
+        """
+        positions = np.asarray(positions, dtype=float)
+        for position in positions.ravel():
+            self._check_position(float(position))
+        clamped = np.minimum(positions, self.total_length)
+        index = np.searchsorted(self._boundaries, clamped, side="left") - 1
+        index = np.clip(index, 0, self.num_segments - 1)
+        offsets = clamped - self._boundaries[index]
+        resistance = self._res_prefix[index] + offsets * self._res_per_meter[index]
+        capacitance = self._cap_prefix[index] + offsets * self._cap_per_meter[index]
+        return resistance, capacitance
 
     def resistance_between(self, start: float, end: float) -> float:
         """Total wire resistance (ohms) between two positions (order-free)."""

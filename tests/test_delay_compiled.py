@@ -1,0 +1,191 @@
+"""Bit-exactness harness for the compiled per-(net, positions) Elmore evaluator.
+
+The contract under test (ISSUE 4): :class:`CompiledElmoreEvaluator` is a
+*compilation* of the walked evaluation in :mod:`repro.delay.elmore`, not a
+reimplementation — ``stage_delays`` / ``net_delay`` (and the analytical-layer
+coefficients ``stage_lumped_rc`` / ``delay_width_gradient``) must be
+**bit-for-bit** equal to their walked oracles on seeded-random nets x
+positions x widths, including every edge case the REFINE stack can produce:
+zero repeaters, duplicate and boundary positions, single-piece nets, min/max
+widths.  Invalid positions must raise through both paths — at compile time
+for the compiled evaluator (validation is hoisted there), per call for the
+walked one.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analytical.derivatives import delay_width_gradient, stage_lumped_rc
+from repro.delay.compiled import CompiledElmoreEvaluator
+from repro.delay.elmore import (
+    ElmoreDelayModel,
+    buffered_net_delay,
+    stage_delays,
+)
+from repro.net.generator import RandomNetGenerator
+from repro.utils.validation import ValidationError
+
+from tests.conftest import build_uniform_net
+
+#: Seeds of the randomized property sweep (each seed = one net, one position
+#: set, several width vectors).
+SEEDS = tuple(range(12))
+
+
+def _random_problem(tech, seed, num_repeaters=None):
+    net = RandomNetGenerator(tech, seed=seed).generate()
+    rng = random.Random(seed)
+    n = rng.randint(0, 8) if num_repeaters is None else num_repeaters
+    positions = sorted(rng.uniform(0.0, net.total_length) for _ in range(n))
+    return net, positions, rng
+
+
+def _random_widths(tech, rng, count):
+    repeater = tech.repeater
+    return [rng.uniform(repeater.min_width, repeater.max_width) for _ in range(count)]
+
+
+def _assert_bit_exact(tech, net, positions, widths):
+    evaluator = CompiledElmoreEvaluator(net, tech, positions)
+    assert evaluator.stage_delays(widths) == stage_delays(net, tech, positions, widths)
+    assert evaluator.net_delay(widths) == buffered_net_delay(
+        net, tech, positions, widths
+    )
+
+
+# --------------------------------------------------------------------------- #
+# randomized property sweep
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_nets_positions_widths_bit_exact(tech, seed):
+    net, positions, rng = _random_problem(tech, seed)
+    evaluator = CompiledElmoreEvaluator(net, tech, positions)
+    for _ in range(5):  # one compile serves many width vectors (the hot pattern)
+        widths = _random_widths(tech, rng, len(positions))
+        assert evaluator.stage_delays(widths) == stage_delays(
+            net, tech, positions, widths
+        )
+        assert evaluator.net_delay(widths) == buffered_net_delay(
+            net, tech, positions, widths
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_analytical_coefficients_bit_exact(tech, seed):
+    net, positions, rng = _random_problem(tech, seed, num_repeaters=None)
+    if not positions:
+        positions = [0.5 * net.total_length]
+    evaluator = CompiledElmoreEvaluator(net, tech, positions)
+    compiled_resistance, compiled_capacitance = evaluator.stage_lumped_rc()
+    walked_resistance, walked_capacitance = stage_lumped_rc(net, positions)
+    assert np.array_equal(compiled_resistance, walked_resistance)
+    assert np.array_equal(compiled_capacitance, walked_capacitance)
+    widths = np.asarray(_random_widths(tech, rng, len(positions)))
+    assert np.array_equal(
+        evaluator.delay_width_gradient(widths),
+        delay_width_gradient(net, tech, positions, widths),
+    )
+
+
+def test_numpy_widths_match_list_widths(tech, mixed_net):
+    positions = [0.3 * mixed_net.total_length, 0.6 * mixed_net.total_length]
+    evaluator = CompiledElmoreEvaluator(mixed_net, tech, positions)
+    widths = [120.0, 90.0]
+    assert evaluator.net_delay(np.asarray(widths)) == evaluator.net_delay(widths)
+
+
+# --------------------------------------------------------------------------- #
+# edge cases
+# --------------------------------------------------------------------------- #
+def test_zero_repeaters_bit_exact(tech, mixed_net):
+    _assert_bit_exact(tech, mixed_net, [], [])
+
+
+def test_duplicate_positions_bit_exact(tech, mixed_net):
+    cut = 0.4 * mixed_net.total_length
+    _assert_bit_exact(tech, mixed_net, [cut, cut], [130.0, 70.0])
+
+
+def test_boundary_positions_bit_exact(tech, mixed_net):
+    # Positions exactly on the driver / receiver produce empty stages; both
+    # paths must agree on those too (the walked path allows them).
+    length = mixed_net.total_length
+    _assert_bit_exact(tech, mixed_net, [0.0, length], [10.0, 400.0])
+
+
+def test_segment_boundary_positions_bit_exact(tech, mixed_net):
+    boundaries = mixed_net.boundaries
+    positions = [float(boundaries[1]), float(boundaries[3])]
+    _assert_bit_exact(tech, mixed_net, positions, [150.0, 150.0])
+
+
+def test_single_piece_net_bit_exact(tech):
+    net = build_uniform_net(tech, segments=1, name="single-piece")
+    _assert_bit_exact(tech, net, [0.5 * net.total_length], [200.0])
+    _assert_bit_exact(tech, net, [], [])
+
+
+def test_min_and_max_widths_bit_exact(tech, mixed_net):
+    repeater = tech.repeater
+    positions = [0.25 * mixed_net.total_length, 0.75 * mixed_net.total_length]
+    for width in (repeater.min_width, repeater.max_width):
+        _assert_bit_exact(tech, mixed_net, positions, [width, width])
+
+
+def test_facade_compile_factory_matches_walked_model(tech, mixed_net):
+    model = ElmoreDelayModel(tech)
+    positions = [0.5 * mixed_net.total_length]
+    evaluator = model.compile(mixed_net, positions)
+    widths = [100.0]
+    assert evaluator.stage_delays(widths) == model.stage_delays(
+        mixed_net, positions, widths
+    )
+    assert evaluator.net_delay(widths) == model.net_delay(mixed_net, positions, widths)
+    assert evaluator.num_repeaters == 1
+    assert evaluator.num_stages == 2
+    assert evaluator.net is mixed_net
+    assert evaluator.technology is tech
+
+
+# --------------------------------------------------------------------------- #
+# invalid inputs raise through both paths
+# --------------------------------------------------------------------------- #
+def test_unsorted_positions_raise_through_both_paths(tech, mixed_net):
+    positions = [0.6 * mixed_net.total_length, 0.2 * mixed_net.total_length]
+    with pytest.raises(ValidationError):
+        stage_delays(mixed_net, tech, positions, [80.0, 80.0])
+    with pytest.raises(ValidationError):
+        CompiledElmoreEvaluator(mixed_net, tech, positions)
+
+
+def test_out_of_range_positions_raise_through_both_paths(tech, mixed_net):
+    for positions in ([-1.0e-6], [2.0 * mixed_net.total_length]):
+        with pytest.raises(ValidationError):
+            stage_delays(mixed_net, tech, positions, [80.0])
+        with pytest.raises(ValidationError):
+            CompiledElmoreEvaluator(mixed_net, tech, positions)
+
+
+def test_mismatched_widths_raise_through_both_paths(tech, mixed_net):
+    positions = [0.5 * mixed_net.total_length]
+    evaluator = CompiledElmoreEvaluator(mixed_net, tech, positions)
+    with pytest.raises(ValidationError):
+        stage_delays(mixed_net, tech, positions, [])
+    with pytest.raises(ValidationError):
+        evaluator.stage_delays([])
+    with pytest.raises(ValidationError):
+        evaluator.delay_width_gradient([80.0, 80.0])
+
+
+def test_non_positive_widths_raise_through_both_paths(tech, mixed_net):
+    positions = [0.5 * mixed_net.total_length]
+    evaluator = CompiledElmoreEvaluator(mixed_net, tech, positions)
+    for bad in ([0.0], [-5.0], [float("nan")]):
+        with pytest.raises(ValidationError):
+            buffered_net_delay(mixed_net, tech, positions, bad)
+        with pytest.raises(ValidationError):
+            evaluator.net_delay(bad)

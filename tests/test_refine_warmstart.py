@@ -289,6 +289,101 @@ def test_refine_store_evicts_corrupted_and_stale_files(tech, tmp_path):
     assert not path.exists()
 
 
+def _record_payload(store, continuation, fingerprint, target, initial):
+    """The exact recorded result a survivor file must keep reproducing."""
+    loaded = RefineContinuation()
+    assert store.load(fingerprint, loaded) == 1
+    result = loaded.exact(target, initial)
+    assert result is not None
+    return refine_result_to_payload(result)
+
+
+def test_refine_store_disk_budget_evicts_lru_files(tech, tmp_path):
+    import os
+    import time
+
+    net = build_uniform_net(tech, length_um=13000.0, segments=5, name="budget")
+    target = 0.8 * unbuffered_net_delay(net, tech)
+    initial, result = _result_for(tech, net, target)
+    continuation = RefineContinuation()
+    continuation.record(target, initial, result)
+
+    store = RefineRecordStore(tmp_path, "ctx", max_files=2)
+    base = time.time() - 100.0
+    for index, fingerprint in enumerate(["net-a", "net-b", "net-c"]):
+        store.save(fingerprint, continuation)
+        # Pin a deterministic LRU order (oldest = net-a).
+        os.utime(store._path(fingerprint), times=(base + index, base + index))
+    store.save("net-d", continuation)
+
+    # Each save beyond the budget evicted the least recently used file
+    # (net-a on the third save, net-b on the fourth); the survivors are
+    # untouched and still load bit-for-bit.
+    assert store.evictions == 2
+    assert len(list(tmp_path.glob("refine-*.json"))) == 2
+    assert store.load("net-a", RefineContinuation()) == 0
+    assert store.load("net-b", RefineContinuation()) == 0
+    expected = refine_result_to_payload(result)
+    for survivor in ("net-c", "net-d"):
+        assert _record_payload(store, continuation, survivor, target, initial) == expected
+
+
+def test_refine_store_load_marks_files_recently_used(tech, tmp_path):
+    import os
+    import time
+
+    net = build_uniform_net(tech, length_um=12000.0, segments=4, name="touch")
+    target = 0.85 * unbuffered_net_delay(net, tech)
+    initial, result = _result_for(tech, net, target)
+    continuation = RefineContinuation()
+    continuation.record(target, initial, result)
+
+    store = RefineRecordStore(tmp_path, "ctx", max_files=2)
+    base = time.time() - 100.0
+    for index, fingerprint in enumerate(["net-a", "net-b"]):
+        store.save(fingerprint, continuation)
+        os.utime(store._path(fingerprint), times=(base + index, base + index))
+    # Reading net-a promotes it: the next eviction takes net-b instead.
+    assert store.load("net-a", RefineContinuation()) == 1
+    store.save("net-c", continuation)
+    assert store.load("net-b", RefineContinuation()) == 0
+    expected = refine_result_to_payload(result)
+    for survivor in ("net-a", "net-c"):
+        assert _record_payload(store, continuation, survivor, target, initial) == expected
+
+
+def test_refine_store_byte_budget_keeps_newest(tech, tmp_path):
+    net = build_uniform_net(tech, length_um=11000.0, segments=4, name="bytes")
+    target = 0.9 * unbuffered_net_delay(net, tech)
+    initial, result = _result_for(tech, net, target)
+    continuation = RefineContinuation()
+    continuation.record(target, initial, result)
+
+    import os
+    import time
+
+    # A budget smaller than a single record still keeps the newest file.
+    store = RefineRecordStore(tmp_path, "ctx", max_bytes=1)
+    store.save("net-a", continuation)
+    assert len(list(tmp_path.glob("refine-*.json"))) == 1
+    stale = time.time() - 50.0
+    os.utime(store._path("net-a"), times=(stale, stale))
+    store.save("net-b", continuation)
+    files = list(tmp_path.glob("refine-*.json"))
+    assert len(files) == 1
+    assert store.load("net-b", RefineContinuation()) == 1
+    assert store.load("net-a", RefineContinuation()) == 0
+
+
+def test_refine_store_budget_validation(tmp_path):
+    from repro.utils.validation import ValidationError
+
+    with pytest.raises(ValidationError):
+        RefineRecordStore(tmp_path, "ctx", max_files=0)
+    with pytest.raises(ValidationError):
+        RefineRecordStore(tmp_path, "ctx", max_bytes=0)
+
+
 def test_refine_context_distinguishes_technology_and_config(tech):
     base = refine_context_fingerprint(tech, RefineConfig())
     assert base == refine_context_fingerprint(tech, RefineConfig())
