@@ -43,6 +43,23 @@ def stage_lumped_rc(
     return resistances, capacitances
 
 
+def stage_lumped_rc_vectorized(
+    net: TwoPinNet, positions: Sequence[float]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`stage_lumped_rc` (bit-for-bit equal).
+
+    Differences of the net's vectorized prefix integrals
+    (:meth:`TwoPinNet.rc_prefix_at`) reproduce the scalar
+    ``resistance_between``/``capacitance_between`` results exactly over
+    *sorted* cut points — the same construction the compiled Elmore
+    evaluator uses.  Requires ascending ``positions`` (REFINE's move loop
+    and the width solvers always hold them sorted).
+    """
+    cut_points = [0.0, *positions, net.total_length]
+    res_prefix, cap_prefix = net.rc_prefix_at(cut_points)
+    return np.diff(res_prefix), np.diff(cap_prefix)
+
+
 def delay_width_gradient(
     net: TwoPinNet,
     technology: Technology,
@@ -135,3 +152,55 @@ def location_derivatives(
         )
         results.append(LocationDerivatives(left=left, right=right))
     return results
+
+
+def location_derivative_arrays(
+    net: TwoPinNet,
+    technology: Technology,
+    positions: Sequence[float],
+    widths: Sequence[float],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`location_derivatives`: ``(left, right)`` arrays.
+
+    Built on the batched position lookup :meth:`TwoPinNet.unit_rc_at_batch`
+    and the vectorized :func:`stage_lumped_rc_vectorized`; every elementwise
+    expression keeps the scalar path's grouping, so the entries are
+    **bit-for-bit** the scalar ``LocationDerivatives`` fields (the scalar
+    walk stays selectable as the oracle — ``RefineConfig.analytical``).
+    """
+    require(len(positions) == len(widths), "positions and widths must have the same length")
+    n = len(positions)
+    if n == 0:
+        return np.empty(0), np.empty(0)
+    repeater = technology.repeater
+    unit_resistance = repeater.unit_resistance
+    unit_cap = repeater.unit_input_capacitance
+
+    stage_resistance, stage_capacitance = stage_lumped_rc_vectorized(net, positions)
+    widths = np.asarray(widths, dtype=float)
+    width = widths
+    upstream_width = np.empty(n)
+    upstream_width[0] = net.driver_width
+    upstream_width[1:] = widths[:-1]
+    downstream_width = np.empty(n)
+    downstream_width[: n - 1] = widths[1:]
+    downstream_width[n - 1] = net.receiver_width
+    upstream_resistance = stage_resistance[:-1]
+    downstream_capacitance = stage_capacitance[1:]
+
+    r_down, c_down = net.unit_rc_at_batch(positions, downstream=True)
+    r_up, c_up = net.unit_rc_at_batch(positions, downstream=False)
+
+    right = (
+        unit_cap * r_down * (width - downstream_width)
+        + unit_resistance * c_down * (1.0 / upstream_width - 1.0 / width)
+        + c_down * upstream_resistance
+        - r_down * downstream_capacitance
+    )
+    left = (
+        unit_cap * r_up * (width - downstream_width)
+        + unit_resistance * c_up * (1.0 / upstream_width - 1.0 / width)
+        + c_up * upstream_resistance
+        - r_up * downstream_capacitance
+    )
+    return left, right

@@ -64,7 +64,7 @@ from typing import Callable, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analytical.derivatives import delay_width_gradient, stage_lumped_rc
-from repro.delay.compiled import CompiledElmoreEvaluator
+from repro.delay.compiled import ANALYTICAL_MODES, CompiledElmoreEvaluator
 from repro.delay.elmore import buffered_net_delay
 from repro.net.twopin import TwoPinNet
 from repro.tech.technology import Technology
@@ -72,6 +72,11 @@ from repro.utils.validation import require, require_positive
 
 #: Legal delay-evaluation modes of the width solvers.
 EVALUATOR_MODES = ("compiled", "walked")
+
+#: Legal Gauss-Seidel sweep implementations of the dual solver — one mode
+#: for the whole analytical layer, shared with the compiled evaluator's
+#: ``analytical`` switch (``RefineConfig.analytical`` sets both).
+SWEEP_MODES = ANALYTICAL_MODES
 
 
 class _WalkedEvaluation:
@@ -109,6 +114,7 @@ def solve_evaluation(
     net: TwoPinNet,
     positions: Sequence[float],
     evaluator: str,
+    analytical: str = "vectorized",
 ):
     """The per-(net, positions) evaluation backend of one width solve.
 
@@ -117,10 +123,14 @@ def solve_evaluation(
     lumped stage RC and width gradient are all bit-identical numpy
     evaluations of precompiled coefficients; ``"walked"`` returns the
     per-call single-source-of-truth walk (the equivalence oracle).
+    ``analytical`` selects the compiled evaluator's internals: the
+    vectorized stage aggregation and native-float total-delay path
+    (``"vectorized"``, bit-identical), or the legacy per-stage walk kept
+    verbatim as the oracle (``"scalar"``).
     """
     require(evaluator in EVALUATOR_MODES, f"unknown evaluator mode {evaluator!r}")
     if evaluator == "compiled":
-        return CompiledElmoreEvaluator(net, technology, positions)
+        return CompiledElmoreEvaluator(net, technology, positions, analytical=analytical)
     return _WalkedEvaluation(technology, net, positions)
 
 
@@ -168,6 +178,7 @@ class DualBisectionWidthSolver:
         max_inner_sweeps: int = 200,
         inner_tolerance: float = 1.0e-9,
         evaluator: str = "compiled",
+        sweep: str = "vectorized",
     ) -> None:
         self._technology = technology
         repeater = technology.repeater
@@ -176,16 +187,23 @@ class DualBisectionWidthSolver:
         require_positive(self._min_width, "min_width")
         require(self._max_width > self._min_width, "max_width must exceed min_width")
         require(evaluator in EVALUATOR_MODES, f"unknown evaluator mode {evaluator!r}")
+        require(sweep in SWEEP_MODES, f"unknown sweep mode {sweep!r}")
         self._delay_tolerance = delay_tolerance
         self._max_bisection_steps = max_bisection_steps
         self._max_inner_sweeps = max_inner_sweeps
         self._inner_tolerance = inner_tolerance
         self._evaluator = evaluator
+        self._sweep = sweep
 
     @property
     def evaluator(self) -> str:
         """Delay-evaluation mode: ``"compiled"`` or ``"walked"``."""
         return self._evaluator
+
+    @property
+    def sweep(self) -> str:
+        """Gauss-Seidel sweep implementation: ``"vectorized"`` or ``"scalar"``."""
+        return self._sweep
 
     # ------------------------------------------------------------------ #
     def solve(
@@ -212,7 +230,9 @@ class DualBisectionWidthSolver:
         # One evaluation backend per solve: positions are validated (and,
         # in compiled mode, the per-stage coefficients aggregated) once
         # here instead of on every evaluation of the inner loops.
-        evaluation = solve_evaluation(self._technology, net, positions, self._evaluator)
+        evaluation = solve_evaluation(
+            self._technology, net, positions, self._evaluator, self._sweep
+        )
         net_delay = evaluation.net_delay
         if n == 0:
             delay = net_delay([])
@@ -341,43 +361,49 @@ class DualBisectionWidthSolver:
     ) -> Optional[Tuple[float, float, np.ndarray, int]]:
         """Bracket the timing multiplier around a warm-start seed.
 
-        Expands geometrically from the seed (factor 4 per step, at most 14
-        evaluations) until ``delay(lambda_low) > target >= delay(lambda_high)``.
-        Returns ``(lambda_low, lambda_high, widths, evaluations)`` or ``None``
-        when no bracket is found near the seed — the caller then falls back to
-        the cold bracket, so a useless seed costs a few evaluations but can
-        never change the outcome class.
+        The old implementation expanded geometrically from the seed by a
+        factor of 4 per evaluation (up to 14) — on realistic continuations
+        that costs *more* fixed-point evaluations than the whole cold solve
+        it replaces (the ``refine_warmstart`` bench regression).  The seed
+        probe itself already decides everything cheaply:
+
+        * seed on the infeasible side — one factor-8 up-probe looks for a
+          tight sub-decade bracket around the seed;
+        * seed on the feasible side — escalating down-probes (÷8, then
+          ÷512) look for the infeasible end; a tight hit gives a
+          sub-decade bracket, so the bisection converges in a step or two.
+
+        Every returned bracket has **both ends evaluated by this solve**
+        (feasible high end, infeasible low end), so the warm path carries
+        no verdict exposure beyond the cold path's own.  Returns
+        ``(lambda_low, lambda_high, widths, evaluations)`` or ``None``
+        when no such bracket is found near the seed — the caller then
+        falls back to the cold bracket, so a useless seed costs at most
+        three evaluations and can never change the outcome class.
         """
-        expansion = 4.0
-        max_evaluations = 14
         lam = float(min(max(seed, 1e-300), lambda_high))
         widths = self._fixed_point(lam, stage_resistance, stage_capacitance, net, start)
         delay = net_delay(widths)
         evaluations = 1
         if delay > timing_target:
-            # Seed is on the slow side: expand upward towards lambda_high
-            # (which the feasibility pre-check already showed meets timing).
-            low = lam
-            while lam < lambda_high and evaluations < max_evaluations:
-                lam = min(lam * expansion, lambda_high)
-                widths = self._fixed_point(
-                    lam, stage_resistance, stage_capacitance, net, widths
+            # Infeasible side: one tight up-probe; a seed whose crossing is
+            # not within a decade (or that sits against lambda_high) is a
+            # poor continuation anchor — let the cold bracket decide.
+            upper = lam * 8.0
+            if upper < lambda_high:
+                widths_up = self._fixed_point(
+                    upper, stage_resistance, stage_capacitance, net, widths
                 )
-                delay = net_delay(widths)
+                delay_up = net_delay(widths_up)
                 evaluations += 1
-                if delay <= timing_target:
-                    return low, lam, widths, evaluations
-                low = lam
-            if lam >= lambda_high:
-                # The fixed point at lambda_high landed on the infeasible
-                # side this time (multi-start noise); let the cold path
-                # decide.
-                return None
-            return low, lambda_high, widths, evaluations
-        # Seed already meets timing: expand downward until it stops doing so.
+                if delay_up <= timing_target:
+                    return lam, upper, widths_up, evaluations
+            return None
+        # Feasible side: escalating down-probes for the infeasible end.
         high = lam
-        while evaluations < max_evaluations:
-            lower = lam / expansion
+        lower = lam
+        for expansion in (8.0, 512.0):
+            lower = lower / expansion
             next_widths = self._fixed_point(
                 lower, stage_resistance, stage_capacitance, net, widths
             )
@@ -386,7 +412,6 @@ class DualBisectionWidthSolver:
             if next_delay > timing_target:
                 return lower, high, next_widths, evaluations
             high = lower
-            lam = lower
             widths = next_widths
         # Timing is met many decades below the seed — likely the min-width
         # regime, which the cold path detects and reports properly.
@@ -409,7 +434,30 @@ class DualBisectionWidthSolver:
         net: TwoPinNet,
         start: np.ndarray,
     ) -> np.ndarray:
-        """Gauss-Seidel iteration of Eq. (8) at fixed ``lambda``."""
+        """Gauss-Seidel iteration of Eq. (8) at fixed ``lambda``.
+
+        Dispatches on the ``sweep`` mode: the vectorized sweep hoists the
+        per-stage RC coefficient vectors (and the whole Eq. (8) update)
+        out of numpy scalar indexing and is **bit-for-bit** equal to the
+        scalar oracle sweep — see :meth:`_fixed_point_vectorized`.
+        """
+        if self._sweep == "vectorized":
+            return self._fixed_point_vectorized(
+                lam, stage_resistance, stage_capacitance, net, start
+            )
+        return self._fixed_point_scalar(
+            lam, stage_resistance, stage_capacitance, net, start
+        )
+
+    def _fixed_point_scalar(
+        self,
+        lam: float,
+        stage_resistance: np.ndarray,
+        stage_capacitance: np.ndarray,
+        net: TwoPinNet,
+        start: np.ndarray,
+    ) -> np.ndarray:
+        """The original per-element sweep — the vectorized sweep's oracle."""
         repeater = self._technology.repeater
         unit_resistance = repeater.unit_resistance
         unit_cap = repeater.unit_input_capacitance
@@ -438,6 +486,70 @@ class DualBisectionWidthSolver:
                 break
         return widths
 
+    def _fixed_point_vectorized(
+        self,
+        lam: float,
+        stage_resistance: np.ndarray,
+        stage_capacitance: np.ndarray,
+        net: TwoPinNet,
+        start: np.ndarray,
+    ) -> np.ndarray:
+        """Whole-vector Eq. (8) sweep on the precomputed RC coefficients.
+
+        The per-stage coefficient vectors are hoisted to flat native floats
+        once per call and the whole update runs on them — no numpy scalar
+        extraction inside the sweep.  The Gauss-Seidel *upstream* chain
+        (``w_i`` reads ``w_{i-1}`` of the same sweep) is a true recurrence
+        and stays sequential; downstream reads use the previous iterate,
+        exactly like the scalar oracle.  Every expression keeps the
+        scalar sweep's grouping and IEEE double arithmetic (``1.0 / lam``
+        is hoisted — the division is deterministic), so the result is
+        **bit-for-bit** equal to :meth:`_fixed_point_scalar`
+        (property-tested in ``tests/test_analytical_vectorized.py``).
+        """
+        repeater = self._technology.repeater
+        unit_resistance = repeater.unit_resistance
+        unit_cap = repeater.unit_input_capacitance
+        n = len(start)
+        min_width = self._min_width
+        max_width = self._max_width
+        if n == 0:
+            return np.clip(start.astype(float).copy(), min_width, max_width)
+        # Native-float entry clamp: min(max(x, lo), hi) is elementwise
+        # np.clip, bit for bit (NaN propagates identically).
+        widths = [
+            min(max(float(value), min_width), max_width) for value in start.tolist()
+        ]
+        cap_down = stage_capacitance.tolist()  # C_{i+1} read at index i + 1
+        res_up = stage_resistance.tolist()  # R_i read at index i
+        driver_width = net.driver_width
+        receiver_width = net.receiver_width
+        inv_lam = 1.0 / lam
+        inner_tolerance = self._inner_tolerance
+        sqrt = math.sqrt
+
+        for _ in range(self._max_inner_sweeps):
+            largest_change = 0.0
+            upstream_width = driver_width
+            for i in range(n):
+                downstream_width = receiver_width if i == n - 1 else widths[i + 1]
+                numerator = unit_resistance * (
+                    cap_down[i + 1] + unit_cap * downstream_width
+                )
+                denominator = (
+                    unit_cap * (res_up[i] + unit_resistance / upstream_width)
+                    + inv_lam
+                )
+                new_width = sqrt(numerator / denominator)
+                new_width = min(max(new_width, min_width), max_width)
+                largest_change = max(largest_change, abs(new_width - widths[i]))
+                widths[i] = new_width
+                upstream_width = new_width
+            peak = max(widths)
+            if largest_change <= inner_tolerance * (1.0 if peak < 1.0 else peak):
+                break
+        return np.asarray(widths)
+
 
 class NewtonKktWidthSolver:
     """Damped Newton-Raphson on the full KKT system (the paper's stated method)."""
@@ -451,6 +563,7 @@ class NewtonKktWidthSolver:
         max_iterations: int = 100,
         tolerance: float = 1.0e-10,
         evaluator: str = "compiled",
+        sweep: str = "vectorized",
     ) -> None:
         self._technology = technology
         repeater = technology.repeater
@@ -459,7 +572,9 @@ class NewtonKktWidthSolver:
         self._max_iterations = max_iterations
         self._tolerance = tolerance
         require(evaluator in EVALUATOR_MODES, f"unknown evaluator mode {evaluator!r}")
+        require(sweep in SWEEP_MODES, f"unknown sweep mode {sweep!r}")
         self._evaluator = evaluator
+        self._sweep = sweep
         # The dual solver provides the starting point and the feasibility
         # verdict; Newton then polishes the KKT residuals.
         self._fallback = DualBisectionWidthSolver(
@@ -467,6 +582,7 @@ class NewtonKktWidthSolver:
             min_width=self._min_width,
             max_width=self._max_width,
             evaluator=evaluator,
+            sweep=sweep,
         )
 
     def solve(
@@ -490,7 +606,9 @@ class NewtonKktWidthSolver:
         if n == 0 or not warm.feasible:
             return warm
 
-        evaluation = solve_evaluation(self._technology, net, positions, self._evaluator)
+        evaluation = solve_evaluation(
+            self._technology, net, positions, self._evaluator, self._sweep
+        )
         net_delay = evaluation.net_delay
         width_gradient = evaluation.delay_width_gradient
         repeater = self._technology.repeater

@@ -24,7 +24,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.analytical.width_solver import EVALUATOR_MODES
+from repro.analytical.width_solver import EVALUATOR_MODES, SWEEP_MODES
 from repro.core.rip import Rip, RipConfig
 from repro.core.solution import InsertionSolution
 from repro.core.evaluate import evaluate_solution
@@ -188,7 +188,76 @@ def build_parser() -> argparse.ArgumentParser:
             "wire walk kept as the equivalence oracle"
         ),
     )
+    sweep.add_argument(
+        "--dp-core",
+        choices=("fused", "staged"),
+        default="fused",
+        help=(
+            "DP inner-loop implementation of every DP pass: 'fused' (default) "
+            "runs each level as one expand-traverse-prune kernel call on the "
+            "per-worker scratch arena — bit-for-bit identical to 'staged', "
+            "the per-level oracle kept selectable"
+        ),
+    )
+    sweep.add_argument(
+        "--refine-analytical",
+        choices=SWEEP_MODES,
+        default="vectorized",
+        help=(
+            "analytical inner loops of REFINE: 'vectorized' (default) runs "
+            "the width solver's Gauss-Seidel sweep and the move loop's "
+            "location derivatives on compiled coefficient vectors — "
+            "bit-for-bit equal to 'scalar', the legacy loops kept as the "
+            "equivalence oracle"
+        ),
+    )
     sweep.add_argument("--json", default=None, help="write the records as JSON to this path")
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect (and optionally GC) the on-disk design-state caches"
+    )
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "design-state directory to inspect (default: the REPRO_CACHE_DIR "
+            "environment variable); the frontier/refine tiers are looked up "
+            "both directly and under <dir>/wincache"
+        ),
+    )
+    cache.add_argument(
+        "--gc",
+        action="store_true",
+        help="apply the LRU disk budgets to the frontier and refine-record tiers",
+    )
+    cache.add_argument(
+        "--max-frontier-files",
+        type=int,
+        default=None,
+        metavar="N",
+        help="frontier-tier count budget for --gc (default: the cache's default)",
+    )
+    cache.add_argument(
+        "--max-frontier-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="frontier-tier size budget for --gc (default: unbounded)",
+    )
+    cache.add_argument(
+        "--max-refine-files",
+        type=int,
+        default=None,
+        metavar="N",
+        help="refine-record count budget for --gc (default: RIP's default)",
+    )
+    cache.add_argument(
+        "--max-refine-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="refine-record size budget for --gc (default: unbounded)",
+    )
 
     return parser
 
@@ -346,7 +415,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_methods(spec: str, traversal: str = "exact", refine_evaluator: str = "compiled"):
+def _parse_methods(
+    spec: str,
+    traversal: str = "exact",
+    refine_evaluator: str = "compiled",
+    dp_core: str = "fused",
+    refine_analytical: str = "vectorized",
+):
     from repro.core.refine import RefineConfig
     from repro.engine.design import MethodSpec
 
@@ -359,8 +434,15 @@ def _parse_methods(spec: str, traversal: str = "exact", refine_evaluator: str = 
             overrides = {}
             if traversal != "exact":
                 overrides["traversal"] = traversal
+            if dp_core != "fused":
+                overrides["dp_core"] = dp_core
+            refine_overrides = {}
             if refine_evaluator != "compiled":
-                overrides["refine"] = RefineConfig(evaluator=refine_evaluator)
+                refine_overrides["evaluator"] = refine_evaluator
+            if refine_analytical != "vectorized":
+                refine_overrides["analytical"] = refine_analytical
+            if refine_overrides:
+                overrides["refine"] = RefineConfig(**refine_overrides)
             config = RipConfig(**overrides) if overrides else None
             methods.append(MethodSpec.rip_method(config=config))
         elif entry.startswith("dp-g"):
@@ -373,6 +455,7 @@ def _parse_methods(spec: str, traversal: str = "exact", refine_evaluator: str = 
                     entry,
                     RepeaterLibrary.uniform(10.0, 400.0, granularity),
                     traversal=traversal,
+                    core=dp_core,
                 )
             )
         else:
@@ -393,6 +476,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             args.methods,
             traversal=args.traversal,
             refine_evaluator=args.refine_evaluator,
+            dp_core=args.dp_core,
+            refine_analytical=args.refine_analytical,
         )
     except ValueError as error:
         print(str(error), file=sys.stderr)
@@ -463,6 +548,83 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Show per-tier disk usage of the design-state caches; ``--gc`` applies
+    the same LRU budgets the live stores enforce after their own saves."""
+    import os
+    from pathlib import Path
+
+    from repro.core.refine import RefineRecordStore
+    from repro.core.rip import Rip
+    from repro.engine.wincache import WindowCompilationCache
+
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
+    if cache_dir is None:
+        print(
+            "no cache directory: pass --cache-dir or set REPRO_CACHE_DIR",
+            file=sys.stderr,
+        )
+        return 2
+    root = Path(cache_dir)
+    if not root.is_dir():
+        print(f"cache directory {root} does not exist", file=sys.stderr)
+        return 2
+
+    def tier(directory: Path, pattern: str):
+        files = sorted(directory.glob(pattern)) if directory.is_dir() else []
+        total = 0
+        for path in files:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return files, total
+
+    # Frontier / refine tiers live either directly in the directory or in
+    # the engine's conventional `wincache` sub-directory.
+    wincache_dir = root / "wincache" if (root / "wincache").is_dir() else root
+
+    tiers = [
+        ("protocol store", root, "protocol-*.json"),
+        ("final-DP frontiers", wincache_dir, "frontier-*.json"),
+        ("REFINE records", wincache_dir, "refine-*.json"),
+    ]
+    print(f"design-state directory: {root}")
+    for name, directory, pattern in tiers:
+        files, total = tier(directory, pattern)
+        where = "" if directory == root else f"  ({directory.name}/)"
+        print(f"  {name:<20} {len(files):6d} files  {total / 1024:10.1f} KiB{where}")
+
+    if args.gc:
+        frontier_budget = (
+            args.max_frontier_files
+            if args.max_frontier_files is not None
+            else WindowCompilationCache.DEFAULT_MAX_FRONTIER_FILES
+        )
+        refine_budget = (
+            args.max_refine_files
+            if args.max_refine_files is not None
+            else Rip.MAX_REFINE_RECORD_FILES
+        )
+        frontier_evicted = WindowCompilationCache(
+            cache_dir=wincache_dir,
+            max_files=frontier_budget,
+            max_bytes=args.max_frontier_bytes,
+        ).gc()
+        refine_evicted = RefineRecordStore(
+            wincache_dir,
+            context="",
+            max_files=refine_budget,
+            max_bytes=args.max_refine_bytes,
+        ).gc()
+        print(
+            f"gc: evicted {frontier_evicted} frontier files "
+            f"(budget {frontier_budget}), {refine_evicted} refine-record files "
+            f"(budget {refine_budget})"
+        )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``rip`` tool."""
     parser = build_parser()
@@ -473,5 +635,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "evaluate": _cmd_evaluate,
         "experiment": _cmd_experiment,
         "sweep": _cmd_sweep,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args)

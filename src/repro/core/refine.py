@@ -52,15 +52,20 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
-from repro.analytical.derivatives import location_derivatives
+from repro.analytical.derivatives import (
+    location_derivative_arrays,
+    location_derivatives,
+)
 from repro.analytical.width_solver import (
     EVALUATOR_MODES,
+    SWEEP_MODES,
     DualBisectionWidthSolver,
     WidthSolution,
 )
 from repro.core.solution import InsertionSolution
 from repro.net.twopin import TwoPinNet
 from repro.tech.technology import Technology
+from repro.utils.disklru import DiskLruBudget
 from repro.utils.validation import require, require_positive
 
 
@@ -108,6 +113,17 @@ class RefineConfig:
         ``buffered_net_delay`` walk as the equivalence oracle (like the
         DP's ``kernel="reference"``).  Ignored when a custom
         ``width_solver`` is passed to :class:`Refine`.
+    analytical:
+        Implementation of the analytical inner loops: ``"vectorized"``
+        (the default) runs the width solver's Gauss-Seidel sweep on
+        hoisted native-float coefficient vectors and evaluates the move
+        loop's location derivatives through the batched
+        :meth:`~repro.net.twopin.TwoPinNet.unit_rc_at_batch` position
+        lookup — both **bit-for-bit** equal to the scalar loops;
+        ``"scalar"`` keeps those loops as the equivalence oracle (same
+        discipline as ``evaluator``/the DP's ``kernel="reference"``).
+        Ignored for the sweep when a custom ``width_solver`` is passed to
+        :class:`Refine`.
     """
 
     movement_step: float = 50.0e-6
@@ -119,6 +135,7 @@ class RefineConfig:
     max_zone_crossing_length: Optional[float] = None
     warm_start: bool = True
     evaluator: str = "compiled"
+    analytical: str = "vectorized"
 
     def __post_init__(self) -> None:
         require_positive(self.movement_step, "movement_step")
@@ -128,6 +145,10 @@ class RefineConfig:
         require(
             self.evaluator in EVALUATOR_MODES,
             f"unknown evaluator mode {self.evaluator!r}",
+        )
+        require(
+            self.analytical in SWEEP_MODES,
+            f"unknown analytical mode {self.analytical!r}",
         )
 
 
@@ -230,10 +251,21 @@ class RefineContinuation:
             self._results.move_to_end(key)
         return cached
 
-    def seed_for(self, timing_target: float) -> Optional[RefineSeed]:
+    def seed_for(
+        self, timing_target: float, *, min_width: Optional[float] = None
+    ) -> Optional[RefineSeed]:
         """Seed from the feasible recorded run nearest (in log space, since
         the multiplier scales roughly with the target's order of magnitude)
-        to ``timing_target``."""
+        to ``timing_target``.
+
+        ``min_width`` marks the solver's width floor: recorded runs whose
+        widths all sit on it were in the min-width regime — the target was
+        loose enough that the cheapest legal design meets it — which the
+        cold solver detects in a couple of evaluations, so seeding a
+        bracket there only adds probes (the ``refine_warmstart``
+        regression).  Such records are skipped as seed sources (their
+        multiplier is a regime artefact, not a continuation anchor).
+        """
         import math
 
         best: Optional[RefineResult] = None
@@ -242,6 +274,10 @@ class RefineContinuation:
         for (target, _positions, _widths), result in self._results.items():
             if not result.feasible:
                 continue
+            if min_width is not None and result.solution.widths:
+                floor = min_width * (1.0 + 1e-9)
+                if all(width <= floor for width in result.solution.widths):
+                    continue
             distance = abs(math.log(target) - log_target)
             if distance < best_distance:
                 best_distance = distance
@@ -341,11 +377,6 @@ class RefineRecordStore:
     themselves.
     """
 
-    #: Force a full directory re-scan every this many saves, so files
-    #: written by other processes sharing the directory still count against
-    #: the budget even when this process's own estimate stays within it.
-    SCAN_EVERY_SAVES = 64
-
     def __init__(
         self,
         cache_dir: os.PathLike,
@@ -354,21 +385,15 @@ class RefineRecordStore:
         max_files: Optional[int] = 256,
         max_bytes: Optional[int] = None,
     ) -> None:
-        require(max_files is None or max_files >= 1, "max_files must be >= 1")
-        require(max_bytes is None or max_bytes > 0, "max_bytes must be > 0")
         self._cache_dir = Path(cache_dir)
         self._context = str(context)
-        self._max_files = max_files
-        self._max_bytes = max_bytes
         self.evictions = 0
-        # Per-process estimate of the record files on disk, so the common
-        # save (rewriting a known file, directory within budget) skips the
-        # directory scan.  Files written by other processes sharing the
-        # directory are invisible to the estimate, so a full re-scan is
-        # forced every SCAN_EVERY_SAVES saves — the budget is best-effort
-        # but cannot be starved by concurrent writers.
-        self._known_names: "Optional[set]" = None
-        self._saves_since_scan = 0
+        # The shared LRU disk-budget discipline (mtime recency, just-saved
+        # survives, tracked-name fast path, periodic full re-scans for
+        # concurrent writers) lives in DiskLruBudget.
+        self._budget = DiskLruBudget(
+            self._cache_dir, "refine-*.json", max_files=max_files, max_bytes=max_bytes
+        )
 
     @property
     def cache_dir(self) -> Path:
@@ -378,12 +403,12 @@ class RefineRecordStore:
     @property
     def max_files(self) -> Optional[int]:
         """Count budget of the LRU disk tier (``None`` = unbounded)."""
-        return self._max_files
+        return self._budget.max_files
 
     @property
     def max_bytes(self) -> Optional[int]:
         """Size budget (bytes) of the LRU disk tier (``None`` = unbounded)."""
-        return self._max_bytes
+        return self._budget.max_bytes
 
     def _path(self, net_fingerprint: str) -> Path:
         from repro.utils.canonical import stable_digest  # tiny leaf module
@@ -393,60 +418,17 @@ class RefineRecordStore:
 
     def _evict(self, path: Path) -> None:
         self.evictions += 1
-        if self._known_names is not None:
-            self._known_names.discard(path.name)
+        self._budget.forget(path.name)
         try:
             path.unlink()
         except OSError:  # pragma: no cover - racing eviction is harmless
             pass
 
-    def _enforce_budget(self, saved: Path) -> None:
-        """LRU-evict record files beyond the count/size budgets.
-
-        Files are ranked by mtime (saves and successful loads both touch
-        it); the most recently used file is always kept, so a single
-        oversized record can never evict itself.  With only the count
-        budget active, the directory is scanned lazily: the tracked name
-        set answers the common within-budget save without touching disk.
-        """
-        if self._max_files is None and self._max_bytes is None:
-            return
-        self._saves_since_scan += 1
-        if self._max_bytes is None and self._saves_since_scan < self.SCAN_EVERY_SAVES:
-            if self._known_names is None:
-                try:
-                    self._known_names = {
-                        path.name for path in self._cache_dir.glob("refine-*.json")
-                    }
-                except OSError:  # pragma: no cover - unreadable directory
-                    return
-            self._known_names.add(saved.name)
-            if len(self._known_names) <= self._max_files:
-                return
-        self._saves_since_scan = 0
-        entries = []
-        for path in self._cache_dir.glob("refine-*.json"):
-            try:
-                stat = path.stat()
-            except OSError:  # pragma: no cover - racing eviction is harmless
-                continue
-            entries.append((stat.st_mtime, path.name, stat.st_size, path))
-        self._known_names = {name for _, name, _, _ in entries}
-        entries.sort(reverse=True)  # most recently used first
-        total_bytes = 0
-        for rank, (_mtime, _name, size, path) in enumerate(entries):
-            total_bytes += size
-            if path == saved:
-                # The record just written always survives its own save,
-                # even on filesystems whose coarse mtimes tie-break it
-                # behind an older file.
-                continue
-            over_count = self._max_files is not None and rank >= self._max_files
-            over_bytes = (
-                self._max_bytes is not None and total_bytes > self._max_bytes and rank > 0
-            )
-            if over_count or over_bytes:
-                self._evict(path)
+    def gc(self) -> int:
+        """Apply the disk budgets on demand; returns files evicted."""
+        before = self.evictions
+        self._budget.gc(self._evict)
+        return self.evictions - before
 
     def load(self, net_fingerprint: str, continuation: "RefineContinuation") -> int:
         """Import the net's recorded runs into ``continuation``.
@@ -509,7 +491,7 @@ class RefineRecordStore:
             tmp.replace(path)
         except OSError:  # pragma: no cover - disk persistence is best-effort
             return
-        self._enforce_budget(path)
+        self._budget.note_save(path, self._evict)
 
 
 class Refine:
@@ -524,7 +506,9 @@ class Refine:
         self._technology = technology
         self._config = config or RefineConfig()
         self._solver = width_solver or DualBisectionWidthSolver(
-            technology, evaluator=self._config.evaluator
+            technology,
+            evaluator=self._config.evaluator,
+            sweep=self._config.analytical,
         )
         # Custom solvers predating the warm-start refactor may not accept
         # the ``initial_lambda`` keyword; detect once and degrade to cold
@@ -663,21 +647,28 @@ class Refine:
         config = self._config
         widths = list(width_solution.widths)
         lam = width_solution.lagrange_multiplier
-        derivatives = location_derivatives(net, self._technology, positions, widths)
+        if config.analytical == "vectorized":
+            left_derivatives, right_derivatives = location_derivative_arrays(
+                net, self._technology, positions, widths
+            )
+        else:
+            derivatives = location_derivatives(net, self._technology, positions, widths)
+            left_derivatives = [d.left for d in derivatives]
+            right_derivatives = [d.right for d in derivatives]
 
         moved_any = False
         moves = 0
         count = len(positions)
         for index in range(count):
-            right_violated = lam * derivatives[index].right < 0.0
-            left_violated = lam * derivatives[index].left > 0.0
+            right_violated = lam * right_derivatives[index] < 0.0
+            left_violated = lam * left_derivatives[index] > 0.0
             if not right_violated and not left_violated:
                 continue
 
             if right_violated and left_violated:
                 # Both moves reduce width; pick the direction with the larger
                 # predicted reduction (Eq. 13: reduction ~ lambda * |d tau/dx| * step).
-                go_downstream = abs(derivatives[index].right) >= abs(derivatives[index].left)
+                go_downstream = abs(right_derivatives[index]) >= abs(left_derivatives[index])
             else:
                 go_downstream = right_violated
 

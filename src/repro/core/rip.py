@@ -148,6 +148,13 @@ class RipConfig:
         :meth:`~repro.engine.compiled.CompiledNet.traverse_affine`, ~1 ulp
         of re-association drift — for throughput-over-exactness service
         workloads).
+    dp_core:
+        Inner-loop implementation of both DP passes: ``"fused"`` (the
+        default) runs every level as one fused expand-traverse-prune
+        kernel call on the per-worker scratch arena
+        (:func:`repro.engine.kernels.fused_level`) — bit-for-bit identical
+        frontiers; ``"staged"`` keeps the per-level passes as the fused
+        core's equivalence oracle.
     """
 
     coarse_library: RepeaterLibrary = field(default_factory=RepeaterLibrary.paper_coarse)
@@ -160,6 +167,7 @@ class RipConfig:
     pruning: PruningConfig = field(default_factory=PruningConfig)
     enable_fallback: bool = True
     traversal: str = "exact"
+    dp_core: str = "fused"
 
     def __post_init__(self) -> None:
         require_positive(self.coarse_pitch, "coarse_pitch")
@@ -170,6 +178,10 @@ class RipConfig:
         require(
             self.traversal in ("exact", "affine"),
             f"unknown traversal mode {self.traversal!r}",
+        )
+        require(
+            self.dp_core in ("fused", "staged"),
+            f"unknown DP core {self.dp_core!r}",
         )
 
 
@@ -299,6 +311,7 @@ class Rip:
             technology,
             pruning=self._config.pruning,
             traversal=self._config.traversal,
+            core=self._config.dp_core,
         )
         self._refine = Refine(technology, config=self._config.refine)
         self._window_cache = resolve_window_cache(window_cache)
@@ -332,6 +345,8 @@ class Rip:
                 self._config.pruning,
                 traversal=self._config.traversal,
                 elmore_evaluator=self._config.refine.evaluator,
+                dp_core=self._config.dp_core,
+                analytical=self._config.refine.analytical,
             )
             if self._window_cache is not None
             else ""
@@ -507,7 +522,9 @@ class Rip:
         cached = continuation.exact(timing_target, coarse_solution)
         if cached is not None:
             return cached
-        seed = continuation.seed_for(timing_target)
+        seed = continuation.seed_for(
+            timing_target, min_width=self._technology.repeater.min_width
+        )
         if seed is not None:
             continuation.seeded_runs += 1
         else:

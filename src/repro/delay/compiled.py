@@ -40,6 +40,7 @@ the ``traverse_affine`` DP fast mode needs; property-tested in
 
 from __future__ import annotations
 
+import math
 from typing import List, Sequence
 
 import numpy as np
@@ -47,9 +48,90 @@ import numpy as np
 from repro.delay.stage import wire_elmore_delay
 from repro.net.twopin import TwoPinNet
 from repro.tech.technology import Technology
-from repro.utils.validation import ValidationError
+from repro.utils.validation import ValidationError, require
 
-__all__ = ["CompiledElmoreEvaluator"]
+__all__ = ["ANALYTICAL_MODES", "CompiledElmoreEvaluator"]
+
+#: Legal analytical-kernel modes: the vectorized stage aggregation and
+#: native-float paths, or the legacy scalar walks kept as the oracle.
+#: (The width solvers' ``SWEEP_MODES`` is this same pair.)
+ANALYTICAL_MODES = ("vectorized", "scalar")
+
+
+def _stage_wire_sums(net: TwoPinNet, cut_points: Sequence[float]):
+    """Vectorized per-stage wire sums, bit-for-bit the walked aggregation.
+
+    Stages spanning a single wire segment (the overwhelmingly common case)
+    are computed as whole-vector expressions that reproduce the one-piece
+    ``pieces_between`` + Eq. (1) sums + ``wire_elmore_delay`` arithmetic
+    exactly: a single piece's sums are ``r*l``/``c*l`` verbatim, and its
+    distributed delay collapses to ``(r*l) * (0.5 * (c*l))`` (the walked
+    loop's ``(0.0 + c*l) - c*l`` downstream term is exactly ``+0.0``).
+    Multi-segment stages fall back to the walked per-stage loop.
+    """
+    boundaries = net.segment_boundaries
+    res_per_meter = net.segment_resistance_per_meter
+    cap_per_meter = net.segment_capacitance_per_meter
+    last_segment = len(res_per_meter) - 1
+    starts = np.asarray(cut_points[:-1], dtype=float)
+    ends = np.asarray(cut_points[1:], dtype=float)
+    index = np.searchsorted(boundaries, starts, side="right") - 1
+    np.clip(index, 0, last_segment, out=index)
+    lengths = ends - starts
+
+    wire_resistance = np.zeros(len(starts))
+    wire_capacitance = np.zeros(len(starts))
+    wire_distributed = np.zeros(len(starts))
+    # The walk enters on ``start < end - 1e-15`` and emits a piece on
+    # ``length > 1e-15`` — every comparison below replays it verbatim.
+    entered = starts < (ends - 1e-15)
+    segment_end = boundaries[index + 1]
+    one_segment = segment_end >= ends
+    single = entered & one_segment & (lengths > 1e-15)
+    piece_resistance = res_per_meter[index] * lengths
+    piece_capacitance = cap_per_meter[index] * lengths
+    wire_resistance[single] = piece_resistance[single]
+    wire_capacitance[single] = piece_capacitance[single]
+    wire_distributed[single] = (piece_resistance * (0.5 * piece_capacitance))[single]
+
+    multi = entered & ~one_segment
+    if multi.any():
+        # Two-segment stages, both pieces emitted (the only multi-segment
+        # shape real nets produce; sub-femtometer slivers fall back).  The
+        # walked loop's arithmetic is replayed exactly: lengths are
+        # ``boundary - start`` / ``end - boundary``, the sums accumulate
+        # left-to-right from 0, and the distributed term reproduces
+        # ``wire_elmore_delay``'s add-then-subtract downstream chain.
+        index2 = np.minimum(index + 1, last_segment)
+        two_segment = multi & (boundaries[index2 + 1] >= ends)
+        length_a = segment_end - starts
+        length_b = ends - segment_end
+        clean = (
+            two_segment
+            & (length_a > 1e-15)
+            & (segment_end < ends - 1e-15)
+            & (length_b > 1e-15)
+        )
+        if clean.any():
+            res_a = res_per_meter[index] * length_a
+            cap_a = cap_per_meter[index] * length_a
+            res_b = res_per_meter[index2] * length_b
+            cap_b = cap_per_meter[index2] * length_b
+            wire_resistance[clean] = (res_a + res_b)[clean]
+            wire_capacitance[clean] = (cap_a + cap_b)[clean]
+            downstream = (0.0 + cap_a) + cap_b
+            downstream_a = downstream - cap_a
+            distributed = 0.0 + res_a * (0.5 * cap_a + downstream_a)
+            downstream_b = downstream_a - cap_b
+            distributed = distributed + res_b * (0.5 * cap_b + downstream_b)
+            wire_distributed[clean] = distributed[clean]
+            multi = multi & ~clean
+        for stage in np.nonzero(multi)[0]:
+            pieces = net.pieces_between(float(starts[stage]), float(ends[stage]))
+            wire_capacitance[stage] = sum(c * l for _, c, l in pieces)
+            wire_resistance[stage] = sum(r * l for r, _, l in pieces)
+            wire_distributed[stage] = wire_elmore_delay(pieces, 0.0)
+    return wire_resistance, wire_capacitance, wire_distributed
 
 
 class CompiledElmoreEvaluator:
@@ -77,19 +159,32 @@ class CompiledElmoreEvaluator:
         "_wire_distributed",
         "_stage_resistance",
         "_stage_capacitance",
+        "_wire_capacitance_list",
+        "_wire_resistance_list",
+        "_wire_distributed_list",
+        "_analytical",
     )
 
     def __init__(
-        self, net: TwoPinNet, technology: Technology, positions: Sequence[float]
+        self,
+        net: TwoPinNet,
+        technology: Technology,
+        positions: Sequence[float],
+        *,
+        analytical: str = "vectorized",
     ) -> None:
         from repro.delay.elmore import _check_positions  # single source of truth
 
+        require(
+            analytical in ANALYTICAL_MODES, f"unknown analytical mode {analytical!r}"
+        )
         positions = [float(position) for position in positions]
         _check_positions(net, positions)
         self._net = net
         self._technology = technology
         self._positions = tuple(positions)
         self._num_repeaters = len(positions)
+        self._analytical = analytical
 
         repeater = technology.repeater
         self._unit_resistance = repeater.unit_resistance
@@ -100,21 +195,39 @@ class CompiledElmoreEvaluator:
 
         cut_points = [0.0, *positions, net.total_length]
         stages = len(cut_points) - 1
-        wire_capacitance = np.empty(stages)
-        wire_resistance = np.empty(stages)
-        wire_distributed = np.empty(stages)
-        for stage in range(stages):
-            pieces = net.pieces_between(cut_points[stage], cut_points[stage + 1])
-            # The exact sums of ``stage_delay_breakdown`` (same generator
-            # expressions, same downstream piece order) and the walked
-            # distributed-delay function itself: the compiled constants are
-            # the walked path's own floats.
-            wire_capacitance[stage] = sum(c * l for _, c, l in pieces)
-            wire_resistance[stage] = sum(r * l for r, _, l in pieces)
-            wire_distributed[stage] = wire_elmore_delay(pieces, 0.0)
+        if analytical == "vectorized":
+            wire_resistance, wire_capacitance, wire_distributed = _stage_wire_sums(
+                net, cut_points
+            )
+        else:
+            wire_capacitance = np.empty(stages)
+            wire_resistance = np.empty(stages)
+            wire_distributed = np.empty(stages)
+            for stage in range(stages):
+                pieces = net.pieces_between(cut_points[stage], cut_points[stage + 1])
+                # The exact sums of ``stage_delay_breakdown`` (same generator
+                # expressions, same downstream piece order) and the walked
+                # distributed-delay function itself: the compiled constants
+                # are the walked path's own floats.
+                wire_capacitance[stage] = sum(c * l for _, c, l in pieces)
+                wire_resistance[stage] = sum(r * l for r, _, l in pieces)
+                wire_distributed[stage] = wire_elmore_delay(pieces, 0.0)
         self._wire_capacitance = wire_capacitance
         self._wire_resistance = wire_resistance
         self._wire_distributed = wire_distributed
+        # Native-float copies for the scalar fast path of ``net_delay`` —
+        # Python float arithmetic is the same IEEE double arithmetic as the
+        # elementwise numpy expressions.  Only used (and only built) in
+        # vectorized-analytical mode; the scalar mode preserves the legacy
+        # evaluation path verbatim.
+        if analytical == "vectorized":
+            self._wire_capacitance_list = wire_capacitance.tolist()
+            self._wire_resistance_list = wire_resistance.tolist()
+            self._wire_distributed_list = wire_distributed.tolist()
+        else:
+            self._wire_capacitance_list = None
+            self._wire_resistance_list = None
+            self._wire_distributed_list = None
 
         # The *lumped* stage RC of the analytical layer
         # (``analytical.derivatives.stage_lumped_rc``) aggregates the same
@@ -196,8 +309,49 @@ class CompiledElmoreEvaluator:
 
         The per-stage delays are summed left-to-right over Python floats —
         the same association as ``sum(stage_delays(...))`` — so the total
-        carries no re-association drift either.
+        carries no re-association drift either.  Small nets (the common
+        case — a handful of repeaters) take a pure native-float path over
+        the hoisted per-stage coefficient lists: elementwise Python float
+        arithmetic is the identical IEEE double arithmetic of the numpy
+        expression in :meth:`_stage_delay_vector`, with the exact same
+        term grouping, so both paths return the same bits.
         """
+        n = self._num_repeaters
+        if n <= 32 and self._wire_capacitance_list is not None:
+            values = None
+            try:
+                values = [float(width) for width in widths]
+            except (TypeError, ValueError):
+                pass  # odd input shapes: defer to the array path's checks
+            if values is not None and len(values) == n:
+                for value in values:
+                    if not math.isfinite(value):
+                        raise ValidationError("repeater width must be finite")
+                for value in values:
+                    if not value > 0.0:
+                        raise ValidationError("repeater width must be > 0")
+                unit_resistance = self._unit_resistance
+                unit_capacitance = self._unit_capacitance
+                intrinsic = self._intrinsic
+                wire_capacitance = self._wire_capacitance_list
+                wire_resistance = self._wire_resistance_list
+                wire_distributed = self._wire_distributed_list
+                driver_width = self._driver_width
+                total = 0.0
+                for stage in range(n + 1):
+                    load_capacitance = unit_capacitance * (
+                        values[stage] if stage < n else self._receiver_width
+                    )
+                    total += (
+                        intrinsic
+                        + (unit_resistance / driver_width)
+                        * (wire_capacitance[stage] + load_capacitance)
+                        + wire_resistance[stage] * load_capacitance
+                        + wire_distributed[stage]
+                    )
+                    if stage < n:
+                        driver_width = values[stage]
+                return total
         return float(sum(self._stage_delay_vector(widths).tolist()))
 
     # ------------------------------------------------------------------ #

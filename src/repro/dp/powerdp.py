@@ -31,6 +31,12 @@ from repro.dp.frontier import DelayWidthFrontier, FrontierPoint
 from repro.dp.pruning import PruningConfig, prune_states
 from repro.dp.state import DpSolution
 from repro.engine.compiled import CompiledNet
+from repro.engine.kernels import (
+    DpScratch,
+    _traverse_in_place,
+    fused_level,
+    shared_scratch,
+)
 from repro.net.twopin import TwoPinNet
 from repro.tech.library import RepeaterLibrary
 from repro.tech.technology import Technology
@@ -80,6 +86,50 @@ class _Level:
     decisions: np.ndarray
 
 
+@dataclass
+class _FusedLevel:
+    """Fused-core level record: the kept flat indices encode everything.
+
+    Row ``r`` of the level came from expanded flat index ``flat[r]`` in the
+    ``count x branches`` layout: ``branch, parent = divmod(flat[r], count)``
+    (branch 0 = no repeater; branch ``b`` inserts library width ``b - 1``).
+    """
+
+    position: float
+    flat: np.ndarray
+    count: int
+
+
+class _FusedBacktrack:
+    """Back-pointer walker over :class:`_FusedLevel` records."""
+
+    __slots__ = ("levels", "decisions")
+
+    def __init__(self, levels: List[_FusedLevel], decisions: np.ndarray) -> None:
+        self.levels = levels
+        self.decisions = decisions
+
+    def __call__(self, pointer: int) -> Tuple[List[float], List[float]]:
+        positions: List[float] = []
+        widths: List[float] = []
+        level_index = len(self.levels) - 1
+        while level_index >= 0 and pointer >= 0:
+            level = self.levels[level_index]
+            branch, parent = divmod(int(level.flat[pointer]), level.count)
+            if branch > 0:
+                positions.append(level.position)
+                widths.append(float(self.decisions[branch]))
+            # The first processed level descends from the single receiver
+            # state, whose back-pointer is the -1 terminator.
+            pointer = parent if level_index > 0 else -1
+            level_index -= 1
+        require(
+            pointer < 0 or level_index < 0,
+            "inconsistent DP back-pointers; this is a bug in the DP engine",
+        )
+        return positions, widths
+
+
 @dataclass(frozen=True)
 class DpStatistics:
     """Instrumentation of one DP run (used by the ablation benchmarks)."""
@@ -125,6 +175,16 @@ class PowerAwareDp:
     ~1 ulp of floating-point re-association drift per interval, for
     throughput-over-exactness service workloads (the fast-mode property
     tests bound the drift).
+
+    ``core`` selects the inner-loop implementation: ``"fused"`` (the
+    default) runs each level as one :func:`repro.engine.kernels.fused_level`
+    call on preallocated, process-shared scratch buffers — **bit-for-bit**
+    identical frontiers, no per-level array allocations; ``"staged"`` keeps
+    the per-level expand/prune passes of PR 1 as the equivalence oracle of
+    the fused core (the ``kernel="reference"`` pruning loops imply the
+    staged core — they are the oracle of both).  ``scratch`` optionally
+    pins a private :class:`~repro.engine.kernels.DpScratch` arena; by
+    default the per-process shared arena is used (one per worker).
     """
 
     def __init__(
@@ -133,14 +193,21 @@ class PowerAwareDp:
         pruning: Optional[PruningConfig] = None,
         *,
         traversal: str = "exact",
+        core: str = "fused",
+        scratch: Optional[DpScratch] = None,
     ) -> None:
         require(
             traversal in ("exact", "affine"),
             f"unknown traversal mode {traversal!r}",
         )
+        require(core in ("fused", "staged"), f"unknown DP core {core!r}")
         self._technology = technology
         self._pruning = pruning or PruningConfig()
         self._traversal = traversal
+        # The reference pruning kernel is the per-row oracle of both cores;
+        # it has no fused counterpart, so it implies the staged core.
+        self._core = "staged" if self._pruning.kernel == "reference" else core
+        self._scratch = scratch
 
     @property
     def technology(self) -> Technology:
@@ -151,6 +218,11 @@ class PowerAwareDp:
     def traversal(self) -> str:
         """The wire-traversal kernel in use (``"exact"`` or ``"affine"``)."""
         return self._traversal
+
+    @property
+    def core(self) -> str:
+        """The effective DP core (``"fused"`` or ``"staged"``)."""
+        return self._core
 
     def run(
         self,
@@ -170,13 +242,42 @@ class PowerAwareDp:
         share the interval compilation (the batch engine does this).
         """
         started = time.perf_counter()
+        if compiled is None:
+            compiled = CompiledNet(net, candidate_positions)
+        if self._core == "fused":
+            run_levels = self._run_fused
+        else:
+            run_levels = self._run_staged
+        final_delays, widths, back, levels, states_generated, max_front = run_levels(
+            net, library, compiled
+        )
+        if isinstance(levels, _FusedBacktrack):
+            backtrack = levels
+        else:
+            staged_levels = levels
+
+            def backtrack(pointer: int) -> Tuple[List[float], List[float]]:
+                return self._backtrack(pointer, staged_levels)
+
+        frontier = self._build_frontier(final_delays, widths, back, backtrack)
+        statistics = DpStatistics(
+            num_candidates=compiled.num_levels,
+            library_size=len(library.widths),
+            states_generated=states_generated,
+            max_front_size=max_front,
+            runtime_seconds=time.perf_counter() - started,
+        )
+        return PowerDpResult(frontier=frontier, statistics=statistics)
+
+    def _run_staged(
+        self, net: TwoPinNet, library: RepeaterLibrary, compiled: CompiledNet
+    ):
+        """The per-level expand/prune DP loop (the fused core's oracle)."""
         repeater = self._technology.repeater
         unit_resistance = repeater.unit_resistance
         unit_input_cap = repeater.unit_input_capacitance
         intrinsic = repeater.intrinsic_delay
 
-        if compiled is None:
-            compiled = CompiledNet(net, candidate_positions)
         positions = compiled.positions
         traverse = (
             compiled.traverse if self._traversal == "exact" else compiled.traverse_affine
@@ -238,16 +339,86 @@ class PowerAwareDp:
 
         caps, delays = traverse(len(positions), caps, delays)
         final_delays = delays + intrinsic + (unit_resistance / net.driver_width) * caps
+        return final_delays, widths, back, levels, states_generated, max_front
 
-        frontier = self._build_frontier(final_delays, widths, back, levels)
-        statistics = DpStatistics(
-            num_candidates=len(positions),
-            library_size=len(library_widths),
-            states_generated=states_generated,
-            max_front_size=max_front,
-            runtime_seconds=time.perf_counter() - started,
+    def _run_fused(
+        self, net: TwoPinNet, library: RepeaterLibrary, compiled: CompiledNet
+    ):
+        """The fused expand-traverse-prune DP loop on scratch buffers.
+
+        Bit-for-bit identical to :meth:`_run_staged` with the vectorized
+        pruning kernels — every per-level arithmetic expression keeps the
+        staged grouping and the pruning passes return identical survivors
+        in identical order (property-tested in ``tests/test_fused_dp.py``).
+        """
+        repeater = self._technology.repeater
+        unit_resistance = repeater.unit_resistance
+        unit_input_cap = repeater.unit_input_capacitance
+        intrinsic = repeater.intrinsic_delay
+        pruning = self._pruning
+        scratch = self._scratch if self._scratch is not None else shared_scratch()
+        exact = self._traversal == "exact"
+
+        positions = compiled.positions
+        intervals = compiled.intervals
+
+        library_widths = np.asarray(library.widths, dtype=float)
+        # Per-run branch LUTs: the staged path recomputes ``Co * w`` and
+        # ``Rs / w`` per level; both are deterministic, so hoisting them
+        # changes no bits.  ``decision_lut[b]`` is branch ``b``'s inserted
+        # width (0 for the empty branch).
+        cap_lut = unit_input_cap * library_widths
+        ratio_lut = unit_resistance / library_widths
+        decision_lut = np.concatenate(([0.0], library_widths))
+
+        caps = np.array([unit_input_cap * net.receiver_width])
+        delays = np.array([0.0])
+        widths = np.array([0.0])
+        back = np.array([-1], dtype=np.int64)
+
+        levels: List[_Level] = []
+        states_generated = 1
+        max_front = 1
+        full_strategy = pruning.strategy == "full"
+
+        for level, position in enumerate(reversed(positions)):
+            caps, delays, widths, keep, m, count = fused_level(
+                scratch,
+                intervals[level],
+                caps,
+                delays,
+                widths,
+                cap_lut=cap_lut,
+                ratio_lut=ratio_lut,
+                width_lut=library_widths,
+                intrinsic=intrinsic,
+                delay_tolerance=pruning.delay_tolerance,
+                width_tolerance=pruning.width_tolerance,
+                full_strategy=full_strategy,
+                exact_traversal=exact,
+            )
+            states_generated += m
+            # The kept flat indices are the whole level record: branch and
+            # parent are ``divmod(flat, count)``, so the per-level parent /
+            # decision arrays of the staged path need not be materialised.
+            levels.append(_FusedLevel(position=position, flat=keep, count=count))
+            max_front = max(max_front, len(keep))
+
+        # The final traversal mutates the scratch-front views in place —
+        # same arithmetic as the staged path's out-of-place traverse.
+        _traverse_in_place(scratch, intervals[len(positions)], caps, delays, exact)
+        final_delays = delays + intrinsic + (unit_resistance / net.driver_width) * caps
+        back = scratch.arange[: len(caps)] if levels else np.array([-1], dtype=np.int64)
+        # ``widths`` and ``back`` are scratch views; materialise them so the
+        # frontier reconstruction survives later scratch reuse.
+        return (
+            final_delays,
+            widths.copy(),
+            back.copy(),
+            _FusedBacktrack(levels, decision_lut),
+            states_generated,
+            max_front,
         )
-        return PowerDpResult(frontier=frontier, statistics=statistics)
 
     # ------------------------------------------------------------------ #
     # internals
@@ -257,7 +428,7 @@ class PowerAwareDp:
         final_delays: np.ndarray,
         widths: np.ndarray,
         back: np.ndarray,
-        levels: List[_Level],
+        backtrack,
     ) -> DelayWidthFrontier:
         """Reconstruct the non-dominated final states into full solutions."""
         order = np.lexsort((widths, final_delays))
@@ -267,7 +438,7 @@ class PowerAwareDp:
             if widths[row] >= best_width - 1e-12:
                 continue
             best_width = widths[row]
-            positions, repeater_widths = self._backtrack(int(back[row]), levels)
+            positions, repeater_widths = backtrack(int(back[row]))
             solution = DpSolution.from_lists(
                 positions=positions,
                 widths=repeater_widths,

@@ -19,9 +19,16 @@ import numpy as np
 from repro.dp.pruning import prune_two_dimensional
 from repro.dp.state import DpSolution
 from repro.engine.compiled import CompiledNet
+from repro.engine.kernels import (
+    DpScratch,
+    _traverse_in_place,
+    fused_level_2d,
+    shared_scratch,
+)
 from repro.net.twopin import TwoPinNet
 from repro.tech.library import RepeaterLibrary
 from repro.tech.technology import Technology
+from repro.utils.validation import require
 
 
 @dataclass
@@ -32,7 +39,14 @@ class _Level:
 
 
 class DelayOptimalDp:
-    """Delay-minimising repeater insertion on a two-pin net."""
+    """Delay-minimising repeater insertion on a two-pin net.
+
+    ``core`` follows the power-aware DP: ``"fused"`` (default) runs each
+    level as one :func:`repro.engine.kernels.fused_level_2d` call on the
+    process-shared scratch arena (bit-for-bit identical solutions);
+    ``"staged"`` keeps the per-level passes as the oracle.  The
+    ``"reference"`` pruning kernel implies the staged core.
+    """
 
     def __init__(
         self,
@@ -40,15 +54,25 @@ class DelayOptimalDp:
         *,
         delay_tolerance: float = 1.0e-14,
         pruning_kernel: str = "vectorized",
+        core: str = "fused",
+        scratch: Optional[DpScratch] = None,
     ) -> None:
+        require(core in ("fused", "staged"), f"unknown DP core {core!r}")
         self._technology = technology
         self._delay_tolerance = delay_tolerance
         self._pruning_kernel = pruning_kernel
+        self._core = "staged" if pruning_kernel == "reference" else core
+        self._scratch = scratch
 
     @property
     def technology(self) -> Technology:
         """Technology whose repeater constants the DP uses."""
         return self._technology
+
+    @property
+    def core(self) -> str:
+        """The effective DP core (``"fused"`` or ``"staged"``)."""
+        return self._core
 
     def run(
         self,
@@ -79,46 +103,75 @@ class DelayOptimalDp:
         levels: List[_Level] = []
         library_widths = np.asarray(library.widths, dtype=float)
 
-        for level, position in enumerate(reversed(positions)):
-            caps, delays = compiled.traverse(level, caps, delays)
+        if self._core == "fused":
+            scratch = self._scratch if self._scratch is not None else shared_scratch()
+            cap_lut = unit_input_cap * library_widths
+            ratio_lut = unit_resistance / library_widths
+            decision_lut = np.concatenate(([0.0], library_widths))
+            intervals = compiled.intervals
+            for level, position in enumerate(reversed(positions)):
+                caps, delays, widths, keep, _m, count = fused_level_2d(
+                    scratch,
+                    intervals[level],
+                    caps,
+                    delays,
+                    widths,
+                    cap_lut=cap_lut,
+                    ratio_lut=ratio_lut,
+                    width_lut=library_widths,
+                    intrinsic=intrinsic,
+                    delay_tolerance=self._delay_tolerance,
+                )
+                levels.append(
+                    _Level(
+                        position=position,
+                        parents=np.take(back, keep % count),
+                        decisions=decision_lut[keep // count],
+                    )
+                )
+                back = scratch.arange[: len(keep)]
+            _traverse_in_place(scratch, intervals[len(positions)], caps, delays, True)
+        else:
+            for level, position in enumerate(reversed(positions)):
+                caps, delays = compiled.traverse(level, caps, delays)
 
-            count = len(caps)
-            branches = len(library_widths) + 1
-            new_caps = np.empty(count * branches)
-            new_delays = np.empty(count * branches)
-            new_widths = np.empty(count * branches)
-            new_parents = np.empty(count * branches, dtype=np.int64)
-            new_decisions = np.empty(count * branches)
+                count = len(caps)
+                branches = len(library_widths) + 1
+                new_caps = np.empty(count * branches)
+                new_delays = np.empty(count * branches)
+                new_widths = np.empty(count * branches)
+                new_parents = np.empty(count * branches, dtype=np.int64)
+                new_decisions = np.empty(count * branches)
 
-            new_caps[:count] = caps
-            new_delays[:count] = delays
-            new_widths[:count] = widths
-            new_parents[:count] = back
-            new_decisions[:count] = 0.0
-            for branch, width in enumerate(library_widths, start=1):
-                lo = branch * count
-                hi = lo + count
-                new_caps[lo:hi] = unit_input_cap * width
-                new_delays[lo:hi] = intrinsic + (unit_resistance / width) * caps + delays
-                new_widths[lo:hi] = widths + width
-                new_parents[lo:hi] = back
-                new_decisions[lo:hi] = width
+                new_caps[:count] = caps
+                new_delays[:count] = delays
+                new_widths[:count] = widths
+                new_parents[:count] = back
+                new_decisions[:count] = 0.0
+                for branch, width in enumerate(library_widths, start=1):
+                    lo = branch * count
+                    hi = lo + count
+                    new_caps[lo:hi] = unit_input_cap * width
+                    new_delays[lo:hi] = intrinsic + (unit_resistance / width) * caps + delays
+                    new_widths[lo:hi] = widths + width
+                    new_parents[lo:hi] = back
+                    new_decisions[lo:hi] = width
 
-            keep = prune_two_dimensional(
-                new_caps,
-                new_delays,
-                delay_tolerance=self._delay_tolerance,
-                kernel=self._pruning_kernel,
-            )
-            caps = new_caps[keep]
-            delays = new_delays[keep]
-            widths = new_widths[keep]
-            levels.append(
-                _Level(position=position, parents=new_parents[keep], decisions=new_decisions[keep])
-            )
-            back = np.arange(len(keep), dtype=np.int64)
+                keep = prune_two_dimensional(
+                    new_caps,
+                    new_delays,
+                    delay_tolerance=self._delay_tolerance,
+                    kernel=self._pruning_kernel,
+                )
+                caps = new_caps[keep]
+                delays = new_delays[keep]
+                widths = new_widths[keep]
+                levels.append(
+                    _Level(position=position, parents=new_parents[keep], decisions=new_decisions[keep])
+                )
+                back = np.arange(len(keep), dtype=np.int64)
 
-        caps, delays = compiled.traverse(len(positions), caps, delays)
+            caps, delays = compiled.traverse(len(positions), caps, delays)
         final_delays = delays + intrinsic + (unit_resistance / net.driver_width) * caps
 
         best = int(np.argmin(final_delays))

@@ -82,11 +82,49 @@ class CompiledNet:
     @staticmethod
     def _compile(net: TwoPinNet, positions: List[float]) -> List[WireInterval]:
         bounds = [0.0, *positions, net.total_length]
+        # Candidate pitches are much finer than segment lengths, so almost
+        # every interval is one piece; those are precomputed as whole-vector
+        # expressions reproducing the per-interval walk bit for bit (same
+        # segment lookup, ``end - start`` length, and delay-constant
+        # grouping), with the legacy per-interval path as the fallback for
+        # boundary-crossing intervals.
+        starts = np.asarray(bounds[:-1], dtype=float)
+        ends = np.asarray(bounds[1:], dtype=float)
+        boundaries = net.segment_boundaries
+        res_per_meter = net.segment_resistance_per_meter
+        cap_per_meter = net.segment_capacitance_per_meter
+        index = np.searchsorted(boundaries, starts, side="right") - 1
+        np.clip(index, 0, len(res_per_meter) - 1, out=index)
+        lengths = ends - starts
+        entered = starts < (ends - 1e-15)
+        single = entered & (boundaries[index + 1] >= ends) & (lengths > 1e-15)
+        piece_res = res_per_meter[index] * lengths
+        piece_cap = cap_per_meter[index] * lengths
+        # One piece, zero accumulated capacitance: the walk's delay constant
+        # is literally ``r * (0.5 * c + 0.0)``.
+        delay_constants = piece_res * (0.5 * piece_cap + 0.0)
+
         intervals: List[WireInterval] = []
         # Walk order: from the receiver-side interval towards the driver.
-        for index in range(len(bounds) - 1, 0, -1):
-            upstream = bounds[index - 1]
-            downstream = bounds[index]
+        for k in range(len(bounds) - 2, -1, -1):
+            upstream = bounds[k]
+            downstream = bounds[k + 1]
+            if single[k]:
+                piece_resistance = piece_res[k : k + 1].copy()
+                piece_capacitance = piece_cap[k : k + 1].copy()
+                intervals.append(
+                    WireInterval(
+                        upstream=upstream,
+                        downstream=downstream,
+                        piece_resistance=piece_resistance,
+                        piece_capacitance=piece_capacitance,
+                        piece_half_capacitance=0.5 * piece_capacitance,
+                        resistance=float(piece_res[k]),
+                        capacitance=float(piece_cap[k]),
+                        delay_constant=float(delay_constants[k]),
+                    )
+                )
+                continue
             pieces = net.pieces_between(upstream, downstream)
             # Traversal order is downstream piece first (reversed pieces).
             piece_resistance = np.array(

@@ -120,6 +120,11 @@ class MethodSpec:
         the default) or ``"affine"`` (the ~1 ulp fast mode for
         throughput-over-exactness service workloads).  RIP methods carry
         the flag on their :class:`RipConfig` instead.
+    core:
+        DP inner-loop implementation of a ``"dp"`` method: ``"fused"``
+        (one kernel call per level on the per-worker scratch arena, the
+        default) or ``"staged"`` (the per-level oracle).  Bit-identical;
+        RIP methods carry the switch on :class:`RipConfig` (``dp_core``).
     """
 
     name: str
@@ -127,6 +132,7 @@ class MethodSpec:
     library: Optional[RepeaterLibrary] = None
     rip: Optional[RipConfig] = None
     traversal: str = "exact"
+    core: str = "fused"
 
     def __post_init__(self) -> None:
         require(self.kind in ("rip", "dp"), f"unknown method kind {self.kind!r}")
@@ -136,6 +142,7 @@ class MethodSpec:
             self.traversal in ("exact", "affine"),
             f"unknown traversal mode {self.traversal!r}",
         )
+        require(self.core in ("fused", "staged"), f"unknown DP core {self.core!r}")
 
     @staticmethod
     def rip_method(name: str = "rip", config: Optional[RipConfig] = None) -> "MethodSpec":
@@ -144,10 +151,12 @@ class MethodSpec:
 
     @staticmethod
     def dp_baseline(
-        name: str, library: RepeaterLibrary, *, traversal: str = "exact"
+        name: str, library: RepeaterLibrary, *, traversal: str = "exact", core: str = "fused"
     ) -> "MethodSpec":
         """A baseline power-aware DP with a fixed library."""
-        return MethodSpec(name=name, kind="dp", library=library, traversal=traversal)
+        return MethodSpec(
+            name=name, kind="dp", library=library, traversal=traversal, core=core
+        )
 
 
 @dataclass(frozen=True)
@@ -277,11 +286,17 @@ class PopulationDesignResult:
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class WindowCacheSpec:
-    """Picklable description of the shared window cache a task attaches to."""
+    """Picklable description of the shared window cache a task attaches to.
+
+    ``max_files``/``max_bytes`` bound the persistent frontier tier on disk
+    (LRU by mtime — see :class:`WindowCompilationCache`).
+    """
 
     enabled: bool = True
     cache_dir: Optional[str] = None
     max_entries: int = 512
+    max_files: Optional[int] = WindowCompilationCache.DEFAULT_MAX_FRONTIER_FILES
+    max_bytes: Optional[int] = None
 
 
 #: The process-wide shared cache of worker processes (one per process, all
@@ -305,9 +320,14 @@ def _attach_window_cache(spec: WindowCacheSpec) -> Optional[WindowCompilationCac
         cache is None
         or cache.max_entries != spec.max_entries
         or str(cache.cache_dir or "") != (spec.cache_dir or "")
+        or cache.max_files != spec.max_files
+        or cache.max_bytes != spec.max_bytes
     ):
         cache = WindowCompilationCache(
-            max_entries=spec.max_entries, cache_dir=spec.cache_dir
+            max_entries=spec.max_entries,
+            cache_dir=spec.cache_dir,
+            max_files=spec.max_files,
+            max_bytes=spec.max_bytes,
         )
         _PROCESS_WINDOW_CACHE = cache
     return cache
@@ -385,7 +405,16 @@ def _design_case(
                         else CompiledNet(case.net, case.candidates)
                     )
                     compile_seconds = time.perf_counter() - compile_started
-                dp = PowerAwareDp(technology, pruning=pruning, traversal=spec.traversal)
+                # The fused core draws its scratch arena from the per-worker
+                # process singleton (``kernels.shared_scratch``): within one
+                # worker every dp method, net task and RIP pass reuses the
+                # same buffers; worker processes each grow their own.
+                dp = PowerAwareDp(
+                    technology,
+                    pruning=pruning,
+                    traversal=spec.traversal,
+                    core=spec.core,
+                )
                 run_started = time.perf_counter()
                 result = dp.run(case.net, spec.library, compiled=compiled)
                 # Each method is charged the (shared) compilation, mirroring the
@@ -518,6 +547,8 @@ class DesignEngine:
             self._shared_window_cache = WindowCompilationCache(
                 max_entries=self._window_cache_spec.max_entries,
                 cache_dir=self._window_cache_spec.cache_dir,
+                max_files=self._window_cache_spec.max_files,
+                max_bytes=self._window_cache_spec.max_bytes,
             )
         return self._shared_window_cache
 

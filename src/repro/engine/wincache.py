@@ -73,6 +73,7 @@ from repro.engine.compiled import CompiledNet
 from repro.net.io import net_to_dict
 from repro.net.twopin import TwoPinNet
 from repro.utils.canonical import stable_digest
+from repro.utils.disklru import DiskLruBudget
 from repro.utils.validation import require
 
 __all__ = [
@@ -108,18 +109,25 @@ def net_fingerprint(net: TwoPinNet) -> str:
 
 
 def dp_context_fingerprint(
-    technology, pruning, traversal: str = "exact", elmore_evaluator: str = "compiled"
+    technology,
+    pruning,
+    traversal: str = "exact",
+    elmore_evaluator: str = "compiled",
+    dp_core: str = "fused",
+    analytical: str = "vectorized",
 ) -> str:
     """Fingerprint of everything *besides* (net, library, candidates) a
     power-aware DP result depends on: the technology constants, the pruning
     configuration (including the kernel — kernels may legitimately differ
     inside the pruning tolerance band, so they must not share frontier
     entries), the wire-traversal mode (the affine fast mode drifts by
-    ~1 ulp, so it must not share entries with the exact mode either) and
-    the Elmore evaluation mode of the surrounding flow (RIP's REFINE step
+    ~1 ulp, so it must not share entries with the exact mode either), the
+    Elmore evaluation mode of the surrounding flow (RIP's REFINE step
     shapes the final-pass library/window; compiled and walked evaluation
     are bit-identical by contract, but the discipline is that every switch
-    that *could* steer a cached result joins the key)."""
+    that *could* steer a cached result joins the key), the DP core
+    (fused/staged — bit-identical by contract, same discipline) and the
+    analytical-loop mode (vectorized/scalar, ditto)."""
     from repro.engine.cache import technology_fingerprint  # heavy module; defer
 
     return stable_digest(
@@ -131,6 +139,8 @@ def dp_context_fingerprint(
             },
             "traversal": str(traversal),
             "elmore_evaluator": str(elmore_evaluator),
+            "dp_core": str(dp_core),
+            "analytical": str(analytical),
         }
     )
 
@@ -271,14 +281,44 @@ class WindowCompilationCache:
     With ``cache_dir`` set, the frontier layer is additionally persisted to
     versioned, self-keyed JSON files in that directory (shared safely by
     concurrent worker processes) — see the module docstring.
+
+    Disk budget
+    -----------
+    Long-lived services touch unboundedly many (net, window) pairs, so the
+    persistent frontier files are LRU-bounded on disk exactly like the
+    refine-record tier (:class:`~repro.core.refine.RefineRecordStore`):
+    after a save, the least-recently-used ``frontier-*.json`` files beyond
+    ``max_files`` (and, when set, beyond ``max_bytes`` total) are evicted.
+    Recency is tracked via file mtimes (disk-tier hits touch their file),
+    eviction removes whole files, the file just saved always survives, and
+    survivors are never rewritten.  ``max_files=None`` / ``max_bytes=None``
+    disable the respective budget; :meth:`gc` applies the budgets on
+    demand (the ``rip cache --gc`` subcommand).
     """
 
+    #: Default count budget of the persistent frontier tier.
+    DEFAULT_MAX_FRONTIER_FILES = 4096
+
     def __init__(
-        self, max_entries: int = 512, *, cache_dir: Optional[os.PathLike] = None
+        self,
+        max_entries: int = 512,
+        *,
+        cache_dir: Optional[os.PathLike] = None,
+        max_files: Optional[int] = DEFAULT_MAX_FRONTIER_FILES,
+        max_bytes: Optional[int] = None,
     ) -> None:
         require(max_entries >= 1, "max_entries must be >= 1")
         self._max_entries = max_entries
         self._cache_dir = Path(cache_dir) if cache_dir is not None else None
+        # The shared LRU disk-budget discipline (mtime recency, just-saved
+        # survives, tracked-name fast path, periodic full re-scans for
+        # concurrent writers) lives in DiskLruBudget.
+        self._budget = DiskLruBudget(
+            self._cache_dir if self._cache_dir is not None else Path("."),
+            "frontier-*.json",
+            max_files=max_files,
+            max_bytes=max_bytes,
+        )
         self._candidates: "OrderedDict[tuple, Tuple[float, ...]]" = OrderedDict()
         self._compiled: "OrderedDict[tuple, CompiledNet]" = OrderedDict()
         self._frontiers: "OrderedDict[tuple, object]" = OrderedDict()
@@ -302,6 +342,16 @@ class WindowCompilationCache:
     def cache_dir(self) -> Optional[Path]:
         """Directory of the persistent frontier tier (``None`` = memory only)."""
         return self._cache_dir
+
+    @property
+    def max_files(self) -> Optional[int]:
+        """Count budget of the frontier disk tier (``None`` = unbounded)."""
+        return self._budget.max_files
+
+    @property
+    def max_bytes(self) -> Optional[int]:
+        """Size budget (bytes) of the frontier disk tier (``None`` = unbounded)."""
+        return self._budget.max_bytes
 
     @property
     def statistics(self) -> CacheStatistics:
@@ -454,8 +504,9 @@ class WindowCompilationCache:
         return self._cache_dir / f"frontier-{digest}.json"
 
     def _evict_file(self, path: Path) -> None:
-        """Delete a stale/corrupted frontier file (best-effort)."""
+        """Delete a stale/corrupted/over-budget frontier file (best-effort)."""
         self._disk_evictions += 1
+        self._budget.forget(path.name)
         try:
             path.unlink()
         except OSError:  # pragma: no cover - racing eviction is harmless
@@ -485,10 +536,16 @@ class WindowCompilationCache:
             self._evict_file(path)
             return None
         try:
-            return dp_result_from_payload(data["result"])
+            result = dp_result_from_payload(data["result"])
         except (KeyError, TypeError, ValueError):  # structurally broken payload
             self._evict_file(path)
             return None
+        try:
+            # Mark the file as recently used for the LRU disk budget.
+            os.utime(path)
+        except OSError:  # pragma: no cover - recency tracking is best-effort
+            pass
+        return result
 
     def _save_frontier(self, key: tuple, result: object) -> None:
         """Persist a computed frontier (best-effort, atomic replace).
@@ -517,7 +574,16 @@ class WindowCompilationCache:
             tmp.write_text(json.dumps(payload), encoding="utf-8")
             tmp.replace(path)
         except OSError:  # pragma: no cover - disk persistence is best-effort
-            pass
+            return
+        self._budget.note_save(path, self._evict_file)
+
+    def gc(self) -> int:
+        """Apply the disk budgets on demand; returns files evicted."""
+        if self._cache_dir is None:
+            return 0
+        before = self._disk_evictions
+        self._budget.gc(self._evict_file)
+        return self._disk_evictions - before
 
 
 def resolve_window_cache(

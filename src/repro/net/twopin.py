@@ -89,6 +89,25 @@ class TwoPinNet:
         return self._boundaries.copy()
 
     @property
+    def segment_boundaries(self) -> np.ndarray:
+        """Segment boundaries as a shared read-only-by-convention array.
+
+        Same values as :attr:`boundaries` without the defensive copy — for
+        hot compilation paths; callers must not mutate it.
+        """
+        return self._boundaries
+
+    @property
+    def segment_resistance_per_meter(self) -> np.ndarray:
+        """Per-segment wire resistance per meter (shared array, do not mutate)."""
+        return self._res_per_meter
+
+    @property
+    def segment_capacitance_per_meter(self) -> np.ndarray:
+        """Per-segment wire capacitance per meter (shared array, do not mutate)."""
+        return self._cap_per_meter
+
+    @property
     def total_resistance(self) -> float:
         """Total wire resistance of the net in ohms."""
         return float(self._res_prefix[-1])
@@ -128,6 +147,42 @@ class TwoPinNet:
         segment = self.segments[self.segment_index_at(position, downstream=downstream)]
         return segment.resistance_per_meter, segment.capacitance_per_meter
 
+    def _check_positions_bulk(self, positions: np.ndarray) -> None:
+        """Validate many positions: vectorized accept, scalar-exact reject.
+
+        The fast path is two whole-array comparisons; only when one fails
+        (or a NaN makes the bulk check inconclusive) does the scalar
+        :meth:`_check_position` loop re-run to raise the exact per-position
+        error of the scalar path.
+        """
+        if positions.size and not (
+            bool(np.all(positions >= 0.0))
+            and bool(np.all(positions <= self.total_length + 1e-12))
+        ):
+            for position in positions.ravel():
+                self._check_position(float(position))
+
+    def unit_rc_at_batch(
+        self, positions: Sequence[float], *, downstream: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`unit_rc_at` over several positions.
+
+        Returns per-meter ``(resistance, capacitance)`` arrays whose
+        elements are **bit-for-bit** the scalar lookups: the same
+        ``searchsorted`` side selection and index clamping of
+        :meth:`segment_index_at`, evaluated elementwise.  This is the
+        batched position lookup the vectorized location derivatives of
+        :mod:`repro.analytical.derivatives` are built on (analogous to
+        :meth:`rc_prefix_at` for the prefix integrals).
+        """
+        positions = np.asarray(positions, dtype=float)
+        self._check_positions_bulk(positions)
+        clamped = np.minimum(positions, self.total_length)
+        side = "right" if downstream else "left"
+        index = np.searchsorted(self._boundaries, clamped, side=side) - 1
+        index = np.clip(index, 0, self.num_segments - 1)
+        return self._res_per_meter[index], self._cap_per_meter[index]
+
     # ------------------------------------------------------------------ #
     # RC integrals
     # ------------------------------------------------------------------ #
@@ -155,8 +210,7 @@ class TwoPinNet:
         evaluator aggregates its per-stage lumped RC from.
         """
         positions = np.asarray(positions, dtype=float)
-        for position in positions.ravel():
-            self._check_position(float(position))
+        self._check_positions_bulk(positions)
         clamped = np.minimum(positions, self.total_length)
         index = np.searchsorted(self._boundaries, clamped, side="left") - 1
         index = np.clip(index, 0, self.num_segments - 1)
@@ -191,6 +245,26 @@ class TwoPinNet:
         end = self._check_position(end, "end")
         require(end >= start, "end must be >= start")
         if end == start:
+            return []
+        # Fast path: the whole interval lies inside one segment (candidate
+        # pitches are much finer than segment lengths, so this is the
+        # common case).  Reproduces the loop below exactly: same segment
+        # lookup, same ``position < end - 1e-15`` entry comparison, same
+        # ``end - start`` length arithmetic and 1e-15 guard.
+        index = int(np.searchsorted(self._boundaries, start, side="right")) - 1
+        index = min(max(index, 0), self.num_segments - 1)
+        if float(self._boundaries[index + 1]) >= end:
+            if start < end - 1e-15:
+                length = end - start
+                if length > 1e-15:
+                    segment = self.segments[index]
+                    return [
+                        (
+                            segment.resistance_per_meter,
+                            segment.capacitance_per_meter,
+                            length,
+                        )
+                    ]
             return []
         pieces: List[Tuple[float, float, float]] = []
         position = start

@@ -1,0 +1,120 @@
+"""Shared LRU disk budget for the persistent design-state tiers.
+
+The refine-record tier (:class:`repro.core.refine.RefineRecordStore`) and
+the frontier tier (:class:`repro.engine.wincache.WindowCompilationCache`)
+bound one family of files (``<prefix>-*.json``) in a shared directory the
+same way; this helper holds the one copy of that discipline:
+
+* files are ranked by mtime — saves and successful loads touch it — and
+  the least recently used files beyond ``max_files`` (and, when set,
+  beyond ``max_bytes`` of total size) are evicted;
+* the file just saved always survives its own save, even on filesystems
+  whose coarse mtimes tie-break it behind an older file;
+* eviction removes whole files through the owner's callback (which keeps
+  its own counters) and never rewrites survivors;
+* with only the count budget active, a tracked name set answers the
+  common within-budget save without touching disk; a full directory
+  re-scan is forced every ``scan_every`` saves so files written by other
+  processes sharing the directory still count against the budget — the
+  budget is best-effort but cannot be starved by concurrent writers.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.utils.validation import require
+
+__all__ = ["DiskLruBudget"]
+
+
+class DiskLruBudget:
+    """LRU count/size budget over ``directory / pattern`` files."""
+
+    def __init__(
+        self,
+        directory: os.PathLike,
+        pattern: str,
+        *,
+        max_files: Optional[int],
+        max_bytes: Optional[int],
+        scan_every: int = 64,
+    ) -> None:
+        require(max_files is None or max_files >= 1, "max_files must be >= 1")
+        require(max_bytes is None or max_bytes > 0, "max_bytes must be > 0")
+        self._directory = Path(directory)
+        self._pattern = pattern
+        self._max_files = max_files
+        self._max_bytes = max_bytes
+        self._scan_every = scan_every
+        self._known_names: Optional[set] = None
+        self._saves_since_scan = 0
+
+    @property
+    def max_files(self) -> Optional[int]:
+        """Count budget (``None`` = unbounded)."""
+        return self._max_files
+
+    @property
+    def max_bytes(self) -> Optional[int]:
+        """Size budget in bytes (``None`` = unbounded)."""
+        return self._max_bytes
+
+    def forget(self, name: str) -> None:
+        """Drop a file name from the tracked set (owner evicted it)."""
+        if self._known_names is not None:
+            self._known_names.discard(name)
+
+    def note_save(self, saved: Path, evict: Callable[[Path], None]) -> None:
+        """Enforce the budgets after ``saved`` was written."""
+        self._enforce(saved, evict)
+
+    def gc(self, evict: Callable[[Path], None]) -> None:
+        """Apply the budgets on demand (always a full directory scan)."""
+        self._saves_since_scan = self._scan_every
+        self._enforce(None, evict)
+
+    # ------------------------------------------------------------------ #
+    def _enforce(self, saved: Optional[Path], evict: Callable[[Path], None]) -> None:
+        if self._max_files is None and self._max_bytes is None:
+            return
+        self._saves_since_scan += 1
+        if (
+            saved is not None
+            and self._max_bytes is None
+            and self._saves_since_scan < self._scan_every
+        ):
+            if self._known_names is None:
+                try:
+                    self._known_names = {
+                        path.name for path in self._directory.glob(self._pattern)
+                    }
+                except OSError:  # pragma: no cover - unreadable directory
+                    return
+            self._known_names.add(saved.name)
+            if len(self._known_names) <= self._max_files:
+                return
+        self._saves_since_scan = 0
+        entries = []
+        for path in self._directory.glob(self._pattern):
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - racing eviction is harmless
+                continue
+            entries.append((stat.st_mtime, path.name, stat.st_size, path))
+        self._known_names = {name for _, name, _, _ in entries}
+        entries.sort(reverse=True)  # most recently used first
+        total_bytes = 0
+        for rank, (_mtime, _name, size, path) in enumerate(entries):
+            total_bytes += size
+            if saved is not None and path == saved:
+                # The file just written always survives its own save.
+                continue
+            over_count = self._max_files is not None and rank >= self._max_files
+            over_bytes = (
+                self._max_bytes is not None and total_bytes > self._max_bytes and rank > 0
+            )
+            if over_count or over_bytes:
+                evict(path)

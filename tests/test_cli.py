@@ -135,3 +135,82 @@ def test_sweep_rejects_unknown_technology():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args(["sweep", "--tech", "cmos3"])
+
+
+def test_cache_requires_directory(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert main(["cache"]) == 2
+    assert "cache directory" in capsys.readouterr().err
+
+
+def test_cache_reports_and_gcs_tiers(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    assert (
+        main(
+            [
+                "sweep",
+                "--nets",
+                "2",
+                "--targets",
+                "3",
+                "--cache-dir",
+                str(cache_dir),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["cache", "--cache-dir", str(cache_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "protocol store" in out
+    assert "final-DP frontiers" in out
+    assert "REFINE records" in out
+
+    frontiers_before = len(list((cache_dir / "wincache").glob("frontier-*.json")))
+    assert frontiers_before > 1
+    assert (
+        main(
+            [
+                "cache",
+                "--cache-dir",
+                str(cache_dir),
+                "--gc",
+                "--max-frontier-files",
+                "1",
+                "--max-refine-files",
+                "1",
+            ]
+        )
+        == 0
+    )
+    assert "gc: evicted" in capsys.readouterr().out
+    assert len(list((cache_dir / "wincache").glob("frontier-*.json"))) == 1
+    assert len(list((cache_dir / "wincache").glob("refine-*.json"))) <= 1
+
+
+def test_sweep_dp_core_and_analytical_switches(tmp_path, capsys):
+    """The oracle switches produce identical records to the defaults."""
+    args = ["sweep", "--nets", "1", "--targets", "2", "--json"]
+    default_json = tmp_path / "default.json"
+    oracle_json = tmp_path / "oracle.json"
+    assert main(args + [str(default_json)]) == 0
+    assert (
+        main(
+            args
+            + [
+                str(oracle_json),
+                "--dp-core",
+                "staged",
+                "--refine-analytical",
+                "scalar",
+            ]
+        )
+        == 0
+    )
+    def rows(path):
+        return [
+            {key: value for key, value in row.items() if key != "runtime_seconds"}
+            for row in json.loads(path.read_text())
+        ]
+
+    assert rows(default_json) == rows(oracle_json)

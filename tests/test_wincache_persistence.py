@@ -360,3 +360,80 @@ def test_rip_window_cache_disk_tier_serves_repeated_runs(tmp_path, tiny_cases, t
     assert warm == cold
     assert cold_stats.disk_hits == 0
     assert warm_stats.disk_hits > 0
+
+
+# --------------------------------------------------------------------------- #
+# frontier disk budget (LRU, mtime recency)
+# --------------------------------------------------------------------------- #
+def _write_frontiers(cache, net, count):
+    """Persist ``count`` distinct frontier entries for ``net``."""
+    dp = PowerAwareDp(NODE_180NM)
+    library = RepeaterLibrary.uniform_count(10.0, 40.0, 4)
+    context = dp_context_fingerprint(NODE_180NM, dp._pruning)
+    for k in range(count):
+        candidates = (1e-3 + k * 1e-4, 2e-3 + k * 1e-4)
+        cache.final_dp_result(
+            net,
+            context,
+            library.widths,
+            candidates,
+            lambda candidates=candidates: dp.run(net, library, candidates),
+        )
+
+
+def test_frontier_disk_budget_lru(mixed_net, tmp_path):
+    cache = WindowCompilationCache(cache_dir=tmp_path, max_files=3)
+    _write_frontiers(cache, mixed_net, 6)
+    files = sorted(tmp_path.glob("frontier-*.json"))
+    assert len(files) == 3
+    assert cache.statistics.disk_evictions >= 3
+    # The budget keeps the most recently used files: re-running the last
+    # three candidates is served from disk, not recomputed.
+    fresh = WindowCompilationCache(cache_dir=tmp_path, max_files=3)
+    dp = PowerAwareDp(NODE_180NM)
+    library = RepeaterLibrary.uniform_count(10.0, 40.0, 4)
+    context = dp_context_fingerprint(NODE_180NM, dp._pruning)
+    for k in range(3, 6):
+        candidates = (1e-3 + k * 1e-4, 2e-3 + k * 1e-4)
+        fresh.final_dp_result(
+            mixed_net,
+            context,
+            library.widths,
+            candidates,
+            lambda candidates=candidates: dp.run(mixed_net, library, candidates),
+        )
+    assert fresh.statistics.disk_hits == 3
+
+
+def test_frontier_disk_budget_saved_file_survives(mixed_net, tmp_path):
+    """Even with max_files=1 the file just saved survives its own save."""
+    cache = WindowCompilationCache(cache_dir=tmp_path, max_files=1)
+    _write_frontiers(cache, mixed_net, 4)
+    files = list(tmp_path.glob("frontier-*.json"))
+    assert len(files) == 1
+
+
+def test_frontier_disk_budget_max_bytes(mixed_net, tmp_path):
+    cache = WindowCompilationCache(cache_dir=tmp_path, max_bytes=1)
+    _write_frontiers(cache, mixed_net, 3)
+    # The size budget keeps only the most recent (just-saved) file.
+    assert len(list(tmp_path.glob("frontier-*.json"))) == 1
+
+
+def test_frontier_gc_on_demand(mixed_net, tmp_path):
+    unbounded = WindowCompilationCache(cache_dir=tmp_path, max_files=None)
+    _write_frontiers(unbounded, mixed_net, 5)
+    assert len(list(tmp_path.glob("frontier-*.json"))) == 5
+    collector = WindowCompilationCache(cache_dir=tmp_path, max_files=2)
+    evicted = collector.gc()
+    assert evicted == 3
+    assert len(list(tmp_path.glob("frontier-*.json"))) == 2
+    # A second GC is a no-op.
+    assert collector.gc() == 0
+
+
+def test_frontier_budget_disabled(mixed_net, tmp_path):
+    cache = WindowCompilationCache(cache_dir=tmp_path, max_files=None)
+    _write_frontiers(cache, mixed_net, 5)
+    assert len(list(tmp_path.glob("frontier-*.json"))) == 5
+    assert cache.gc() == 0
