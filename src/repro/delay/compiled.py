@@ -67,7 +67,10 @@ def _stage_wire_sums(net: TwoPinNet, cut_points: Sequence[float]):
     exactly: a single piece's sums are ``r*l``/``c*l`` verbatim, and its
     distributed delay collapses to ``(r*l) * (0.5 * (c*l))`` (the walked
     loop's ``(0.0 + c*l) - c*l`` downstream term is exactly ``+0.0``).
-    Multi-segment stages fall back to the walked per-stage loop.
+    Deeper stages (three or more pieces, or slivered two-piece shapes) run
+    a padded lane-parallel replay of the same walk — one vector step per
+    piece rank, masked per lane by the walk's own entry/emission guards —
+    so no stage shape ever drops to a per-stage Python loop.
     """
     boundaries = net.segment_boundaries
     res_per_meter = net.segment_resistance_per_meter
@@ -126,11 +129,58 @@ def _stage_wire_sums(net: TwoPinNet, cut_points: Sequence[float]):
             distributed = distributed + res_b * (0.5 * cap_b + downstream_b)
             wire_distributed[clean] = distributed[clean]
             multi = multi & ~clean
-        for stage in np.nonzero(multi)[0]:
-            pieces = net.pieces_between(float(starts[stage]), float(ends[stage]))
-            wire_capacitance[stage] = sum(c * l for _, c, l in pieces)
-            wire_resistance[stage] = sum(r * l for r, _, l in pieces)
-            wire_distributed[stage] = wire_elmore_delay(pieces, 0.0)
+        if multi.any():
+            # Deep stages: replay ``pieces_between``'s while-loop as a
+            # padded lane-parallel walk.  Step ``k`` visits each lane's
+            # ``k``-th segment slot; a lane is *active* while the walk's
+            # entry guard (``position < end - 1e-15``) holds and *emits*
+            # a piece under its ``length > 1e-15`` guard, so zero-length
+            # segment slivers are skipped exactly like the walk skips
+            # them.  Masked accumulation in slot order reproduces the
+            # walked sums (and ``wire_elmore_delay``'s add-then-subtract
+            # downstream chain) operation-for-operation per lane.
+            rows = np.nonzero(multi)[0]
+            deep_starts = starts[rows]
+            deep_ends = ends[rows]
+            first_index = index[rows]
+            last_bound = len(boundaries) - 1
+            resistance_acc = np.zeros(len(rows))
+            capacitance_acc = np.zeros(len(rows))
+            downstream = np.zeros(len(rows))
+            slot_res: List[np.ndarray] = []
+            slot_cap: List[np.ndarray] = []
+            slot_emit: List[np.ndarray] = []
+            for k in range(last_bound + 1):
+                bound = np.minimum(first_index + k, last_bound)
+                piece_start = boundaries[bound] if k else deep_starts
+                active = piece_start < deep_ends - 1e-15
+                if not active.any():
+                    break
+                segment = np.minimum(first_index + k, last_segment)
+                piece_end = np.minimum(
+                    boundaries[np.minimum(bound + 1, last_bound)], deep_ends
+                )
+                length = piece_end - piece_start
+                emit = active & (length > 1e-15)
+                piece_resistance = res_per_meter[segment] * length
+                piece_capacitance = cap_per_meter[segment] * length
+                resistance_acc[emit] += piece_resistance[emit]
+                capacitance_acc[emit] += piece_capacitance[emit]
+                downstream[emit] += piece_capacitance[emit]
+                slot_res.append(piece_resistance)
+                slot_cap.append(piece_capacitance)
+                slot_emit.append(emit)
+            distributed_acc = np.zeros(len(rows))
+            for piece_resistance, piece_capacitance, emit in zip(
+                slot_res, slot_cap, slot_emit
+            ):
+                downstream[emit] -= piece_capacitance[emit]
+                distributed_acc[emit] += (
+                    piece_resistance * (0.5 * piece_capacitance + downstream)
+                )[emit]
+            wire_resistance[rows] = resistance_acc
+            wire_capacitance[rows] = capacitance_acc
+            wire_distributed[rows] = distributed_acc
     return wire_resistance, wire_capacitance, wire_distributed
 
 

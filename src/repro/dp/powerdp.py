@@ -77,6 +77,42 @@ def traverse_wire(
     return caps, delays
 
 
+def build_frontier(
+    final_delays: np.ndarray,
+    widths: np.ndarray,
+    back: np.ndarray,
+    backtrack,
+) -> DelayWidthFrontier:
+    """Reconstruct the non-dominated final states into full solutions.
+
+    Shared by every DP core (fused, staged and batched): the frontier sweep
+    and the solution reconstruction are identical regardless of how the
+    level records were produced.
+    """
+    order = np.lexsort((widths, final_delays))
+    points: List[FrontierPoint] = []
+    best_width = np.inf
+    for row in order:
+        if widths[row] >= best_width - 1e-12:
+            continue
+        best_width = widths[row]
+        positions, repeater_widths = backtrack(int(back[row]))
+        solution = DpSolution.from_lists(
+            positions=positions,
+            widths=repeater_widths,
+            delay=float(final_delays[row]),
+            total_width=float(widths[row]),
+        )
+        points.append(
+            FrontierPoint(
+                delay=float(final_delays[row]),
+                total_width=float(widths[row]),
+                solution=solution,
+            )
+        )
+    return DelayWidthFrontier(points)
+
+
 @dataclass
 class _Level:
     """Book-keeping for one candidate location: how each survivor was produced."""
@@ -200,7 +236,9 @@ class PowerAwareDp:
             traversal in ("exact", "affine"),
             f"unknown traversal mode {traversal!r}",
         )
-        require(core in ("fused", "staged"), f"unknown DP core {core!r}")
+        require(
+            core in ("fused", "staged", "batched"), f"unknown DP core {core!r}"
+        )
         self._technology = technology
         self._pruning = pruning or PruningConfig()
         self._traversal = traversal
@@ -221,7 +259,7 @@ class PowerAwareDp:
 
     @property
     def core(self) -> str:
-        """The effective DP core (``"fused"`` or ``"staged"``)."""
+        """The effective DP core (``"fused"``, ``"staged"`` or ``"batched"``)."""
         return self._core
 
     def run(
@@ -244,6 +282,18 @@ class PowerAwareDp:
         started = time.perf_counter()
         if compiled is None:
             compiled = CompiledNet(net, candidate_positions)
+        if self._core == "batched":
+            # A single-problem batch: the batched driver degenerates to the
+            # fused per-level arithmetic on one segment (bit-identical).
+            from repro.engine.batched import BatchedDpDriver, DpProblem
+
+            driver = BatchedDpDriver(
+                self._technology,
+                pruning=self._pruning,
+                traversal=self._traversal,
+                scratch=self._scratch,
+            )
+            return driver.run_power([DpProblem(net, library, compiled)])[0]
         if self._core == "fused":
             run_levels = self._run_fused
         else:
@@ -431,28 +481,7 @@ class PowerAwareDp:
         backtrack,
     ) -> DelayWidthFrontier:
         """Reconstruct the non-dominated final states into full solutions."""
-        order = np.lexsort((widths, final_delays))
-        points: List[FrontierPoint] = []
-        best_width = np.inf
-        for row in order:
-            if widths[row] >= best_width - 1e-12:
-                continue
-            best_width = widths[row]
-            positions, repeater_widths = backtrack(int(back[row]))
-            solution = DpSolution.from_lists(
-                positions=positions,
-                widths=repeater_widths,
-                delay=float(final_delays[row]),
-                total_width=float(widths[row]),
-            )
-            points.append(
-                FrontierPoint(
-                    delay=float(final_delays[row]),
-                    total_width=float(widths[row]),
-                    solution=solution,
-                )
-            )
-        return DelayWidthFrontier(points)
+        return build_frontier(final_delays, widths, back, backtrack)
 
     @staticmethod
     def _backtrack(pointer: int, levels: List[_Level]) -> Tuple[List[float], List[float]]:

@@ -79,6 +79,26 @@ class CompiledNet:
         self._positions: Tuple[float, ...] = tuple(positions)
         self._intervals: Tuple[WireInterval, ...] = tuple(self._compile(net, positions))
 
+    @classmethod
+    def from_intervals(
+        cls,
+        net: TwoPinNet,
+        positions: Sequence[float],
+        intervals: Sequence[WireInterval],
+    ) -> "CompiledNet":
+        """Rebuild a compiled net from already-compiled intervals.
+
+        Used by the shared-memory population arena: the parent process
+        compiles once and workers reattach the interval arrays zero-copy
+        (``positions`` must already be legalised and merged — this
+        constructor performs no recompilation or validation).
+        """
+        compiled = cls.__new__(cls)
+        compiled._net = net
+        compiled._positions = tuple(positions)
+        compiled._intervals = tuple(intervals)
+        return compiled
+
     @staticmethod
     def _compile(net: TwoPinNet, positions: List[float]) -> List[WireInterval]:
         bounds = [0.0, *positions, net.total_length]

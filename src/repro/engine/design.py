@@ -65,6 +65,7 @@ from repro.engine.cache import (
     timing_targets,
 )
 from repro.engine.compiled import CompiledNet
+from repro.engine.shm import SharedPopulationArena
 from repro.engine.wincache import CacheStatistics, WindowCompilationCache
 from repro.tech.library import RepeaterLibrary
 from repro.tech.technology import Technology
@@ -123,8 +124,10 @@ class MethodSpec:
     core:
         DP inner-loop implementation of a ``"dp"`` method: ``"fused"``
         (one kernel call per level on the per-worker scratch arena, the
-        default) or ``"staged"`` (the per-level oracle).  Bit-identical;
-        RIP methods carry the switch on :class:`RipConfig` (``dp_core``).
+        default), ``"staged"`` (the per-level oracle) or ``"batched"``
+        (the lockstep :class:`~repro.engine.batched.BatchedDpDriver`).
+        Bit-identical; RIP methods carry the switch on :class:`RipConfig`
+        (``dp_core``).
     """
 
     name: str
@@ -142,7 +145,10 @@ class MethodSpec:
             self.traversal in ("exact", "affine"),
             f"unknown traversal mode {self.traversal!r}",
         )
-        require(self.core in ("fused", "staged"), f"unknown DP core {self.core!r}")
+        require(
+            self.core in ("fused", "staged", "batched"),
+            f"unknown DP core {self.core!r}",
+        )
 
     @staticmethod
     def rip_method(name: str = "rip", config: Optional[RipConfig] = None) -> "MethodSpec":
@@ -344,6 +350,7 @@ def _design_case(
     rip_config: RipConfig,
     pruning: PruningConfig,
     window_cache: Optional[WindowCompilationCache],
+    compiled: Optional[CompiledNet] = None,
 ) -> NetDesignResult:
     resolved_targets = (
         case.targets if targets is None else targets.targets_for(case.tau_min)
@@ -352,7 +359,6 @@ def _design_case(
     method_runtimes: Dict[str, float] = {}
     states = 0
     error: Optional[str] = None
-    compiled: Optional[CompiledNet] = None
     compile_seconds = 0.0
     # The engine-/process-shared window cache serves every RIP method and
     # every timing target of this task (keys cover the net fingerprint, the
@@ -372,8 +378,11 @@ def _design_case(
                 prepared = rip.prepare(case.net)
                 states += prepared.coarse_result.statistics.states_generated
                 runtimes: List[float] = []
-                for target in resolved_targets:
-                    outcome = rip.run_prepared(prepared, target)
+                # With ``dp_core="batched"`` this runs every target's final
+                # DP in one lockstep batch (bit-identical records); any
+                # other core takes the sequential per-target path inside.
+                outcomes = rip.run_prepared_batch(prepared, resolved_targets)
+                for target, outcome in zip(resolved_targets, outcomes):
                     states += outcome.states_generated
                     runtimes.append(outcome.runtime_seconds)
                     feasible = outcome.feasible
@@ -469,9 +478,58 @@ def _design_case(
     )
 
 
+#: The worker process's attached population arena (name-keyed, one live
+#: mapping per process; re-attached when a new sweep publishes a new block).
+_PROCESS_ARENA: Optional[SharedPopulationArena] = None
+
+
+def _attach_population_arena(name: Optional[str]) -> Optional[SharedPopulationArena]:
+    """Create-or-reuse this process's mapping of the population arena."""
+    global _PROCESS_ARENA
+    if name is None:
+        return None
+    arena = _PROCESS_ARENA
+    if arena is None or arena.closed or arena.name != name:
+        if arena is not None:
+            arena.close()
+        arena = SharedPopulationArena.attach(name)
+        _PROCESS_ARENA = arena
+    return arena
+
+
+def _init_worker(spec: WindowCacheSpec, arena_name: Optional[str] = None) -> None:
+    """Pool initializer: attach the shared window cache and the arena."""
+    _attach_window_cache(spec)
+    _attach_population_arena(arena_name)
+
+
 def _design_case_payload(payload) -> NetDesignResult:
-    *arguments, cache_spec = payload
-    return _design_case(*arguments, _attach_window_cache(cache_spec))
+    (
+        case,
+        methods,
+        targets,
+        technology,
+        rip_config,
+        pruning,
+        cache_spec,
+        arena_name,
+    ) = payload
+    compiled: Optional[CompiledNet] = None
+    if arena_name is not None:
+        # ``case`` is a job index; the net, technology, targets, candidate
+        # grid and compiled wire intervals all come from the shared block.
+        job = _attach_population_arena(arena_name).job(case)
+        case, technology, compiled = job.case, job.technology, job.compiled
+    return _design_case(
+        case,
+        methods,
+        targets,
+        technology,
+        rip_config,
+        pruning,
+        _attach_window_cache(cache_spec),
+        compiled=compiled,
+    )
 
 
 class DesignEngine:
@@ -512,6 +570,40 @@ class DesignEngine:
         # Engine-lifetime shared cache of the serial path (and of any
         # in-process consumers); workers build per-process equivalents.
         self._shared_window_cache: Optional[WindowCompilationCache] = None
+        # Shared-memory population arenas published for worker pools; each
+        # sweep removes its own in a ``finally``, so anything still here at
+        # :meth:`close` belongs to a pool that crashed mid-task.
+        self._arenas: List[SharedPopulationArena] = []
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release engine-owned shared state (idempotent).
+
+        Unlinks any shared-memory population arenas that outlived their
+        pool — e.g. when a worker was killed mid-task and the sweep raised
+        ``BrokenProcessPool`` — and applies the window cache's disk budgets
+        (``gc()``) so a crashed sweep cannot leave the design-state
+        directory over budget.  Safe to call multiple times and from
+        ``__exit__`` regardless of how the sweep ended.
+        """
+        while self._arenas:
+            arena = self._arenas.pop()
+            try:
+                arena.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+        cache = self._shared_window_cache
+        if cache is not None and cache.cache_dir is not None:
+            try:
+                cache.gc()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+
+    def __enter__(self) -> "DesignEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def technology(self) -> Technology:
@@ -675,32 +767,54 @@ class DesignEngine:
         started = time.perf_counter()
         method_tuple = tuple(methods)
         spec = self._window_cache_spec
-        payloads = [
-            (
-                case,
-                method_tuple,
-                targets,
-                technology,
-                self._rip_config,
-                self._pruning,
-                spec,
-            )
-            for technology, case in jobs
-        ]
-        if self._workers > 1 and len(payloads) > 1:
-            # Workers attach to a per-process shared cache (initializer) —
-            # all of them backed by the same disk tier when one is set.
-            with ProcessPoolExecutor(
-                max_workers=self._workers,
-                initializer=_attach_window_cache,
-                initargs=(spec,),
-            ) as pool:
-                results = list(pool.map(_design_case_payload, payloads))
+        if self._workers > 1 and len(jobs) > 1:
+            # Publish the whole population once through one shared-memory
+            # block; task payloads carry just the job index, and workers
+            # attach in the pool initializer (alongside the per-process
+            # shared window cache — all backed by the same disk tier when
+            # one is set).  The ``finally`` unlinks the block even when a
+            # worker dies mid-task (BrokenProcessPool); arenas that somehow
+            # survive are reaped by :meth:`close`.
+            arena = SharedPopulationArena.publish(jobs)
+            self._arenas.append(arena)
+            payloads = [
+                (
+                    index,
+                    method_tuple,
+                    targets,
+                    None,
+                    self._rip_config,
+                    self._pruning,
+                    spec,
+                    arena.name,
+                )
+                for index in range(len(jobs))
+            ]
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=self._workers,
+                    initializer=_init_worker,
+                    initargs=(spec, arena.name),
+                ) as pool:
+                    results = list(pool.map(_design_case_payload, payloads))
+            finally:
+                arena.close()
+                if arena in self._arenas:
+                    self._arenas.remove(arena)
         else:
             # Serial path: every task reuses the engine-lifetime cache.
             shared = self.window_cache
             results = [
-                _design_case(*payload[:-1], shared) for payload in payloads
+                _design_case(
+                    case,
+                    method_tuple,
+                    targets,
+                    technology,
+                    self._rip_config,
+                    self._pruning,
+                    shared,
+                )
+                for technology, case in jobs
             ]
         wall_clock = time.perf_counter() - started
         states = sum(result.states_generated for result in results)

@@ -1,0 +1,310 @@
+"""Zero-copy shared-memory transport of net populations to worker pools.
+
+The parallel path of :class:`~repro.engine.design.DesignEngine` used to ship
+every task's :class:`~repro.engine.cache.NetCase` through the
+``ProcessPoolExecutor`` pickle channel — the net, its timing targets, its
+candidate grid, and (rebuilt per worker) the compiled wire intervals.  For
+population sweeps the same arrays were serialized once per task and
+deserialized once per worker touch.
+
+:class:`SharedPopulationArena` publishes the whole population **once**
+through one ``multiprocessing.shared_memory`` block:
+
+* a small pickled *header* (job metadata: the nets themselves, technologies,
+  and ``(offset, length)`` descriptors into the float region);
+* a single aligned ``float64`` region holding every job's timing targets,
+  candidate grid, compiled candidate positions and per-interval piece
+  arrays, back to back.
+
+Workers attach by name in the pool initializer and rebuild each job's
+:class:`~repro.engine.compiled.CompiledNet` with
+:meth:`~repro.engine.compiled.CompiledNet.from_intervals` over **views** of
+the shared region — no per-task array pickling, no per-worker recompilation,
+no copies.  Task payloads then carry just the job index.
+
+Ownership rules
+---------------
+The publishing process owns the block: it is the only one that calls
+``unlink``, either right after the pool completes (the engine's ``finally``) or at
+:meth:`DesignEngine.close` for arenas that survived a crashed pool.  Workers
+only ever ``close()`` their mapping.  On Python < 3.13 the attaching side
+must suppress the segment's ``resource_tracker`` registration (bpo-38119):
+otherwise every worker's tracker would unlink the segment on worker exit,
+destroying it under the rest of the pool.
+"""
+
+from __future__ import annotations
+
+import pickle
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.cache import NetCase
+from repro.engine.compiled import CompiledNet, WireInterval
+from repro.tech.technology import Technology
+
+__all__ = ["ArenaJob", "SharedPopulationArena"]
+
+#: Bytes reserved at the start of the block for the header length.
+_LENGTH_PREFIX = 8
+
+
+@contextmanager
+def _untracked_attach():
+    """Suppress resource-tracker registration while attaching (bpo-38119).
+
+    On Python < 3.13 attaching registers the segment with the resource
+    tracker, and the tracker unlinks everything it knows about when its
+    process tree winds down — which would destroy the arena under sibling
+    workers (and, with the fork start method's *shared* tracker, racing
+    ``unregister`` calls against the owner's ``unlink`` raises KeyErrors
+    inside the tracker).  Only the publishing process may track; attachers
+    briefly no-op the registration instead.
+    """
+    try:
+        from multiprocessing import resource_tracker
+    except ImportError:  # pragma: no cover - resource tracker always ships
+        yield
+        return
+    original = resource_tracker.register
+
+    def register(name: str, rtype: str) -> None:
+        if rtype != "shared_memory":
+            original(name, rtype)
+
+    resource_tracker.register = register
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
+@dataclass(frozen=True)
+class ArenaJob:
+    """One population job rebuilt from the arena.
+
+    ``compiled`` wraps zero-copy views of the shared float region (when the
+    publisher compiled the job's candidate grid); ``case`` is a regular
+    :class:`NetCase` — its targets/candidates tuples are tiny and rebuilding
+    them keeps the dataclass contract unchanged.
+    """
+
+    case: NetCase
+    technology: Technology
+    compiled: Optional[CompiledNet]
+
+
+class SharedPopulationArena:
+    """A population published once, mapped read-only by every worker."""
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        jobs: List[Dict[str, Any]],
+        region: np.ndarray,
+        *,
+        owner: bool,
+    ) -> None:
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        self._jobs = jobs
+        self._region = region
+        self._owner = owner
+        self._unlinked = False
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def publish(
+        cls,
+        jobs: Sequence[Tuple[Technology, NetCase]],
+        *,
+        compile_nets: bool = True,
+    ) -> "SharedPopulationArena":
+        """Build the shared block for ``jobs`` (one ``(technology, case)``
+        pair per task) in the publishing process.
+
+        With ``compile_nets`` (the default) each case's baseline candidate
+        grid is compiled here, once, and the interval piece arrays join the
+        shared region — workers rebuild the :class:`CompiledNet` over views
+        instead of recompiling per process.
+        """
+        chunks: List[np.ndarray] = []
+        cursor = 0
+
+        def put(values: np.ndarray) -> Tuple[int, int]:
+            nonlocal cursor
+            chunk = np.ascontiguousarray(values, dtype=np.float64).ravel()
+            offset = cursor
+            chunks.append(chunk)
+            cursor += len(chunk)
+            return (offset, len(chunk))
+
+        entries: List[Dict[str, Any]] = []
+        for technology, case in jobs:
+            entry: Dict[str, Any] = {
+                "net": case.net,
+                "tau_min": case.tau_min,
+                "technology": technology,
+                "targets": put(np.asarray(case.targets)),
+                "candidates": put(np.asarray(case.candidates)),
+            }
+            if compile_nets:
+                compiled = CompiledNet(case.net, case.candidates)
+                entry["positions"] = put(np.asarray(compiled.positions))
+                entry["intervals"] = [
+                    {
+                        "upstream": interval.upstream,
+                        "downstream": interval.downstream,
+                        "resistance": interval.resistance,
+                        "capacitance": interval.capacitance,
+                        "delay_constant": interval.delay_constant,
+                        "piece_resistance": put(interval.piece_resistance),
+                        "piece_capacitance": put(interval.piece_capacitance),
+                        "piece_half_capacitance": put(
+                            interval.piece_half_capacitance
+                        ),
+                    }
+                    for interval in compiled.intervals
+                ]
+            entries.append(entry)
+
+        header = pickle.dumps(
+            {"jobs": entries}, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        # Round the float region's start up to 8 bytes so the float64 views
+        # are aligned.
+        data_offset = -(-(_LENGTH_PREFIX + len(header)) // 8) * 8
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(data_offset + 8 * cursor, 1)
+        )
+        shm.buf[:_LENGTH_PREFIX] = len(header).to_bytes(_LENGTH_PREFIX, "big")
+        shm.buf[_LENGTH_PREFIX : _LENGTH_PREFIX + len(header)] = header
+        region = np.frombuffer(
+            shm.buf, dtype=np.float64, count=cursor, offset=data_offset
+        )
+        position = 0
+        for chunk in chunks:
+            region[position : position + len(chunk)] = chunk
+            position += len(chunk)
+        region.flags.writeable = False
+        return cls(shm, entries, region, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedPopulationArena":
+        """Map an existing arena by name (worker side)."""
+        with _untracked_attach():
+            shm = shared_memory.SharedMemory(name=name)
+        header_length = int.from_bytes(bytes(shm.buf[:_LENGTH_PREFIX]), "big")
+        entries = pickle.loads(
+            bytes(shm.buf[_LENGTH_PREFIX : _LENGTH_PREFIX + header_length])
+        )["jobs"]
+        data_offset = -(-(_LENGTH_PREFIX + header_length) // 8) * 8
+        count = (shm.size - data_offset) // 8
+        region = np.frombuffer(
+            shm.buf, dtype=np.float64, count=count, offset=data_offset
+        )
+        region.flags.writeable = False
+        return cls(shm, entries, region, owner=False)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """OS name of the shared block (what workers attach by)."""
+        if self._shm is None:
+            raise ValueError("arena is closed")
+        return self._shm.name
+
+    @property
+    def closed(self) -> bool:
+        """Whether this process's mapping has been released."""
+        return self._shm is None
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def _view(self, descriptor: Tuple[int, int]) -> np.ndarray:
+        offset, length = descriptor
+        return self._region[offset : offset + length]
+
+    def job(self, index: int) -> ArenaJob:
+        """Rebuild job ``index`` over zero-copy views of the shared region."""
+        if self._shm is None:
+            raise ValueError("arena is closed")
+        entry = self._jobs[index]
+        case = NetCase(
+            net=entry["net"],
+            tau_min=entry["tau_min"],
+            targets=tuple(float(t) for t in self._view(entry["targets"])),
+            candidates=tuple(float(c) for c in self._view(entry["candidates"])),
+        )
+        compiled: Optional[CompiledNet] = None
+        if "intervals" in entry:
+            intervals = [
+                WireInterval(
+                    upstream=meta["upstream"],
+                    downstream=meta["downstream"],
+                    piece_resistance=self._view(meta["piece_resistance"]),
+                    piece_capacitance=self._view(meta["piece_capacitance"]),
+                    piece_half_capacitance=self._view(
+                        meta["piece_half_capacitance"]
+                    ),
+                    resistance=meta["resistance"],
+                    capacitance=meta["capacitance"],
+                    delay_constant=meta["delay_constant"],
+                )
+                for meta in entry["intervals"]
+            ]
+            positions = tuple(
+                float(p) for p in self._view(entry["positions"])
+            )
+            compiled = CompiledNet.from_intervals(
+                entry["net"], positions, intervals
+            )
+        return ArenaJob(
+            case=case, technology=entry["technology"], compiled=compiled
+        )
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release this process's mapping; the owner also unlinks.
+
+        Idempotent, and robust to still-exported numpy views (a worker that
+        kept a :class:`CompiledNet` alive): the ``mmap`` then stays mapped
+        until those views die, but the owner's ``unlink`` still removes the
+        name so the segment is freed once every mapping is gone.
+        """
+        shm = self._shm
+        if shm is None:
+            return
+        self._shm = None
+        self._region = np.empty(0)
+        self._jobs = []
+        try:
+            shm.close()
+        except BufferError:
+            # Live views keep the mapping; the OS reclaims it once they die.
+            # Neutralise the SharedMemory destructor's retry, which would
+            # otherwise surface the same BufferError as an unraisable
+            # exception at GC time.
+            shm.close = lambda: None  # type: ignore[method-assign]
+        if self._owner and not self._unlinked:
+            self._unlinked = True
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedPopulationArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -136,6 +136,38 @@ def test_min_and_max_widths_bit_exact(tech, mixed_net):
         _assert_bit_exact(tech, mixed_net, positions, [width, width])
 
 
+def test_deep_stages_spanning_many_pieces_bit_exact(tech):
+    # Stages crossing >= 3 segment boundaries take the padded lane-parallel
+    # replay (ISSUE 6 vectorized the former per-stage Python walk); the
+    # replay must stay bit-exact in the walked evaluator's accumulation
+    # order.
+    net = build_uniform_net(tech, segments=9, name="deep")
+    _assert_bit_exact(tech, net, [], [])  # a single stage spanning 9 pieces
+    third = net.total_length / 3.0
+    _assert_bit_exact(tech, net, [third, 2.0 * third], [120.0, 90.0])
+
+
+def test_mixed_depth_stages_bit_exact(tech, mixed_net):
+    # Lanes of very different depth share one padded replay: a hair-thin
+    # first stage rides next to a stage spanning almost the whole net, so
+    # the shallow lane goes inactive while deep lanes keep emitting pieces.
+    length = mixed_net.total_length
+    positions = [0.01 * length, 0.02 * length, 0.98 * length]
+    _assert_bit_exact(tech, mixed_net, positions, [130.0, 70.0, 250.0])
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_sparse_repeaters_deep_stages_bit_exact(tech, seed):
+    # Few repeaters on multi-segment random nets: most stages span many
+    # pieces, exercising the deep-stage holdout across random geometries.
+    net, _, rng = _random_problem(tech, seed, num_repeaters=0)
+    n = seed % 3
+    positions = sorted(rng.uniform(0.0, net.total_length) for _ in range(n))
+    for _ in range(3):
+        widths = _random_widths(tech, rng, len(positions))
+        _assert_bit_exact(tech, net, positions, widths)
+
+
 def test_facade_compile_factory_matches_walked_model(tech, mixed_net):
     model = ElmoreDelayModel(tech)
     positions = [0.5 * mixed_net.total_length]
