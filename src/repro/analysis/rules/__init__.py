@@ -1,0 +1,39 @@
+"""Built-in lint rules R1–R6.
+
+Importing this package registers every rule with the
+:mod:`repro.analysis.linter` registry:
+
+========================  =====================================================
+``fingerprint-completeness``  R1 — numerics knobs must join the dp-context
+                              fingerprint
+``hot-alloc``                 R2 — no allocating numpy calls in ``# hot``
+                              kernels outside ``DpScratch``
+``cache-key-hygiene``         R3 — cache/store keys go through
+                              ``utils/canonical.py``, never ``repr``/``str``/
+                              ``hash``/f-strings
+``determinism``               R4 — no ambient entropy or ordering-sensitive
+                              ``set`` iteration outside ``utils/rng.py``
+``shm-ownership``             R5 — shm publishers own ``unlink``; attach sites
+                              never call it
+``pool-exception-reduce``     R6 — custom exceptions with ``__init__`` define
+                              ``__reduce__`` so they survive the pool
+========================  =====================================================
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (import registers the rules)
+    cachekeys,
+    determinism,
+    fingerprint,
+    hotalloc,
+    pool_exceptions,
+    shm_ownership,
+)
+
+__all__ = [
+    "cachekeys",
+    "determinism",
+    "fingerprint",
+    "hotalloc",
+    "pool_exceptions",
+    "shm_ownership",
+]

@@ -1,0 +1,153 @@
+"""R3 — cache-key hygiene (``cache-key-hygiene``).
+
+Cache and store keys must be built by :mod:`repro.utils.canonical`
+(``canonical_json``/``stable_digest``), never by ad-hoc ``repr()``/``str()``/
+``hash()``/f-string formatting: ``repr`` output varies across Python
+versions and types, ``hash`` is salted per process, and format strings
+silently accept objects with unstable representations.  PR 2 replaced the
+original ``protocol_key``'s ``default=repr`` with the canonical serializer;
+this rule keeps the regression from coming back.
+
+Flagged patterns (outside ``utils/canonical.py``):
+
+* assignments to key-ish names (containing ``key``, ``fingerprint`` or
+  ``digest``) whose value contains ``repr()``/``str()``/``hash()``/
+  f-strings/``.format()``/``%``-formatting;
+* the same constructs appearing in arguments of key-building calls
+  (functions whose name contains ``digest``/``fingerprint`` or equals
+  ``cache_key``/``make_key``);
+* ``json.dumps(..., default=repr)`` (or ``default=str``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.linter import LintModule, LintViolation, Rule, register
+
+_EXEMPT_BASENAME = "canonical.py"
+_KEYISH = ("key", "fingerprint", "digest")
+_BAD_NAME_CALLS = frozenset({"repr", "str", "hash"})
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _unstable_subexpr(node: ast.AST) -> Optional[ast.AST]:
+    """Return the first unstable key-construction construct under ``node``."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.JoinedStr):
+            return child
+        if isinstance(child, ast.Call):
+            name = _call_name(child)
+            if isinstance(child.func, ast.Name) and name in _BAD_NAME_CALLS:
+                return child
+            if isinstance(child.func, ast.Attribute) and name == "format":
+                return child
+        if (
+            isinstance(child, ast.BinOp)
+            and isinstance(child.op, ast.Mod)
+            and isinstance(child.left, ast.Constant)
+            and isinstance(child.left.value, str)
+        ):
+            return child
+    return None
+
+
+def _describe(node: ast.AST) -> str:
+    if isinstance(node, ast.JoinedStr):
+        return "an f-string"
+    if isinstance(node, ast.Call):
+        return f"{_call_name(node)}(...)"
+    return "%-formatting"
+
+
+def _is_keyish(name: str) -> bool:
+    lowered = name.lower()
+    return any(part in lowered for part in _KEYISH)
+
+
+def _target_name(target: ast.AST) -> str:
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return ""
+
+
+@register
+class CacheKeyHygieneRule(Rule):
+    id = "cache-key-hygiene"
+    title = "cache keys go through utils/canonical.py"
+
+    def check(self, module: LintModule) -> Iterable[LintViolation]:
+        if module.name == _EXEMPT_BASENAME:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                if not any(_is_keyish(_target_name(t)) for t in targets):
+                    continue
+                value = node.value
+                if value is None:
+                    continue
+                bad = _unstable_subexpr(value)
+                if bad is not None:
+                    named = next(
+                        n for n in map(_target_name, targets) if _is_keyish(n)
+                    )
+                    yield self.violation(
+                        module,
+                        bad,
+                        f"{_describe(bad)} feeds cache key {named!r}; build "
+                        "keys with utils/canonical.py "
+                        "(canonical_json/stable_digest) instead",
+                    )
+            elif isinstance(node, ast.Call):
+                name = _call_name(node).lower()
+                if name in ("dumps", "dump"):
+                    for keyword in node.keywords:
+                        if (
+                            keyword.arg == "default"
+                            and isinstance(keyword.value, ast.Name)
+                            and keyword.value.id in ("repr", "str")
+                        ):
+                            yield self.violation(
+                                module,
+                                keyword.value,
+                                f"json.{name}(..., default="
+                                f"{keyword.value.id}) serializes unstable "
+                                "representations; use "
+                                "utils/canonical.canonical_json instead",
+                            )
+                    continue
+                if not (
+                    "digest" in name
+                    or "fingerprint" in name
+                    or name in ("cache_key", "make_key")
+                ):
+                    continue
+                for argument in list(node.args) + [
+                    keyword.value for keyword in node.keywords
+                ]:
+                    bad = _unstable_subexpr(argument)
+                    if bad is not None:
+                        yield self.violation(
+                            module,
+                            bad,
+                            f"{_describe(bad)} feeds key builder "
+                            f"{_call_name(node)}(...); pass canonical values "
+                            "(utils/canonical.py) instead",
+                        )
+                        break

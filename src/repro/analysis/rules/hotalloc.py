@@ -1,0 +1,88 @@
+"""R2 — hot-kernel allocation discipline (``hot-alloc``).
+
+Functions marked with a ``# hot`` comment (on or directly above their
+``def`` line) run once per DP level over the whole front; allocating there
+was the original per-level bottleneck that :class:`repro.engine.kernels.DpScratch`
+exists to remove.  Inside a hot function the allocating numpy constructors
+(``np.empty/zeros/ones/full/concatenate/copy``) and the ``.copy()`` method
+are banned — scratch views from the arena are the only sanctioned storage.
+
+Deliberate exceptions (survivor bookkeeping whose size is only known after
+pruning) carry an inline ``# repro-lint: disable=hot-alloc`` pragma, which
+doubles as in-tree documentation that the allocation was considered.
+Nested functions inherit their enclosing function's hotness.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Tuple
+
+from repro.analysis.linter import LintModule, LintViolation, Rule, register
+
+_HOT = re.compile(r"#\s*hot\b")
+
+#: Allocating numpy constructors banned inside hot functions.
+BANNED_NUMPY = frozenset(
+    {"empty", "zeros", "ones", "full", "concatenate", "copy"}
+)
+_NUMPY_ALIASES = frozenset({"np", "numpy"})
+
+
+def _is_hot(module: LintModule, node: ast.AST) -> bool:
+    """``# hot`` on the ``def`` line or the line immediately above it."""
+    line = getattr(node, "lineno", 0)
+    return bool(
+        _HOT.search(module.line_text(line))
+        or _HOT.search(module.line_text(line - 1))
+    )
+
+
+@register
+class HotAllocRule(Rule):
+    id = "hot-alloc"
+    title = "no allocating numpy calls inside # hot kernels"
+
+    def check(self, module: LintModule) -> Iterable[LintViolation]:
+        # Resolve hotness top-down so nested functions inherit it.
+        hot_functions: List[ast.AST] = []
+        stack: List[Tuple[ast.AST, bool]] = [(module.tree, False)]
+        while stack:
+            node, inherited = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    hot = inherited or _is_hot(module, child)
+                    if hot:
+                        hot_functions.append(child)
+                    stack.append((child, hot))
+                else:
+                    stack.append((child, inherited))
+
+        seen: set = set()
+        for function in hot_functions:
+            for node in ast.walk(function):
+                if not isinstance(node, ast.Call) or id(node) in seen:
+                    continue
+                seen.add(id(node))
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id in _NUMPY_ALIASES
+                    and func.attr in BANNED_NUMPY
+                ):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"np.{func.attr}(...) allocates inside hot kernel "
+                        f"{function.name!r}; use a DpScratch view instead",
+                    )
+                elif func.attr == "copy" and not node.args and not node.keywords:
+                    yield self.violation(
+                        module,
+                        node,
+                        f".copy() allocates inside hot kernel "
+                        f"{function.name!r}; use a DpScratch view instead",
+                    )

@@ -1,0 +1,63 @@
+"""R6 — pool-crossing exceptions (``pool-exception-reduce``).
+
+Exceptions raised inside ``ProcessPoolExecutor`` workers are pickled to
+cross back to the parent.  Python's default exception reduction replays
+``type(exc)(*exc.args)`` — for a custom exception whose ``__init__`` takes
+structured arguments but whose ``args`` holds the formatted message, that
+replay raises ``TypeError`` and the *original* diagnostic is lost (the
+pool surfaces an opaque ``BrokenProcessPool`` instead of the per-net
+failure).  :class:`repro.core.rip.InfeasibleNetError` is the canonical fix:
+a ``__reduce__`` returning the original constructor arguments.
+
+Rule: any class deriving from an exception (a base name ending in ``Error``
+or ``Exception``) that defines a custom ``__init__`` must also define
+``__reduce__``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.linter import LintModule, LintViolation, Rule, register
+
+
+def _base_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _is_exception_class(node: ast.ClassDef) -> bool:
+    return any(
+        _base_name(base).endswith(("Error", "Exception"))
+        or _base_name(base) == "BaseException"
+        for base in node.bases
+    )
+
+
+@register
+class PoolExceptionReduceRule(Rule):
+    id = "pool-exception-reduce"
+    title = "custom exceptions with __init__ must define __reduce__"
+
+    def check(self, module: LintModule) -> Iterable[LintViolation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_exception_class(node):
+                continue
+            methods = {
+                statement.name
+                for statement in node.body
+                if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if "__init__" in methods and "__reduce__" not in methods:
+                yield self.violation(
+                    module,
+                    node,
+                    f"exception {node.name!r} defines __init__ without "
+                    "__reduce__; the default reduction replays "
+                    "type(exc)(*args) and breaks when the exception crosses "
+                    "a process pool",
+                )

@@ -1,0 +1,135 @@
+"""R5 — shared-memory ownership (``shm-ownership``).
+
+The arena protocol (see :mod:`repro.engine.shm`) is publisher-owns-unlink:
+the process that creates a ``multiprocessing.shared_memory`` block is the
+only one allowed to remove its name, and it must do so on every exit path —
+otherwise crashed pools leak ``/dev/shm`` segments.  Worker-side attaches
+map an existing name and must *never* unlink (they would destroy the
+segment under sibling workers).
+
+Per module that touches ``SharedMemory``:
+
+* every ``SharedMemory(create=True, ...)`` call must have a matching
+  ``.unlink()`` in its enclosing class (or at module scope) that sits
+  inside a ``finally`` block or a teardown method
+  (``close``/``__exit__``/``__del__``);
+* a function that attaches (``SharedMemory(...)`` without ``create=True``)
+  must not itself call ``.unlink()``.
+
+The rule only inspects modules containing a ``SharedMemory`` call, so
+``Path.unlink`` in unrelated modules never trips it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Tuple
+
+from repro.analysis.linter import LintModule, LintViolation, Rule, register
+
+_TEARDOWN_NAMES = frozenset({"close", "__exit__", "__del__", "cleanup"})
+
+
+def _is_shared_memory_call(node: ast.Call) -> bool:
+    func = node.func
+    name = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr
+        if isinstance(func, ast.Attribute)
+        else ""
+    )
+    return name == "SharedMemory"
+
+
+def _creates(node: ast.Call) -> bool:
+    return any(
+        keyword.arg == "create"
+        and isinstance(keyword.value, ast.Constant)
+        and keyword.value.value is True
+        for keyword in node.keywords
+    )
+
+
+def _walk_with_context(
+    tree: ast.AST,
+) -> Iterable[Tuple[ast.AST, Optional[ast.ClassDef], Optional[ast.AST], bool]]:
+    """Yield ``(node, enclosing_class, enclosing_function, in_finally)``."""
+    stack: List[Tuple[ast.AST, Optional[ast.ClassDef], Optional[ast.AST], bool]] = [
+        (tree, None, None, False)
+    ]
+    while stack:
+        node, klass, function, in_finally = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            child_class = klass
+            child_function = function
+            child_finally = in_finally
+            if isinstance(child, ast.ClassDef):
+                child_class = child
+                child_function = None
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_function = child
+            if isinstance(node, ast.Try) and child in node.finalbody:
+                child_finally = True
+            yield child, child_class, child_function, child_finally
+            stack.append((child, child_class, child_function, child_finally))
+
+
+@register
+class ShmOwnershipRule(Rule):
+    id = "shm-ownership"
+    title = "shm publishers own unlink; attach sites never call it"
+
+    def check(self, module: LintModule) -> Iterable[LintViolation]:
+        creates: List[Tuple[ast.Call, Optional[ast.ClassDef]]] = []
+        attach_functions: dict = {}
+        unlinks: List[
+            Tuple[ast.Call, Optional[ast.ClassDef], Optional[ast.AST], bool]
+        ] = []
+        for node, klass, function, in_finally in _walk_with_context(module.tree):
+            if isinstance(node, ast.Call):
+                if _is_shared_memory_call(node):
+                    if _creates(node):
+                        creates.append((node, klass))
+                    elif function is not None:
+                        attach_functions[id(function)] = (function, node)
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "unlink"
+                ):
+                    unlinks.append((node, klass, function, in_finally))
+        if not creates and not attach_functions:
+            return
+
+        for create_call, create_class in creates:
+            safe = any(
+                (klass is create_class or create_class is None)
+                and (
+                    in_finally
+                    or (
+                        function is not None
+                        and getattr(function, "name", "") in _TEARDOWN_NAMES
+                    )
+                )
+                for _unlink, klass, function, in_finally in unlinks
+            )
+            if not safe:
+                yield self.violation(
+                    module,
+                    create_call,
+                    "SharedMemory(create=True) has no publisher-side "
+                    ".unlink() in a finally block or close()/__exit__/"
+                    "__del__ teardown path; leaked segments survive the "
+                    "process",
+                )
+
+        for _unlink, _klass, function, _in_finally in unlinks:
+            if function is not None and id(function) in attach_functions:
+                attach_function, _attach_call = attach_functions[id(function)]
+                yield self.violation(
+                    module,
+                    _unlink,
+                    f"worker attach site {attach_function.name!r} calls "
+                    ".unlink(); only the publishing process may remove the "
+                    "segment name",
+                )

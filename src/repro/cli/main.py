@@ -12,7 +12,11 @@ Sub-commands:
   ``--cache-dir`` persists the net population / tau_min protocol store);
 * ``rip sweep``         — run an arbitrary population sweep through the
   batch :class:`~repro.engine.DesignEngine` and print/export the raw
-  per-(net, target, method) records.
+  per-(net, target, method) records (with ``REPRO_SANITIZE=1`` it also
+  prints a one-line sanitizer summary);
+* ``rip lint``          — run the repo's AST invariant linter
+  (:mod:`repro.analysis`) over source paths; ``--format=github`` emits
+  workflow-command annotations for CI.
 
 All physical quantities on the command line use engineering units
 (micrometers, nanoseconds); internally everything is SI.
@@ -259,6 +263,40 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="BYTES",
         help="refine-record size budget for --gc (default: unbounded)",
+    )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repo's AST invariant linter (rules R1-R6) over source paths",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID[,ID...]",
+        help=(
+            "comma-separated rule ids to run (default: all registered rules); "
+            "use --list-rules to see them"
+        ),
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        help=(
+            "output style: plain 'path:line: [rule] message' lines, or GitHub "
+            "Actions ::error annotations for CI"
+        ),
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rule ids and titles, then exit",
     )
 
     return parser
@@ -522,6 +560,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     else:
         print("window cache: disabled")
+    if stats.sanitizer is not None:
+        print(
+            f"sanitizer: {stats.sanitizer.checks_run} checks run, "
+            f"{stats.sanitizer.violations} violations"
+        )
     store = engine.store_statistics
     print(
         f"protocol store: {store.builds} builds, {store.memory_hits} memory hits, "
@@ -627,6 +670,38 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the AST invariant linter; exit 0 clean, 1 on violations, 2 on a
+    bad rule selection."""
+    from repro.analysis.linter import (
+        Linter,
+        available_rules,
+        format_github,
+        format_text,
+    )
+
+    if args.list_rules:
+        for rule_id, rule_class in available_rules().items():
+            print(f"{rule_id:<24} {rule_class.title}")
+        return 0
+    rules = None
+    if args.rules is not None:
+        rules = [part.strip() for part in args.rules.split(",") if part.strip()]
+    try:
+        linter = Linter(rules)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    violations = linter.run(args.paths)
+    if args.format == "github":
+        output = format_github(violations)
+        if output:
+            print(output)
+    else:
+        print(format_text(violations))
+    return 1 if violations else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``rip`` tool."""
     parser = build_parser()
@@ -638,5 +713,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "sweep": _cmd_sweep,
         "cache": _cmd_cache,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)

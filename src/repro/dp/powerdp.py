@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis import sanitize
 from repro.dp.frontier import DelayWidthFrontier, FrontierPoint
 from repro.dp.pruning import PruningConfig, prune_states
 from repro.dp.state import DpSolution
@@ -377,6 +378,16 @@ class PowerAwareDp:
             caps = new_caps[keep]
             delays = new_delays[keep]
             widths = new_widths[keep]
+            if sanitize.enabled():
+                sanitize.check_power_level(
+                    caps,
+                    delays,
+                    widths,
+                    strategy=self._pruning.strategy,
+                    width_tolerance=self._pruning.width_tolerance,
+                    level=level,
+                    where=f"PowerAwareDp(staged) net {net.name!r}",
+                )
             levels.append(
                 _Level(
                     position=position,
@@ -389,6 +400,12 @@ class PowerAwareDp:
 
         caps, delays = traverse(len(positions), caps, delays)
         final_delays = delays + intrinsic + (unit_resistance / net.driver_width) * caps
+        if sanitize.enabled():
+            sanitize.check_finite(
+                f"PowerAwareDp(staged) net {net.name!r} final",
+                final_delays=final_delays,
+                widths=widths,
+            )
         return final_delays, widths, back, levels, states_generated, max_front
 
     def _run_fused(
@@ -453,11 +470,27 @@ class PowerAwareDp:
             # decision arrays of the staged path need not be materialised.
             levels.append(_FusedLevel(position=position, flat=keep, count=count))
             max_front = max(max_front, len(keep))
+            if sanitize.enabled():
+                sanitize.check_power_level(
+                    caps,
+                    delays,
+                    widths,
+                    strategy=pruning.strategy,
+                    width_tolerance=pruning.width_tolerance,
+                    level=level,
+                    where=f"PowerAwareDp(fused) net {net.name!r}",
+                )
 
         # The final traversal mutates the scratch-front views in place —
         # same arithmetic as the staged path's out-of-place traverse.
         _traverse_in_place(scratch, intervals[len(positions)], caps, delays, exact)
         final_delays = delays + intrinsic + (unit_resistance / net.driver_width) * caps
+        if sanitize.enabled():
+            sanitize.check_finite(
+                f"PowerAwareDp(fused) net {net.name!r} final",
+                final_delays=final_delays,
+                widths=widths,
+            )
         back = scratch.arange[: len(caps)] if levels else np.array([-1], dtype=np.int64)
         # ``widths`` and ``back`` are scratch views; materialise them so the
         # frontier reconstruction survives later scratch reuse.

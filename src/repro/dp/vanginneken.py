@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis import sanitize
 from repro.dp.pruning import prune_two_dimensional
 from repro.dp.state import DpSolution
 from repro.engine.compiled import CompiledNet
@@ -143,6 +144,13 @@ class DelayOptimalDp:
                     )
                 )
                 back = scratch.arange[: len(keep)]
+                if sanitize.enabled():
+                    sanitize.check_level_2d(
+                        caps,
+                        delays,
+                        level=level,
+                        where=f"DelayOptimalDp(fused) net {net.name!r}",
+                    )
             _traverse_in_place(scratch, intervals[len(positions)], caps, delays, True)
         else:
             for level, position in enumerate(reversed(positions)):
@@ -183,9 +191,20 @@ class DelayOptimalDp:
                     _Level(position=position, parents=new_parents[keep], decisions=new_decisions[keep])
                 )
                 back = np.arange(len(keep), dtype=np.int64)
+                if sanitize.enabled():
+                    sanitize.check_level_2d(
+                        caps,
+                        delays,
+                        level=level,
+                        where=f"DelayOptimalDp(staged) net {net.name!r}",
+                    )
 
             caps, delays = compiled.traverse(len(positions), caps, delays)
         final_delays = delays + intrinsic + (unit_resistance / net.driver_width) * caps
+        if sanitize.enabled():
+            sanitize.check_finite(
+                f"DelayOptimalDp net {net.name!r} final", final_delays=final_delays
+            )
 
         best = int(np.argmin(final_delays))
         best_positions, best_widths = self._backtrack(int(back[best]), levels)

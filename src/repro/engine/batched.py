@@ -32,6 +32,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis import sanitize
 from repro.dp.powerdp import (
     DpStatistics,
     PowerDpResult,
@@ -259,6 +260,16 @@ class BatchedDpDriver:
                 entry.max_front = max(entry.max_front, kept)
                 entry.next_level += 1
                 offset += kept
+                if sanitize.enabled():
+                    sanitize.check_power_level(
+                        entry.caps,
+                        entry.delays,
+                        entry.widths,
+                        strategy=pruning.strategy,
+                        width_tolerance=pruning.width_tolerance,
+                        level=entry.next_level - 1,
+                        where=f"BatchedDpDriver net {entry.net.name!r}",
+                    )
 
         def finalize(entry: _ActiveProblem) -> None:
             caps, delays, widths = entry.caps, entry.delays, entry.widths
@@ -269,6 +280,12 @@ class BatchedDpDriver:
             final_delays = (
                 delays + intrinsic + (unit_resistance / entry.net.driver_width) * caps
             )
+            if sanitize.enabled():
+                sanitize.check_finite(
+                    f"BatchedDpDriver net {entry.net.name!r} final",
+                    final_delays=final_delays,
+                    widths=widths,
+                )
             if entry.levels:
                 back = np.arange(len(caps), dtype=np.int64)
             else:
@@ -360,6 +377,13 @@ class BatchedDpDriver:
                 entry.back = np.arange(kept, dtype=np.int64)
                 entry.next_level += 1
                 offset += kept
+                if sanitize.enabled():
+                    sanitize.check_level_2d(
+                        entry.caps,
+                        entry.delays,
+                        level=entry.next_level - 1,
+                        where=f"BatchedDpDriver(2d) net {entry.net.name!r}",
+                    )
 
         def finalize(entry: _ActiveProblem) -> None:
             caps, delays, widths = entry.caps, entry.delays, entry.widths

@@ -53,6 +53,8 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis import sanitize
+from repro.analysis.sanitize import SanitizerStatistics
 from repro.core.rip import InfeasibleNetError, Rip, RipConfig
 from repro.dp.powerdp import PowerAwareDp
 from repro.dp.pruning import PruningConfig
@@ -212,6 +214,9 @@ class NetDesignResult:
     #: Shared-window-cache counter delta attributable to this net's task
     #: (``None`` when the cache is disabled).
     cache_statistics: Optional[CacheStatistics] = None
+    #: Sanitizer counter delta of this net's task (``None`` unless
+    #: ``REPRO_SANITIZE=1``); survives the pool like the cache delta.
+    sanitizer_statistics: Optional[SanitizerStatistics] = None
 
     @property
     def failed(self) -> bool:
@@ -240,6 +245,9 @@ class EngineStatistics:
     workers: int
     window_cache: Optional[CacheStatistics] = None
     store: Optional[StoreStatistics] = None
+    #: Merged per-task sanitizer counter deltas (``None`` unless the sweep
+    #: ran with ``REPRO_SANITIZE=1``).
+    sanitizer: Optional[SanitizerStatistics] = None
 
     @property
     def states_per_second(self) -> float:
@@ -366,6 +374,7 @@ def _design_case(
     # nets nor differently-configured methods can collide).  Snapshot the
     # counters so the task's delta can be merged back by the engine.
     stats_before = window_cache.statistics if window_cache is not None else None
+    sanitize_before = sanitize.statistics() if sanitize.enabled() else None
 
     try:
         for spec in methods:
@@ -465,6 +474,11 @@ def _design_case(
         if window_cache is not None and stats_before is not None
         else None
     )
+    sanitizer_statistics = (
+        sanitize.statistics().since(sanitize_before)
+        if sanitize_before is not None
+        else None
+    )
     return NetDesignResult(
         net_name=case.net.name,
         tau_min=case.tau_min,
@@ -475,6 +489,7 @@ def _design_case(
         technology=technology.name,
         error=error,
         cache_statistics=cache_statistics,
+        sanitizer_statistics=sanitizer_statistics,
     )
 
 
@@ -598,6 +613,11 @@ class DesignEngine:
                 cache.gc()
             except Exception:  # pragma: no cover - best-effort teardown
                 pass
+        if sanitize.enabled():
+            # Every arena published by this process must be unlinked by now
+            # (sweeps unlink in their ``finally``; the loop above reaped any
+            # crash survivors) — anything left is an shm leak.
+            sanitize.check_shm_leaks("DesignEngine.close")
 
     def __enter__(self) -> "DesignEngine":
         return self
@@ -830,6 +850,16 @@ class DesignEngine:
             window_cache_stats = CacheStatistics()
             for delta in cache_deltas:
                 window_cache_stats = window_cache_stats.merged(delta)
+        sanitizer_deltas = [
+            result.sanitizer_statistics
+            for result in results
+            if result.sanitizer_statistics is not None
+        ]
+        sanitizer_stats: Optional[SanitizerStatistics] = None
+        if sanitizer_deltas:
+            sanitizer_stats = SanitizerStatistics()
+            for delta in sanitizer_deltas:
+                sanitizer_stats = sanitizer_stats.merged(delta)
         store_stats = StoreStatistics()
         for name, tech_store in self._tech_stores.items():
             store_stats = store_stats.merged(
@@ -847,6 +877,7 @@ class DesignEngine:
                 workers=self._workers,
                 window_cache=window_cache_stats,
                 store=store_stats,
+                sanitizer=sanitizer_stats,
             ),
             technologies=tech_names,
         )

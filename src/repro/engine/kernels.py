@@ -281,6 +281,7 @@ def shared_scratch() -> DpScratch:
     return _SHARED_SCRATCH
 
 
+# hot
 def _traverse_in_place(
     scratch: DpScratch,
     interval,
@@ -317,6 +318,7 @@ def _traverse_in_place(
     np.add(caps, interval.capacitance, out=caps)
 
 
+# hot
 def _expand_level(
     scratch: DpScratch,
     caps: np.ndarray,
@@ -358,6 +360,7 @@ def _expand_level(
     return m
 
 
+# hot
 def _exclusive_min_scan(
     scratch: DpScratch,
     values_sorted: np.ndarray,
@@ -395,6 +398,7 @@ def _exclusive_min_scan(
     return result
 
 
+# hot
 def _fused_bucket_prune(
     scratch: DpScratch,
     m: int,
@@ -441,6 +445,7 @@ def _fused_bucket_prune(
     return order[survive]
 
 
+# hot
 def _fused_cross_prune(
     scratch: DpScratch,
     survivors: np.ndarray,
@@ -547,6 +552,7 @@ def _cross_prune_range(
             np.minimum.accumulate(hist_width_min, out=hist_width_min)
 
 
+# hot
 def _reduce_branches(
     scratch: DpScratch,
     caps: np.ndarray,
@@ -649,12 +655,13 @@ def _reduce_branches(
     scratch.exp_delays[count:reduced] = selected_delays
     scratch.exp_widths[:count] = widths
     scratch.exp_widths[count:reduced] = selected_widths
-    flat = np.empty(reduced, dtype=np.int64)
+    flat = np.empty(reduced, dtype=np.int64)  # repro-lint: disable=hot-alloc
     flat[:count] = scratch.arange[:count]
     flat[count:] = selected_flat
     return flat
 
 
+# hot
 def fused_level(
     scratch: DpScratch,
     interval,
@@ -737,6 +744,7 @@ def fused_level(
 # --------------------------------------------------------------------------- #
 # segment-id batched kernels (many problems per level call)
 # --------------------------------------------------------------------------- #
+# hot
 def _batched_traverse(
     scratch: DpScratch,
     intervals,
@@ -804,6 +812,7 @@ def _batched_traverse(
     np.add(caps, capacitance, out=caps)
 
 
+# hot
 def _batched_expand(
     scratch: DpScratch,
     caps: np.ndarray,
@@ -829,9 +838,9 @@ def _batched_expand(
     m_per = counts * (lut_sizes + 1)
     total = int(m_per.sum())
     scratch.ensure(total)
-    exp_start = np.zeros(problems, dtype=np.int64)
+    exp_start = np.zeros(problems, dtype=np.int64)  # repro-lint: disable=hot-alloc
     np.cumsum(m_per[:-1], out=exp_start[1:])
-    front_start = np.zeros(problems, dtype=np.int64)
+    front_start = np.zeros(problems, dtype=np.int64)  # repro-lint: disable=hot-alloc
     np.cumsum(counts[:-1], out=front_start[1:])
 
     seg = scratch.i_c[:total]
@@ -879,6 +888,7 @@ def _batched_expand(
     return total, m_per, exp_start, seg
 
 
+# hot
 def _batched_bucket_prune(
     scratch: DpScratch,
     m: int,
@@ -933,6 +943,7 @@ def _batched_bucket_prune(
     return order[survive]
 
 
+# hot
 def _batched_cross_prune(
     scratch: DpScratch,
     survivors: np.ndarray,
@@ -1023,6 +1034,7 @@ def _batched_cross_prune(
     return order[keep]
 
 
+# hot
 def _batched_finish(
     scratch: DpScratch,
     keep: np.ndarray,
@@ -1045,6 +1057,7 @@ def _batched_finish(
     return front_caps, front_delays, front_widths, keep_local, survivor_counts, m_per
 
 
+# hot
 def fused_level_batched(
     scratch: DpScratch,
     intervals,
@@ -1122,6 +1135,7 @@ def fused_level_batched(
     return _batched_finish(scratch, keep, seg, exp_start, m_per, len(counts))
 
 
+# hot
 def fused_level_2d_batched(
     scratch: DpScratch,
     intervals,
@@ -1186,6 +1200,7 @@ def fused_level_2d_batched(
     return _batched_finish(scratch, keep, seg, exp_start, m_per, len(counts))
 
 
+# hot
 def fused_level_2d(
     scratch: DpScratch,
     interval,
@@ -1228,14 +1243,14 @@ def fused_level_2d(
         selected_flat = (branch_index + 1) * count + selected_pos
         reduced = count + branches - 1
 
-        selected_delays = staged_delays[branch_index, selected_pos].copy()
+        selected_delays = staged_delays[branch_index, selected_pos].copy()  # repro-lint: disable=hot-alloc
         scratch.exp_caps[:count] = caps
         scratch.exp_caps[count:reduced] = cap_lut
         scratch.exp_delays[:count] = delays
         scratch.exp_delays[count:reduced] = selected_delays
         scratch.exp_widths[:count] = widths
         scratch.exp_widths[count:reduced] = widths[selected_pos] + width_lut
-        flat = np.empty(reduced, dtype=np.int64)
+        flat = np.empty(reduced, dtype=np.int64)  # repro-lint: disable=hot-alloc
         flat[:count] = scratch.arange[:count]
         flat[count:] = selected_flat
         rows = reduced

@@ -43,6 +43,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis import sanitize
 from repro.engine.cache import NetCase
 from repro.engine.compiled import CompiledNet, WireInterval
 from repro.tech.technology import Technology
@@ -190,6 +191,7 @@ class SharedPopulationArena:
             region[position : position + len(chunk)] = chunk
             position += len(chunk)
         region.flags.writeable = False
+        sanitize.track_shm_created(shm.name, "SharedPopulationArena.publish")
         return cls(shm, entries, region, owner=True)
 
     @classmethod
@@ -296,6 +298,7 @@ class SharedPopulationArena:
                 shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+            sanitize.track_shm_unlinked(shm.name)
 
     def __enter__(self) -> "SharedPopulationArena":
         return self

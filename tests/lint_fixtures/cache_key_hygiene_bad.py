@@ -1,0 +1,16 @@
+"""Positive fixture for R3 (cache-key-hygiene): ad-hoc key construction."""
+
+import json
+
+
+def protocol_key(config):
+    key = repr(config)  # expect: cache-key-hygiene
+    return key
+
+
+def frontier_entry(config):
+    return stable_digest(f"{config.kernel}-{config.strategy}")  # expect: cache-key-hygiene
+
+
+def export(config):
+    return json.dumps(config, default=repr)  # expect: cache-key-hygiene

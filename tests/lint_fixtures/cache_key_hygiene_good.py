@@ -1,0 +1,12 @@
+"""Negative fixture for R3 (cache-key-hygiene): structured keys and
+non-key formatting are fine."""
+
+
+def protocol_key(config):
+    key = ("protocol", config.kernel, config.strategy)
+    return key
+
+
+def describe(config):
+    label = f"kernel={config.kernel}"
+    return label

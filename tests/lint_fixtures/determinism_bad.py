@@ -1,0 +1,19 @@
+"""Positive fixture for R4 (determinism): ambient entropy and set-order
+dependence."""
+
+import random  # expect: determinism
+import time
+
+import numpy as np
+
+
+def jitter(values):
+    stamp = time.time()  # expect: determinism
+    rng = np.random.default_rng()  # expect: determinism
+    order = list(set(values))  # expect: determinism
+    return stamp, rng, order
+
+
+def walk(flags):
+    for flag in {"fused", "staged"}:  # expect: determinism
+        yield flag

@@ -1,0 +1,13 @@
+"""Negative fixture for R4 (determinism): threaded generators, sorted sets
+and type references are all allowed."""
+
+import time
+
+import numpy as np
+
+
+def jitter(values, rng: np.random.Generator):
+    started = time.perf_counter()
+    order = sorted(set(values))
+    noise = rng.standard_normal(len(order))
+    return started, order, noise

@@ -1,0 +1,23 @@
+"""Negative fixture for R1 (fingerprint-completeness): every knob joins the
+fingerprint, either by direct reference or by a dataclasses.fields sweep."""
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class ToyDpConfig:
+    kernel: str = "vectorized"
+    traversal: str = "iterative"
+
+
+@dataclass(frozen=True)
+class SweptSpec:
+    evaluator: str = "compiled"
+
+
+def dp_context_fingerprint(config):
+    return {"kernel": config.kernel, "traversal": config.traversal}
+
+
+def swept_fingerprint(swept):
+    return tuple((field.name, getattr(swept, field.name)) for field in fields(swept))

@@ -1,0 +1,23 @@
+"""Positive fixture for R2 (hot-alloc): allocating inside a ``# hot`` kernel.
+
+Each offending line carries a trailing ``# expect: <rule>`` marker that
+``tests/test_analysis_linter.py`` compares against the linter's output.
+"""
+
+import numpy as np
+
+
+# hot
+def expand_level(front):
+    grown = np.empty(2 * len(front))  # expect: hot-alloc
+    grown[: len(front)] = front
+    grown[len(front) :] = front
+    return grown.copy()  # expect: hot-alloc
+
+
+# hot
+def outer_level(front):
+    def merge(histories):
+        return np.concatenate(histories)  # expect: hot-alloc
+
+    return merge([front, front])

@@ -1,0 +1,23 @@
+"""Negative fixture for R2 (hot-alloc): scratch views, a blessed pragma, and
+cold-path allocation are all allowed."""
+
+import numpy as np
+
+
+# hot
+def expand_level(front, scratch):
+    grown = scratch.arange[: 2 * len(front)]
+    grown[: len(front)] = front
+    grown[len(front) :] = front
+    return grown
+
+
+# hot
+def survivors(front, keep):
+    packed = np.empty(len(keep))  # repro-lint: disable=hot-alloc
+    packed[:] = front[keep]
+    return packed
+
+
+def cold_setup(length):
+    return np.zeros(length)

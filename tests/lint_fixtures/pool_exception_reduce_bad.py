@@ -1,0 +1,9 @@
+"""Positive fixture for R6 (pool-exception-reduce): structured __init__
+without __reduce__ loses the diagnostic crossing a process pool."""
+
+
+class WorkerFailure(RuntimeError):  # expect: pool-exception-reduce
+    def __init__(self, net_name, detail):
+        super().__init__(net_name + ": " + detail)
+        self.net_name = net_name
+        self.detail = detail

@@ -1,0 +1,16 @@
+"""Negative fixture for R6 (pool-exception-reduce): __reduce__ replays the
+original constructor arguments, and message-only exceptions need nothing."""
+
+
+class WorkerFailure(RuntimeError):
+    def __init__(self, net_name, detail):
+        super().__init__(net_name + ": " + detail)
+        self.net_name = net_name
+        self.detail = detail
+
+    def __reduce__(self):
+        return (type(self), (self.net_name, self.detail))
+
+
+class PlainFailure(RuntimeError):
+    """No custom __init__: the default reduction already round-trips."""

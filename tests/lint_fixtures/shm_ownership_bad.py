@@ -1,0 +1,17 @@
+"""Positive fixture for R5 (shm-ownership): a publisher with no unlink path
+and a worker attach site that unlinks."""
+
+from multiprocessing import shared_memory
+
+
+class LeakyPublisher:
+    def publish(self, size):
+        self.shm = shared_memory.SharedMemory(create=True, size=size)  # expect: shm-ownership
+        return self.shm.name
+
+
+def rogue_attach(name):
+    shm = shared_memory.SharedMemory(name=name)
+    payload = bytes(shm.buf[:8])
+    shm.unlink()  # expect: shm-ownership
+    return payload

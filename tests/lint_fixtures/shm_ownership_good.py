@@ -1,0 +1,26 @@
+"""Negative fixture for R5 (shm-ownership): publisher-owns-unlink done
+right — teardown method on the owner, close-only attach site."""
+
+from multiprocessing import shared_memory
+
+
+class Publisher:
+    def __init__(self):
+        self._shm = None
+
+    def publish(self, size):
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+        return self._shm.name
+
+    def close(self):
+        if self._shm is not None:
+            self._shm.unlink()
+            self._shm = None
+
+
+def attach_readonly(name):
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(shm.buf[:8])
+    finally:
+        shm.close()
