@@ -1,6 +1,6 @@
 """Smoke benchmark of the batch DesignEngine — writes ``BENCH_engine.json``.
 
-Nine sections, all on the shared protocol-store population:
+Ten sections, all but ``tree_dp`` on the shared protocol-store population:
 
 * **kernels** — the Table-1-style sweep (RIP + three size-10 baselines)
   with the default **vectorized** pruning kernels vs. the **reference**
@@ -37,6 +37,11 @@ Nine sections, all on the shared protocol-store population:
   per-problem fused core on the multi-target sweep shape (one small-library
   final DP per (net, target)): bit-identical frontiers, >= 1.5x asserted,
   with nets/s, states/s and the per-level batch front-size histogram.
+* **tree_dp** — multi-sink routing trees on the compiled engine (ISSUE 8):
+  the fused per-edge/merge kernels and the cross-tree lockstep driver vs.
+  the Python reference tree DP, on an H-tree clock population — bit-identical
+  solutions (assignments, delay, width, feasibility) and per-solve
+  statistics, >= 5x asserted for the fused core, with tree-DP states/sec.
 * **fast_mode** — the opt-in ``traverse_affine`` DP traversal vs. the
   bit-exact kernel: speedup and maximum relative delay drift (documented
   ~1 ulp per interval).
@@ -645,6 +650,123 @@ def bench_batched_dp(store, protocol, technology):
     }
 
 
+def bench_tree_dp(technology):
+    """Fused + batched tree DP vs. the Python reference oracle on H-trees.
+
+    The population is the deterministic H-tree clock workload
+    (:func:`repro.engine.design.build_htree_cases`): every sink is
+    equidistant from the driver, each case sweeps skew-aware shared targets
+    anchored at the tree's own ``tau_min``.  All three cores traverse the
+    same :class:`~repro.engine.compiled.CompiledTree` edge schedules, so
+    any divergence is a kernel bug, not a discretisation artefact: the
+    per-solution signature (buffer assignments, worst-sink delay, total
+    width, feasibility) and the per-solve statistics must be bit-for-bit
+    identical, and the fused core must clear the >= 5x acceptance bar.
+    """
+    from repro.engine.batched import BatchedDpDriver, TreeDpProblem
+    from repro.engine.compiled import CompiledTree
+    from repro.engine.design import build_htree_cases
+    from repro.tree.buffering import TreePowerDp
+
+    count, levels = (4, 3) if FULL_SCALE else (3, 2)
+    cases = build_htree_cases(technology, count=count, levels=levels)
+    library = RepeaterLibrary.uniform(20.0, 400.0, 20.0)
+    compiled = {
+        case.tree.name: CompiledTree(case.tree, case.site_pitch) for case in cases
+    }
+
+    def signature(solutions):
+        return [
+            (
+                tuple(
+                    (a.parent, a.child, a.distance_from_child, a.width)
+                    for a in solution.assignments
+                ),
+                solution.worst_delay,
+                solution.total_width,
+                solution.feasible,
+            )
+            for solution in solutions
+        ]
+
+    def solve_pass(core):
+        rows = []
+        states = 0
+        started = time.perf_counter()
+        for case in cases:
+            dp = TreePowerDp(
+                technology,
+                site_pitch=case.site_pitch,
+                max_states_per_node=case.max_states_per_node,
+                core=core,
+            )
+            solutions = dp.run_many(
+                case.tree, library, case.targets, compiled=compiled[case.tree.name]
+            )
+            states += solutions[0].statistics.states_generated
+            rows.extend(signature(solutions))
+        return time.perf_counter() - started, rows, states
+
+    driver = BatchedDpDriver(technology)
+    problems = [
+        TreeDpProblem(
+            case.tree,
+            library,
+            case.targets,
+            compiled=compiled[case.tree.name],
+            site_pitch=case.site_pitch,
+            max_states_per_node=case.max_states_per_node,
+        )
+        for case in cases
+    ]
+
+    def batched_pass():
+        started = time.perf_counter()
+        results = driver.run_tree_power(problems)
+        return (
+            time.perf_counter() - started,
+            [row for solutions in results for row in signature(solutions)],
+            sum(solutions[0].statistics.states_generated for solutions in results),
+        )
+
+    reference_seconds, reference_rows, reference_states = solve_pass("reference")
+    fused_seconds, fused_rows, fused_states = solve_pass("fused")
+    batched_seconds, batched_rows, batched_states = batched_pass()
+    for _ in range(2):  # best-of-3 timing; results are deterministic
+        reference_seconds = min(reference_seconds, solve_pass("reference")[0])
+        fused_seconds = min(fused_seconds, solve_pass("fused")[0])
+        batched_seconds = min(batched_seconds, batched_pass()[0])
+
+    identical = (
+        reference_rows == fused_rows == batched_rows
+        and reference_states == fused_states == batched_states
+    )
+    speedup = reference_seconds / fused_seconds if fused_seconds > 0 else float("inf")
+    batched_speedup = (
+        reference_seconds / batched_seconds if batched_seconds > 0 else float("inf")
+    )
+    states_per_second = fused_states / fused_seconds if fused_seconds > 0 else 0.0
+    print(
+        f"[tree-dp   ] reference {reference_seconds:5.2f}s  fused "
+        f"{fused_seconds:5.2f}s ({speedup:.1f}x)  batched {batched_seconds:5.2f}s "
+        f"({batched_speedup:.1f}x)  {fused_states:,} states  "
+        f"{states_per_second:,.0f} states/s  identical: {identical}"
+    )
+    return {
+        "num_trees": len(cases),
+        "htree_levels": levels,
+        "num_solutions": len(fused_rows),
+        "reference_wall_clock_seconds": reference_seconds,
+        "fused_wall_clock_seconds": fused_seconds,
+        "batched_wall_clock_seconds": batched_seconds,
+        "speedup": speedup,
+        "batched_speedup": batched_speedup,
+        "states_generated": fused_states,
+        "states_per_second": states_per_second,
+        "records_identical": identical,
+    }
+
+
 def bench_fast_mode(store, protocol, technology):
     """Exact vs. affine wire traversal on the baseline DP sweep."""
     cases = store.cases(protocol)
@@ -738,6 +860,7 @@ def run(num_nets, targets_per_net, workers, tech_names, output):
     cold_design = bench_cold_design(store, protocol, technology)
     fused_dp = bench_fused_dp(store, protocol, technology)
     batched_dp = bench_batched_dp(store, protocol, technology)
+    tree_dp = bench_tree_dp(technology)
     fast_mode = bench_fast_mode(store, protocol, technology)
     technologies = bench_technologies(store, protocol, technology, workers, tech_names)
 
@@ -755,6 +878,7 @@ def run(num_nets, targets_per_net, workers, tech_names, output):
         "cold_design": cold_design,
         "fused_dp": fused_dp,
         "batched_dp": batched_dp,
+        "tree_dp": tree_dp,
         "fast_mode": fast_mode,
         "technologies": technologies,
         # Legacy top-level aliases so existing trend tooling keeps parsing.
@@ -820,6 +944,13 @@ def run(num_nets, targets_per_net, workers, tech_names, output):
         raise SystemExit(
             "batched multi-target DP sweep below the 1.5x acceptance bar: "
             f"{batched_dp['speedup']:.2f}x"
+        )
+    if not tree_dp["records_identical"]:
+        raise SystemExit("fused/batched tree DP diverged from the reference oracle")
+    if tree_dp["speedup"] < 5.0:
+        raise SystemExit(
+            "fused tree DP below the 5x acceptance bar: "
+            f"{tree_dp['speedup']:.2f}x"
         )
     return payload
 

@@ -51,6 +51,8 @@ __all__ = [
     "check_scratch_views",
     "check_power_level",
     "check_level_2d",
+    "check_tree_front_dominance",
+    "check_tree_level",
     "track_shm_created",
     "track_shm_unlinked",
     "live_shm",
@@ -207,6 +209,42 @@ def check_front_dominance(
             )
 
 
+def check_tree_front_dominance(
+    caps: np.ndarray, delays: np.ndarray, widths: np.ndarray, *, where: str
+) -> None:
+    """Replay the tree DP's prune rule over a surviving front.
+
+    Tree fronts are pruned with :func:`repro.utils.pareto.prune_pareto_3d`
+    at *zero* tolerance and exact float widths — the quantized-bucket replay
+    of :func:`check_front_dominance` would falsely flag states whose widths
+    fall into one bucket without dominating each other, so the oracle itself
+    is replayed instead.  Hard-capped fronts pass too: capping keeps a
+    subset of a mutually non-dominating front.
+    """
+    from repro.utils.pareto import prune_pareto_3d
+
+    count = len(caps)
+    if count <= 1:
+        _count()
+        return
+    _count()
+    points = [
+        (float(caps[i]), float(delays[i]), float(widths[i]), i)
+        for i in range(count)
+    ]
+    kept = prune_pareto_3d(points)
+    if len(kept) != count:
+        dropped = sorted(set(range(count)) - set(point[3] for point in kept))
+        _fail(
+            "dominance",
+            where,
+            f"tree front of {count} states contains {count - len(kept)} "
+            f"dominated state(s) (e.g. index {dropped[0]}: "
+            f"C={caps[dropped[0]]!r}, D={delays[dropped[0]]!r}, "
+            f"W={widths[dropped[0]]!r})",
+        )
+
+
 def check_front_dominance_2d(
     caps: np.ndarray, delays: np.ndarray, *, where: str
 ) -> None:
@@ -278,6 +316,19 @@ def check_power_level(
         width_tolerance=width_tolerance,
         where=site,
     )
+
+
+def check_tree_level(
+    caps: np.ndarray,
+    delays: np.ndarray,
+    widths: np.ndarray,
+    *,
+    where: str,
+) -> None:
+    """Full post-prune screen of one tree-DP front (site, merge or node)."""
+    check_finite(where, caps=caps, delays=delays, widths=widths)
+    check_scratch_views(where, caps=caps, delays=delays, widths=widths)
+    check_tree_front_dominance(caps, delays, widths, where=where)
 
 
 def check_level_2d(

@@ -148,12 +148,56 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.add_argument(
+        "--population",
+        choices=("twopin", "htree"),
+        default="twopin",
+        help=(
+            "population class: 'twopin' (the paper's random two-pin nets, "
+            "default) or 'htree' (deterministic H-tree clock networks of "
+            "growing span, designed with the multi-sink tree DP against "
+            "skew-aware shared targets)"
+        ),
+    )
+    sweep.add_argument(
         "--methods",
-        default="rip,dp-g10",
+        default=None,
         help=(
             "comma-separated methods: 'rip' and/or 'dp-g<granularity>' entries "
-            "(baseline DP with a 10..400u library at that granularity)"
+            "(baseline DP with a 10..400u library at that granularity); for "
+            "--population htree use 'tree-g<granularity>' entries instead "
+            "(tree DP with a 20..400u library).  Default: 'rip,dp-g10' for "
+            "twopin, 'tree-g20' for htree"
         ),
+    )
+    sweep.add_argument(
+        "--tree-core",
+        choices=("reference", "fused", "batched"),
+        default="fused",
+        help=(
+            "tree DP core of every 'tree-g*' method: 'fused' (default) runs "
+            "compiled per-edge site levels and vectorized branch merges on "
+            "the scratch arena; 'reference' is the Python oracle; 'batched' "
+            "locksteps the edges of many trees through segment-id kernels — "
+            "all three bit-for-bit identical"
+        ),
+    )
+    sweep.add_argument(
+        "--htree-levels",
+        type=int,
+        default=3,
+        help="levels of each H-tree (2**levels sinks; --population htree)",
+    )
+    sweep.add_argument(
+        "--htree-span-um",
+        type=float,
+        default=2000.0,
+        help="span of the first H-tree in micrometers (--population htree)",
+    )
+    sweep.add_argument(
+        "--htree-span-step-um",
+        type=float,
+        default=1000.0,
+        help="span increment between H-trees in micrometers (--population htree)",
     )
     sweep.add_argument(
         "--workers",
@@ -461,6 +505,7 @@ def _parse_methods(
     refine_evaluator: str = "compiled",
     dp_core: str = "fused",
     refine_analytical: str = "vectorized",
+    tree_core: str = "fused",
 ):
     from repro.core.refine import RefineConfig
     from repro.engine.design import MethodSpec
@@ -498,8 +543,23 @@ def _parse_methods(
                     core=dp_core,
                 )
             )
+        elif entry.startswith("tree-g"):
+            try:
+                granularity = float(entry[len("tree-g"):])
+            except ValueError:
+                raise ValueError(f"malformed method {entry!r}; expected tree-g<granularity>")
+            methods.append(
+                MethodSpec.tree_method(
+                    entry,
+                    RepeaterLibrary.uniform(20.0, 400.0, granularity),
+                    core=tree_core,
+                )
+            )
         else:
-            raise ValueError(f"unknown method {entry!r}; use 'rip' or 'dp-g<granularity>'")
+            raise ValueError(
+                f"unknown method {entry!r}; use 'rip', 'dp-g<granularity>' "
+                "or 'tree-g<granularity>'"
+            )
     if not methods:
         raise ValueError("no methods given")
     names = [method.name for method in methods]
@@ -511,31 +571,57 @@ def _parse_methods(
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     technology = get_node(args.technology)
+    method_spec = args.methods or (
+        "tree-g20" if args.population == "htree" else "rip,dp-g10"
+    )
     try:
         methods = _parse_methods(
-            args.methods,
+            method_spec,
             traversal=args.traversal,
             refine_evaluator=args.refine_evaluator,
             dp_core=args.dp_core,
             refine_analytical=args.refine_analytical,
+            tree_core=args.tree_core,
         )
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
     engine = _make_engine(args, technology)
-    protocol = ProtocolConfig(
-        technology=technology,
-        num_nets=args.nets,
-        targets_per_net=args.targets,
-        seed=args.seed,
-    )
-    if args.tech:
+    if args.population == "htree":
+        if args.tech:
+            print("--population htree does not batch multiple --tech nodes", file=sys.stderr)
+            return 2
+        from repro.engine.design import TargetSpec, build_htree_cases
+
+        cases = build_htree_cases(
+            technology,
+            count=args.nets,
+            levels=args.htree_levels,
+            base_span=from_microns(args.htree_span_um),
+            span_step=from_microns(args.htree_span_step_um),
+            targets=TargetSpec(count=args.targets),
+        )
+        result = engine.design_population(cases, methods)
+        num_nets = len(cases)
+    elif args.tech:
+        protocol = ProtocolConfig(
+            technology=technology,
+            num_nets=args.nets,
+            targets_per_net=args.targets,
+            seed=args.seed,
+        )
         technologies = [get_node(name) for name in dict.fromkeys(args.tech)]
         result = engine.design_population(
             methods=methods, technologies=technologies, protocol=protocol
         )
         num_nets = args.nets * len(technologies)
     else:
+        protocol = ProtocolConfig(
+            technology=technology,
+            num_nets=args.nets,
+            targets_per_net=args.targets,
+            seed=args.seed,
+        )
         cases = engine.build_cases(protocol)
         result = engine.design_population(cases, methods)
         num_nets = len(cases)
@@ -550,6 +636,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"{stats.states_generated:,} DP states "
         f"({stats.states_per_second:,.0f} states/s), workers={stats.workers}"
     )
+    # Per-population-class engine statistics (tree vs two-pin throughput).
+    for population_class in dict.fromkeys(net.population_class for net in result.nets):
+        class_nets = [
+            net for net in result.nets if net.population_class == population_class
+        ]
+        class_states = sum(net.states_generated for net in class_nets)
+        class_runtime = sum(
+            sum(net.method_runtimes.values()) for net in class_nets
+        )
+        class_records = sum(len(net.records) for net in class_nets)
+        rates = (
+            f"{class_states / class_runtime:,.0f} states/s, "
+            f"{len(class_nets) / class_runtime:,.1f} nets/s"
+            if class_runtime > 0.0
+            else "n/a"
+        )
+        print(
+            f"  [{population_class}] {len(class_nets)} nets, "
+            f"{class_records} records, {class_states:,} DP states, "
+            f"{class_runtime:.2f}s method runtime ({rates})"
+        )
     cache = stats.window_cache
     if cache is not None:
         print(

@@ -29,11 +29,14 @@ _LAZY = {
     "DesignCase": "repro.engine.cache",
     "ProtocolStore": "repro.engine.cache",
     "StoreStatistics": "repro.engine.cache",
+    "TreeCase": "repro.engine.cache",
     "default_store": "repro.engine.cache",
     "CacheStatistics": "repro.engine.wincache",
     "WindowCompilationCache": "repro.engine.wincache",
     "net_fingerprint": "repro.engine.wincache",
+    "tree_fingerprint": "repro.engine.wincache",
     "DesignEngine": "repro.engine.design",
+    "build_htree_cases": "repro.engine.design",
     "DesignRecord": "repro.engine.design",
     "EngineStatistics": "repro.engine.design",
     "MethodSpec": "repro.engine.design",

@@ -39,6 +39,7 @@ from repro.net.twopin import TwoPinNet
 from repro.tech.library import RepeaterLibrary
 from repro.tech.nodes import NODE_180NM
 from repro.tech.technology import Technology
+from repro.tree.rctree import RoutingTree
 from repro.utils.canonical import stable_digest
 from repro.utils.validation import require, require_positive
 
@@ -48,6 +49,7 @@ __all__ = [
     "ProtocolConfig",
     "ProtocolStore",
     "StoreStatistics",
+    "TreeCase",
     "default_store",
     "protocol_key",
     "technology_fingerprint",
@@ -190,6 +192,41 @@ class NetCase:
 
 #: The batch engine's name for a population entry.
 DesignCase = NetCase
+
+
+@dataclass(frozen=True)
+class TreeCase:
+    """One routing tree of a tree population, with its derived quantities.
+
+    The multi-sink analogue of :class:`NetCase` — what the batch engine's
+    tree population class (:func:`repro.engine.design.build_htree_cases`)
+    is made of.
+
+    Attributes
+    ----------
+    tree:
+        The routed multi-sink net.
+    tau_min:
+        Minimum achievable worst-sink Elmore delay of the tree (seconds),
+        computed with the tree DP itself under an unreachably tight target
+        (the infeasible selection rule returns the delay-minimal corner of
+        the root front).
+    targets:
+        The shared timing targets every sink of this tree is designed for
+        (the DP's worst-sink formulation makes them skew-aware: a solution
+        is feasible only when the *slowest* sink meets the target).
+    site_pitch:
+        Candidate repeater-site pitch along every edge, meters.
+    max_states_per_node:
+        Hard cap of the DP front at every site/merge (keeps worst-case
+        merge cross-products bounded).
+    """
+
+    tree: RoutingTree
+    tau_min: float
+    targets: Tuple[float, ...]
+    site_pitch: float = 200.0e-6
+    max_states_per_node: int = 4000
 
 
 def technology_fingerprint(technology: Technology) -> Dict[str, Any]:

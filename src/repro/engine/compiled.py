@@ -29,14 +29,17 @@ and is available for callers that do not need bit-exactness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
 from repro.net.twopin import TwoPinNet
 from repro.utils.positions import merge_positions
 
-__all__ = ["CompiledNet", "WireInterval"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.tree.rctree import RoutingTree, TreeEdge
+
+__all__ = ["CompiledNet", "CompiledTree", "CompiledTreeEdge", "WireInterval"]
 
 
 @dataclass(frozen=True)
@@ -235,3 +238,149 @@ class CompiledNet:
             caps + interval.capacitance,
             delays + interval.resistance * caps + interval.delay_constant,
         )
+
+
+# --------------------------------------------------------------------------- #
+# compiled routing trees (multi-sink nets)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CompiledTreeEdge:
+    """One tree edge compiled against the DP's per-edge candidate sites.
+
+    Tree edges are measured from their *child* end (the tree DP walks every
+    edge bottom-up, child towards parent), so the interval bounds here are
+    child-relative distances: ``intervals[k]`` for ``k < len(sites)`` ends at
+    ``sites[k]`` and the last interval reaches the parent end of the edge.
+    Each interval is a single uniform-RC piece whose arrays reproduce the
+    reference ``TreePowerDp._walk_wire`` arithmetic bit for bit (same
+    ``site - walked`` length, ``r_per_m * length`` / ``c_per_m * length``
+    totals and ``0.5 * capacitance`` midpoint term).
+    """
+
+    parent: str
+    child: str
+    length: float
+    sites: Tuple[float, ...]
+    intervals: Tuple[WireInterval, ...]
+
+
+def _compile_tree_edge(edge: "TreeEdge", site_pitch: float) -> CompiledTreeEdge:
+    """Compile one tree edge: site schedule plus per-gap wire intervals.
+
+    The site positions replicate the reference DP's accumulated-pitch loop
+    float for float (``position += site_pitch`` from ``site_pitch``), and
+    every gap length is the reference's ``site - walked`` / ``length -
+    walked`` subtraction of those accumulated values.
+    """
+    sites: List[float] = []
+    position = site_pitch
+    while position < edge.length - 1e-12:
+        sites.append(position)
+        position += site_pitch
+
+    intervals: List[WireInterval] = []
+    walked = 0.0
+    for bound in [*sites, edge.length]:
+        length = bound - walked
+        if length <= 0.0:
+            # Degenerate gap: the reference walk is a no-op for it.
+            empty = np.empty(0)
+            intervals.append(
+                WireInterval(
+                    upstream=walked,
+                    downstream=bound,
+                    piece_resistance=empty,
+                    piece_capacitance=empty,
+                    piece_half_capacitance=empty,
+                    resistance=0.0,
+                    capacitance=0.0,
+                    delay_constant=0.0,
+                )
+            )
+            walked = bound
+            continue
+        resistance = edge.resistance_per_meter * length
+        capacitance = edge.capacitance_per_meter * length
+        piece_resistance = np.array([resistance])
+        piece_capacitance = np.array([capacitance])
+        intervals.append(
+            WireInterval(
+                upstream=walked,
+                downstream=bound,
+                piece_resistance=piece_resistance,
+                piece_capacitance=piece_capacitance,
+                piece_half_capacitance=0.5 * piece_capacitance,
+                resistance=resistance,
+                capacitance=capacitance,
+                delay_constant=resistance * (0.5 * capacitance + 0.0),
+            )
+        )
+        walked = bound
+    return CompiledTreeEdge(
+        parent=edge.parent,
+        child=edge.child,
+        length=edge.length,
+        sites=tuple(sites),
+        intervals=tuple(intervals),
+    )
+
+
+class CompiledTree:
+    """A routing tree compiled against a fixed repeater-site pitch.
+
+    The tree analogue of :class:`CompiledNet`: every edge's candidate-site
+    schedule and inter-site wire intervals are derived once, so the fused and
+    batched tree DP cores replay each edge as the same affine piece walk the
+    two-pin path uses — no per-run site or RC re-derivation.
+    """
+
+    def __init__(self, tree: "RoutingTree", site_pitch: float) -> None:
+        self._tree = tree
+        self._site_pitch = float(site_pitch)
+        self._edges: Dict[str, CompiledTreeEdge] = {
+            edge.child: _compile_tree_edge(edge, self._site_pitch)
+            for edge in tree.edges
+        }
+
+    @classmethod
+    def from_edges(
+        cls,
+        tree: "RoutingTree",
+        site_pitch: float,
+        edges: Mapping[str, CompiledTreeEdge],
+    ) -> "CompiledTree":
+        """Rebuild a compiled tree from already-compiled edges.
+
+        Used by the shared-memory population arena: the parent process
+        compiles once and workers reattach the per-edge interval arrays
+        zero-copy (no recompilation or validation happens here).
+        """
+        compiled = cls.__new__(cls)
+        compiled._tree = tree
+        compiled._site_pitch = float(site_pitch)
+        compiled._edges = dict(edges)
+        return compiled
+
+    @property
+    def tree(self) -> "RoutingTree":
+        """The underlying routing tree."""
+        return self._tree
+
+    @property
+    def site_pitch(self) -> float:
+        """Repeater-site pitch the edges were compiled for, meters."""
+        return self._site_pitch
+
+    @property
+    def edges(self) -> Dict[str, CompiledTreeEdge]:
+        """Compiled edges keyed by child node."""
+        return self._edges
+
+    def edge(self, child: str) -> CompiledTreeEdge:
+        """The compiled edge whose downstream endpoint is ``child``."""
+        return self._edges[child]
+
+    @property
+    def num_sites(self) -> int:
+        """Total candidate repeater sites over all edges."""
+        return sum(len(edge.sites) for edge in self._edges.values())

@@ -63,15 +63,23 @@ from repro.engine.cache import (
     ProtocolConfig,
     ProtocolStore,
     StoreStatistics,
+    TreeCase,
     default_store,
     timing_targets,
 )
-from repro.engine.compiled import CompiledNet
+from repro.engine.compiled import CompiledNet, CompiledTree
 from repro.engine.shm import SharedPopulationArena
-from repro.engine.wincache import CacheStatistics, WindowCompilationCache
+from repro.engine.wincache import (
+    CacheStatistics,
+    WindowCompilationCache,
+    dp_context_fingerprint,
+)
 from repro.tech.library import RepeaterLibrary
 from repro.tech.technology import Technology
-from repro.utils.validation import require
+from repro.tree.buffering import TreePowerDp
+from repro.tree.generator import htree
+from repro.utils.canonical import stable_digest
+from repro.utils.validation import require, require_positive
 
 __all__ = [
     "DesignEngine",
@@ -82,6 +90,7 @@ __all__ = [
     "PopulationDesignResult",
     "TargetSpec",
     "WindowCacheSpec",
+    "build_htree_cases",
 ]
 
 
@@ -113,9 +122,12 @@ class MethodSpec:
         Unique label of the method in the result records (e.g. ``"rip"``,
         ``"dp-g10"``).
     kind:
-        ``"rip"`` (the hybrid flow) or ``"dp"`` (baseline frontier DP).
+        ``"rip"`` (the hybrid flow), ``"dp"`` (baseline frontier DP) or
+        ``"tree"`` (the multi-sink tree DP; applies to tree population
+        entries only).
     library:
-        The repeater library of a ``"dp"`` method (ignored for RIP).
+        The repeater library of a ``"dp"``/``"tree"`` method (ignored for
+        RIP).
     rip:
         Optional per-method override of the engine's RIP configuration.
     traversal:
@@ -129,7 +141,9 @@ class MethodSpec:
         default), ``"staged"`` (the per-level oracle) or ``"batched"``
         (the lockstep :class:`~repro.engine.batched.BatchedDpDriver`).
         Bit-identical; RIP methods carry the switch on :class:`RipConfig`
-        (``dp_core``).
+        (``dp_core``).  ``"tree"`` methods select the tree DP core instead:
+        ``"fused"`` (default), ``"reference"`` (the Python oracle) or
+        ``"batched"`` — also bit-identical by contract.
     """
 
     name: str
@@ -140,17 +154,29 @@ class MethodSpec:
     core: str = "fused"
 
     def __post_init__(self) -> None:
-        require(self.kind in ("rip", "dp"), f"unknown method kind {self.kind!r}")
-        if self.kind == "dp":
-            require(self.library is not None, f"dp method {self.name!r} needs a library")
+        require(
+            self.kind in ("rip", "dp", "tree"),
+            f"unknown method kind {self.kind!r}",
+        )
+        if self.kind in ("dp", "tree"):
+            require(
+                self.library is not None,
+                f"{self.kind} method {self.name!r} needs a library",
+            )
         require(
             self.traversal in ("exact", "affine"),
             f"unknown traversal mode {self.traversal!r}",
         )
-        require(
-            self.core in ("fused", "staged", "batched"),
-            f"unknown DP core {self.core!r}",
-        )
+        if self.kind == "tree":
+            require(
+                self.core in ("reference", "fused", "batched"),
+                f"unknown tree DP core {self.core!r}",
+            )
+        else:
+            require(
+                self.core in ("fused", "staged", "batched"),
+                f"unknown DP core {self.core!r}",
+            )
 
     @staticmethod
     def rip_method(name: str = "rip", config: Optional[RipConfig] = None) -> "MethodSpec":
@@ -165,6 +191,13 @@ class MethodSpec:
         return MethodSpec(
             name=name, kind="dp", library=library, traversal=traversal, core=core
         )
+
+    @staticmethod
+    def tree_method(
+        name: str, library: RepeaterLibrary, *, core: str = "fused"
+    ) -> "MethodSpec":
+        """The multi-sink tree DP (applies to tree population entries)."""
+        return MethodSpec(name=name, kind="tree", library=library, core=core)
 
 
 @dataclass(frozen=True)
@@ -210,6 +243,10 @@ class NetDesignResult:
     method_runtimes: Dict[str, float]
     states_generated: int
     technology: str = ""
+    #: Which population class produced this result: ``"twopin"`` for
+    #: :class:`NetCase` entries, ``"tree"`` for :class:`TreeCase` entries.
+    #: ``rip sweep`` aggregates engine statistics per class from this tag.
+    population_class: str = "twopin"
     error: Optional[str] = None
     #: Shared-window-cache counter delta attributable to this net's task
     #: (``None`` when the cache is disabled).
@@ -378,6 +415,9 @@ def _design_case(
 
     try:
         for spec in methods:
+            if spec.kind == "tree":
+                # Tree methods apply to tree population entries only.
+                continue
             if spec.kind == "rip":
                 rip = Rip(
                     technology,
@@ -493,6 +533,215 @@ def _design_case(
     )
 
 
+def _tree_dp_context(
+    technology: Technology,
+    pruning: PruningConfig,
+    spec: MethodSpec,
+    case: TreeCase,
+) -> str:
+    """Cache context of one tree method: everything besides (tree, targets).
+
+    Extends :func:`dp_context_fingerprint` (which carries the ``tree_core``
+    knob) with the method's library and the case's site pitch and state
+    cap, so the memoized tree-solution tier can never serve a result across
+    differently-configured runs.
+    """
+    return stable_digest(
+        {
+            "dp_context": dp_context_fingerprint(
+                technology, pruning, tree_core=spec.core
+            ),
+            "library": list(spec.library.widths),
+            "site_pitch": case.site_pitch,
+            "max_states_per_node": case.max_states_per_node,
+        }
+    )
+
+
+def _design_tree_case(
+    case: TreeCase,
+    methods: Tuple[MethodSpec, ...],
+    targets: Optional[TargetSpec],
+    technology: Technology,
+    pruning: PruningConfig,
+    window_cache: Optional[WindowCompilationCache],
+    compiled: Optional[CompiledTree] = None,
+) -> NetDesignResult:
+    """Design one tree population entry with every ``"tree"`` method.
+
+    The tree analogue of :func:`_design_case`: one DP run per method
+    answers every timing target (the root front is shared), drawn from the
+    window cache's memoized tree-solution tier when caching is on.
+    """
+    resolved_targets = (
+        case.targets if targets is None else targets.targets_for(case.tau_min)
+    )
+    records: List[DesignRecord] = []
+    method_runtimes: Dict[str, float] = {}
+    states = 0
+    stats_before = window_cache.statistics if window_cache is not None else None
+    sanitize_before = sanitize.statistics() if sanitize.enabled() else None
+
+    for spec in methods:
+        if spec.kind != "tree":
+            # RIP / two-pin DP methods apply to net population entries only.
+            continue
+        dp = TreePowerDp(
+            technology,
+            site_pitch=case.site_pitch,
+            max_states_per_node=case.max_states_per_node,
+            core=spec.core,
+        )
+        run_started = time.perf_counter()
+        if window_cache is not None:
+            context = _tree_dp_context(technology, pruning, spec, case)
+            solutions = window_cache.tree_solutions(
+                case.tree,
+                context,
+                resolved_targets,
+                lambda: dp.run_many(
+                    case.tree, spec.library, resolved_targets, compiled=compiled
+                ),
+            )
+        else:
+            solutions = dp.run_many(
+                case.tree, spec.library, resolved_targets, compiled=compiled
+            )
+        runtime = time.perf_counter() - run_started
+        method_runtimes[spec.name] = runtime
+        if solutions and solutions[0].statistics is not None:
+            # One DP run answers every target; the run-wide statistics are
+            # attached to each solution, so count them once per method.
+            states += solutions[0].statistics.states_generated
+        for target, solution in zip(resolved_targets, solutions):
+            records.append(
+                DesignRecord(
+                    net_name=case.tree.name,
+                    method=spec.name,
+                    target=target,
+                    target_factor=target / case.tau_min,
+                    feasible=solution.feasible,
+                    total_width=solution.total_width if solution.feasible else None,
+                    delay=solution.worst_delay if solution.feasible else None,
+                    runtime_seconds=runtime,
+                    num_repeaters=len(solution.assignments),
+                    technology=technology.name,
+                )
+            )
+
+    cache_statistics = (
+        window_cache.statistics.since(stats_before)
+        if window_cache is not None and stats_before is not None
+        else None
+    )
+    sanitizer_statistics = (
+        sanitize.statistics().since(sanitize_before)
+        if sanitize_before is not None
+        else None
+    )
+    return NetDesignResult(
+        net_name=case.tree.name,
+        tau_min=case.tau_min,
+        targets=tuple(resolved_targets),
+        records=tuple(records),
+        method_runtimes=method_runtimes,
+        states_generated=states,
+        technology=technology.name,
+        population_class="tree",
+        cache_statistics=cache_statistics,
+        sanitizer_statistics=sanitizer_statistics,
+    )
+
+
+def _design_any_case(
+    case: "NetCase | TreeCase",
+    methods: Tuple[MethodSpec, ...],
+    targets: Optional[TargetSpec],
+    technology: Technology,
+    rip_config: RipConfig,
+    pruning: PruningConfig,
+    window_cache: Optional[WindowCompilationCache],
+    compiled: "Optional[CompiledNet | CompiledTree]" = None,
+) -> NetDesignResult:
+    """Dispatch one population entry to its class's design task."""
+    if isinstance(case, TreeCase):
+        return _design_tree_case(
+            case, methods, targets, technology, pruning, window_cache, compiled
+        )
+    return _design_case(
+        case,
+        methods,
+        targets,
+        technology,
+        rip_config,
+        pruning,
+        window_cache,
+        compiled=compiled,
+    )
+
+
+def build_htree_cases(
+    technology: Technology,
+    *,
+    count: int = 4,
+    levels: int = 3,
+    base_span: float = 2.0e-3,
+    span_step: float = 1.0e-3,
+    targets: Optional[TargetSpec] = None,
+    tau_min_library: Optional[RepeaterLibrary] = None,
+    site_pitch: float = 200.0e-6,
+    max_states_per_node: int = 4000,
+    driver_width: float = 120.0,
+    receiver_width: float = 40.0,
+) -> List[TreeCase]:
+    """The H-tree clock population: ``count`` H-trees of growing span.
+
+    Each case is a deterministic :func:`repro.tree.generator.htree` of
+    ``levels`` levels whose span grows by ``span_step`` per case.  The
+    tree's ``tau_min`` — the minimum achievable *worst-sink* delay — is
+    probed with the tree DP itself under an unreachably tight target (the
+    infeasible selection rule returns the delay-minimal root state), and
+    the shared per-sink timing targets are the standard ``tau_min``
+    multiples.  All sinks of an H-tree are equidistant from the driver, so
+    one shared target bounds the skew-critical slowest sink directly.
+    """
+    require(count >= 1, "count must be >= 1")
+    require_positive(base_span, "base_span")
+    require(span_step >= 0.0, "span_step must be >= 0")
+    target_spec = targets or TargetSpec()
+    library = tau_min_library or RepeaterLibrary.uniform(20.0, 400.0, 20.0)
+    probe_dp = TreePowerDp(
+        technology,
+        site_pitch=site_pitch,
+        max_states_per_node=max_states_per_node,
+        core="fused",
+    )
+    cases: List[TreeCase] = []
+    for index in range(count):
+        span = base_span + index * span_step
+        tree = htree(
+            technology,
+            levels,
+            span,
+            driver_width=driver_width,
+            receiver_width=receiver_width,
+            name=f"htree{levels}-{index}",
+        )
+        # An unreachably tight target makes every root state infeasible, and
+        # the infeasible pick minimizes (worst delay, width) — i.e. tau_min.
+        probe = probe_dp.run(tree, library, 1.0e-18)
+        cases.append(
+            TreeCase(
+                tree=tree,
+                tau_min=probe.worst_delay,
+                targets=target_spec.targets_for(probe.worst_delay),
+                site_pitch=site_pitch,
+                max_states_per_node=max_states_per_node,
+            )
+        )
+    return cases
+
+
 #: The worker process's attached population arena (name-keyed, one live
 #: mapping per process; re-attached when a new sweep publishes a new block).
 _PROCESS_ARENA: Optional[SharedPopulationArena] = None
@@ -529,13 +778,14 @@ def _design_case_payload(payload) -> NetDesignResult:
         cache_spec,
         arena_name,
     ) = payload
-    compiled: Optional[CompiledNet] = None
+    compiled: "Optional[CompiledNet | CompiledTree]" = None
     if arena_name is not None:
-        # ``case`` is a job index; the net, technology, targets, candidate
-        # grid and compiled wire intervals all come from the shared block.
+        # ``case`` is a job index; the net/tree, technology, targets,
+        # candidate grid and compiled wire intervals all come from the
+        # shared block.
         job = _attach_population_arena(arena_name).job(case)
         case, technology, compiled = job.case, job.technology, job.compiled
-    return _design_case(
+    return _design_any_case(
         case,
         methods,
         targets,
@@ -825,7 +1075,7 @@ class DesignEngine:
             # Serial path: every task reuses the engine-lifetime cache.
             shared = self.window_cache
             results = [
-                _design_case(
+                _design_any_case(
                     case,
                     method_tuple,
                     targets,

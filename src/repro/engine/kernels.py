@@ -62,6 +62,10 @@ __all__ = [
     "pareto_two_dimensional",
     "segmented_exclusive_min",
     "shared_scratch",
+    "tree_merge_level",
+    "tree_prune_front",
+    "tree_site_level",
+    "tree_site_level_batched",
 ]
 
 _CROSS_BLOCK = 512
@@ -1281,3 +1285,309 @@ def fused_level_2d(
     if flat is not None:
         keep = flat[keep]
     return front_caps, front_delays, front_widths, keep, m, count
+
+
+# --------------------------------------------------------------------------- #
+# routing-tree kernels (multi-sink DP: per-edge site levels + branch merges)
+# --------------------------------------------------------------------------- #
+# The tree DP prunes with prune_pareto_3d at *zero* tolerance and exact float
+# widths (no quantized buckets): a state survives iff no other state weakly
+# dominates it on (cap, delay, width), and survivors come out in stable
+# (cap, delay, width) sort order.  That rule decomposes exactly into
+#   1. a segmented exclusive-min scan over groups of *bitwise-equal* widths
+#      (in-group order (cap, delay); strict `<` against the running min — a
+#      same-width earlier state with delay <= mine dominates me), then
+#   2. the zero-tolerance cross prune over the scan survivors (the
+#      all-earlier rule in (cap, delay, width) order; at tolerance zero
+#      dominance is transitive, so "some earlier state" == "some kept
+#      state" — the reference's kept-only check).
+# The reference additionally hard-caps oversized fronts to the
+# (width, delay)-cheapest max_states rows *only when the front overflows* —
+# after a zero-tolerance prune all (width, delay) pairs are distinct (two
+# states sharing both would dominate one another), so a (width, delay)
+# lexsort replicates the reference's sorted()[:max_states] exactly,
+# including order.
+
+
+# hot
+def _tree_prune(scratch: DpScratch, m: int, max_states: int) -> np.ndarray:
+    """Zero-tolerance 3-D pareto prune of the expanded scratch rows.
+
+    Returns surviving row indices in (cap, delay, width) sort order —
+    bit-identical set *and* order to ``prune_pareto_3d`` at tolerance zero —
+    unless the hard cap engages, in which case the kept rows are the
+    reference's ``(width, delay)``-sorted prefix, in that order.
+    """
+    delays = scratch.exp_delays[:m]
+    widths = scratch.exp_widths[:m]
+
+    order = np.lexsort((delays, scratch.exp_caps[:m], widths))
+    widths_sorted = scratch.f_b[:m]
+    widths.take(order, out=widths_sorted)
+    delays_sorted = scratch.f_c[:m]
+    delays.take(order, out=delays_sorted)
+
+    is_start = scratch.mask[:m]
+    is_start[0] = True
+    np.not_equal(widths_sorted[1:], widths_sorted[:-1], out=is_start[1:])
+    index = scratch.arange[:m]
+    group_start = scratch.i_b[:m]
+    group_start[:] = 0
+    np.copyto(group_start, index, where=is_start)
+    np.maximum.accumulate(group_start, out=group_start)
+
+    result = _exclusive_min_scan(scratch, delays_sorted, group_start, is_start, m)
+    survive = scratch.mask[:m]
+    np.less(delays_sorted, result, out=survive)
+    keep = order[survive]
+    if len(keep) > 1:
+        sub = _fused_cross_prune(
+            scratch, keep, delay_tolerance=0.0, width_tolerance=0.0
+        )
+        keep = keep[sub]
+    if len(keep) > max_states:
+        k = len(keep)
+        cap_widths = scratch.f_b[:k]
+        cap_delays = scratch.f_c[:k]
+        scratch.exp_widths.take(keep, out=cap_widths)
+        scratch.exp_delays.take(keep, out=cap_delays)
+        keep = keep[np.lexsort((cap_delays, cap_widths))[:max_states]]
+    return keep
+
+
+# hot
+def _tree_gather_front(
+    scratch: DpScratch, keep: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gather the kept rows into the scratch front views."""
+    k = len(keep)
+    front_caps = scratch.front_caps[:k]
+    front_delays = scratch.front_delays[:k]
+    front_widths = scratch.front_widths[:k]
+    scratch.exp_caps.take(keep, out=front_caps)
+    scratch.exp_delays.take(keep, out=front_delays)
+    scratch.exp_widths.take(keep, out=front_widths)
+    return front_caps, front_delays, front_widths
+
+
+# hot
+def tree_site_level(
+    scratch: DpScratch,
+    interval,
+    caps: np.ndarray,
+    delays: np.ndarray,
+    widths: np.ndarray,
+    *,
+    cap_lut: np.ndarray,
+    ratio_lut: np.ndarray,
+    width_lut: np.ndarray,
+    intrinsic: float,
+    max_states: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """One fused tree-DP site level: traverse the gap, expand, prune.
+
+    Same contract as :func:`fused_level` (scratch front views + ``keep`` in
+    the full ``count x branches`` flat layout), with the tree DP's
+    zero-tolerance exact-width prune and hard front cap.  Tree levels never
+    branch-reduce: the reduction's equivalence argument leans on quantized
+    width buckets, which the tree prune does not have.
+    """
+    count = len(caps)
+    branches = len(cap_lut) + 1
+    scratch.ensure(count * branches)
+    _traverse_in_place(scratch, interval, caps, delays, True)
+    m = _expand_level(
+        scratch, caps, delays, widths, cap_lut, ratio_lut, width_lut, intrinsic
+    )
+    keep = _tree_prune(scratch, m, max_states)
+    front_caps, front_delays, front_widths = _tree_gather_front(scratch, keep)
+    return front_caps, front_delays, front_widths, keep, m, count
+
+
+# hot
+def tree_merge_level(
+    scratch: DpScratch,
+    left_caps: np.ndarray,
+    left_delays: np.ndarray,
+    left_widths: np.ndarray,
+    right_caps: np.ndarray,
+    right_delays: np.ndarray,
+    right_widths: np.ndarray,
+    *,
+    max_states: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Branch-merge kernel: cross-product of two sibling fronts, pruned.
+
+    Row ``i * len(right) + j`` pairs left state ``i`` with right state ``j``
+    (the reference ``_merge``'s left-major loop order): caps and widths sum,
+    the worst-sink delay is the elementwise max (bitwise equal to Python's
+    ``max`` for the non-NaN, non-negative delays the DP produces).  Inputs
+    must be owned arrays — they may not alias this scratch's expansion or
+    work buffers.  Returns the merged front (scratch views), ``keep`` (flat
+    cross-product indices; ``divmod(keep, len(right))`` recovers the pair),
+    and the full cross-product count ``m``.
+    """
+    m_left = len(left_caps)
+    m_right = len(right_caps)
+    m = m_left * m_right
+    scratch.ensure(m)
+    exp_caps = scratch.exp_caps[:m].reshape(m_left, m_right)
+    exp_delays = scratch.exp_delays[:m].reshape(m_left, m_right)
+    exp_widths = scratch.exp_widths[:m].reshape(m_left, m_right)
+    np.add(left_caps[:, None], right_caps[None, :], out=exp_caps)
+    np.maximum(left_delays[:, None], right_delays[None, :], out=exp_delays)
+    np.add(left_widths[:, None], right_widths[None, :], out=exp_widths)
+    keep = _tree_prune(scratch, m, max_states)
+    front_caps, front_delays, front_widths = _tree_gather_front(scratch, keep)
+    return front_caps, front_delays, front_widths, keep, m
+
+
+# hot
+def tree_prune_front(
+    scratch: DpScratch,
+    caps: np.ndarray,
+    delays: np.ndarray,
+    widths: np.ndarray,
+    *,
+    max_states: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Prune an explicit front (the reference's node-level ``_prune``).
+
+    Used at tap nodes after the sink pin cap is added, and at single-child
+    nodes where no merge happens but the reference still prunes.  Inputs
+    must not alias this scratch's expansion or work buffers; they *may* be
+    the scratch front views (they are copied into the expansion buffers
+    before any gather overwrites them).
+    """
+    m = len(caps)
+    scratch.ensure(m)
+    scratch.exp_caps[:m] = caps
+    scratch.exp_delays[:m] = delays
+    scratch.exp_widths[:m] = widths
+    keep = _tree_prune(scratch, m, max_states)
+    front_caps, front_delays, front_widths = _tree_gather_front(scratch, keep)
+    return front_caps, front_delays, front_widths, keep, m
+
+
+# hot
+def _batched_tree_prune(
+    scratch: DpScratch, m: int, seg: np.ndarray, max_states: np.ndarray
+) -> np.ndarray:
+    """:func:`_tree_prune` with a leading segment-id sort key.
+
+    Segment-major survivors; inside every segment the verdicts and order
+    are exactly the single-problem tree prune's.  ``max_states`` is the
+    per-segment hard cap (one entry per segment); capping is rare and runs
+    off the hot path.
+    """
+    delays = scratch.exp_delays[:m]
+    widths = scratch.exp_widths[:m]
+
+    order = np.lexsort((delays, scratch.exp_caps[:m], widths, seg))
+    widths_sorted = scratch.f_b[:m]
+    widths.take(order, out=widths_sorted)
+    seg_sorted = scratch.i_d[:m]
+    seg.take(order, out=seg_sorted)
+    delays_sorted = scratch.f_c[:m]
+    delays.take(order, out=delays_sorted)
+
+    is_start = scratch.mask[:m]
+    is_start[0] = True
+    np.not_equal(widths_sorted[1:], widths_sorted[:-1], out=is_start[1:])
+    seg_change = scratch.mask_b[:m]
+    np.not_equal(seg_sorted[1:], seg_sorted[:-1], out=seg_change[1:])
+    np.logical_or(is_start[1:], seg_change[1:], out=is_start[1:])
+    index = scratch.arange[:m]
+    group_start = scratch.i_b[:m]
+    group_start[:] = 0
+    np.copyto(group_start, index, where=is_start)
+    np.maximum.accumulate(group_start, out=group_start)
+
+    result = _exclusive_min_scan(scratch, delays_sorted, group_start, is_start, m)
+    survive = scratch.mask[:m]
+    np.less(delays_sorted, result, out=survive)
+    keep = order[survive]
+    if len(keep) > 1:
+        sub = _batched_cross_prune(
+            scratch, keep, seg, delay_tolerance=0.0, width_tolerance=0.0
+        )
+        keep = keep[sub]
+    kept_counts = np.bincount(seg[keep], minlength=len(max_states))
+    if np.any(kept_counts > max_states):
+        keep = _cap_tree_segments(scratch, keep, kept_counts, max_states)
+    return keep
+
+
+def _cap_tree_segments(
+    scratch: DpScratch,
+    keep: np.ndarray,
+    kept_counts: np.ndarray,
+    max_states: np.ndarray,
+) -> np.ndarray:
+    """Per-segment hard front cap (the rare overflow path; not hot).
+
+    ``keep`` is segment-major with ``kept_counts[p]`` consecutive rows per
+    segment; overflowing segments are rebuilt as their ``(width, delay)``
+    lexsort prefix, exactly the single-problem cap.
+    """
+    pieces = []
+    offset = 0
+    for segment in range(len(kept_counts)):
+        kept = int(kept_counts[segment])
+        rows = keep[offset : offset + kept]
+        limit = int(max_states[segment])
+        if kept > limit:
+            rows = rows[
+                np.lexsort(
+                    (scratch.exp_delays[rows], scratch.exp_widths[rows])
+                )[:limit]
+            ]
+        pieces.append(rows)
+        offset += kept
+    return np.concatenate(pieces)
+
+
+# hot
+def tree_site_level_batched(
+    scratch: DpScratch,
+    intervals,
+    caps: np.ndarray,
+    delays: np.ndarray,
+    widths: np.ndarray,
+    counts: np.ndarray,
+    *,
+    lut_caps: np.ndarray,
+    lut_ratios: np.ndarray,
+    lut_widths: np.ndarray,
+    lut_offsets: np.ndarray,
+    lut_sizes: np.ndarray,
+    intrinsic: float,
+    max_states: np.ndarray,
+):
+    """One tree-DP site level for a whole batch of active edges.
+
+    Same contract as :func:`fused_level_batched` — each segment is one
+    active edge of some tree problem (``counts[p]`` front rows, its own
+    compiled gap interval in ``intervals[p]`` and library slice in the
+    concatenated LUTs) — with the zero-tolerance exact-width tree prune and
+    the per-segment hard cap ``max_states``.  Inside every segment the
+    result is bit-identical to :func:`tree_site_level` on that edge alone.
+    """
+    counts = np.ascontiguousarray(counts, dtype=np.int64)
+    scratch.ensure(int(counts.sum()))
+    _batched_traverse(scratch, intervals, caps, delays, counts, True)
+    total, m_per, exp_start, seg = _batched_expand(
+        scratch,
+        caps,
+        delays,
+        widths,
+        counts,
+        lut_caps,
+        lut_ratios,
+        lut_widths,
+        lut_offsets,
+        lut_sizes,
+        intrinsic,
+    )
+    keep = _batched_tree_prune(scratch, total, seg, max_states)
+    return _batched_finish(scratch, keep, seg, exp_start, m_per, len(counts))

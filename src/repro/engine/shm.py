@@ -22,6 +22,12 @@ Workers attach by name in the pool initializer and rebuild each job's
 the shared region — no per-task array pickling, no per-worker recompilation,
 no copies.  Task payloads then carry just the job index.
 
+Tree populations (:class:`~repro.engine.cache.TreeCase`) publish the same
+way: the job header carries the tree topology, the float region the
+per-edge site schedules and compiled wire-interval piece arrays, and
+workers rebuild the job's :class:`~repro.engine.compiled.CompiledTree` via
+:meth:`~repro.engine.compiled.CompiledTree.from_edges` over views.
+
 Ownership rules
 ---------------
 The publishing process owns the block: it is the only one that calls
@@ -44,8 +50,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analysis import sanitize
-from repro.engine.cache import NetCase
-from repro.engine.compiled import CompiledNet, WireInterval
+from repro.engine.cache import NetCase, TreeCase
+from repro.engine.compiled import (
+    CompiledNet,
+    CompiledTree,
+    CompiledTreeEdge,
+    WireInterval,
+)
 from repro.tech.technology import Technology
 
 __all__ = ["ArenaJob", "SharedPopulationArena"]
@@ -89,14 +100,16 @@ class ArenaJob:
     """One population job rebuilt from the arena.
 
     ``compiled`` wraps zero-copy views of the shared float region (when the
-    publisher compiled the job's candidate grid); ``case`` is a regular
-    :class:`NetCase` — its targets/candidates tuples are tiny and rebuilding
-    them keeps the dataclass contract unchanged.
+    publisher compiled the job's candidate grid / site schedule); ``case``
+    is a regular :class:`NetCase` or :class:`TreeCase` — its targets and
+    candidates tuples are tiny and rebuilding them keeps the dataclass
+    contract unchanged.  Tree jobs carry a :class:`CompiledTree` whose
+    per-edge interval arrays are views of the shared region.
     """
 
-    case: NetCase
+    case: "NetCase | TreeCase"
     technology: Technology
-    compiled: Optional[CompiledNet]
+    compiled: "Optional[CompiledNet | CompiledTree]"
 
 
 class SharedPopulationArena:
@@ -143,9 +156,48 @@ class SharedPopulationArena:
             cursor += len(chunk)
             return (offset, len(chunk))
 
+        def put_interval(interval: WireInterval) -> Dict[str, Any]:
+            return {
+                "upstream": interval.upstream,
+                "downstream": interval.downstream,
+                "resistance": interval.resistance,
+                "capacitance": interval.capacitance,
+                "delay_constant": interval.delay_constant,
+                "piece_resistance": put(interval.piece_resistance),
+                "piece_capacitance": put(interval.piece_capacitance),
+                "piece_half_capacitance": put(interval.piece_half_capacitance),
+            }
+
         entries: List[Dict[str, Any]] = []
         for technology, case in jobs:
-            entry: Dict[str, Any] = {
+            if isinstance(case, TreeCase):
+                entry = {
+                    "kind": "tree",
+                    "tree": case.tree,
+                    "tau_min": case.tau_min,
+                    "technology": technology,
+                    "site_pitch": case.site_pitch,
+                    "max_states_per_node": case.max_states_per_node,
+                    "targets": put(np.asarray(case.targets)),
+                }
+                if compile_nets:
+                    compiled_tree = CompiledTree(case.tree, case.site_pitch)
+                    entry["edges"] = [
+                        {
+                            "parent": edge.parent,
+                            "child": edge.child,
+                            "length": edge.length,
+                            "sites": put(np.asarray(edge.sites)),
+                            "intervals": [
+                                put_interval(interval)
+                                for interval in edge.intervals
+                            ],
+                        }
+                        for edge in compiled_tree.edges.values()
+                    ]
+                entries.append(entry)
+                continue
+            entry = {
                 "net": case.net,
                 "tau_min": case.tau_min,
                 "technology": technology,
@@ -156,19 +208,7 @@ class SharedPopulationArena:
                 compiled = CompiledNet(case.net, case.candidates)
                 entry["positions"] = put(np.asarray(compiled.positions))
                 entry["intervals"] = [
-                    {
-                        "upstream": interval.upstream,
-                        "downstream": interval.downstream,
-                        "resistance": interval.resistance,
-                        "capacitance": interval.capacitance,
-                        "delay_constant": interval.delay_constant,
-                        "piece_resistance": put(interval.piece_resistance),
-                        "piece_capacitance": put(interval.piece_capacitance),
-                        "piece_half_capacitance": put(
-                            interval.piece_half_capacitance
-                        ),
-                    }
-                    for interval in compiled.intervals
+                    put_interval(interval) for interval in compiled.intervals
                 ]
             entries.append(entry)
 
@@ -236,6 +276,8 @@ class SharedPopulationArena:
         if self._shm is None:
             raise ValueError("arena is closed")
         entry = self._jobs[index]
+        if entry.get("kind") == "tree":
+            return self._tree_job(entry)
         case = NetCase(
             net=entry["net"],
             tau_min=entry["tau_min"],
@@ -245,25 +287,56 @@ class SharedPopulationArena:
         compiled: Optional[CompiledNet] = None
         if "intervals" in entry:
             intervals = [
-                WireInterval(
-                    upstream=meta["upstream"],
-                    downstream=meta["downstream"],
-                    piece_resistance=self._view(meta["piece_resistance"]),
-                    piece_capacitance=self._view(meta["piece_capacitance"]),
-                    piece_half_capacitance=self._view(
-                        meta["piece_half_capacitance"]
-                    ),
-                    resistance=meta["resistance"],
-                    capacitance=meta["capacitance"],
-                    delay_constant=meta["delay_constant"],
-                )
-                for meta in entry["intervals"]
+                self._interval_view(meta) for meta in entry["intervals"]
             ]
             positions = tuple(
                 float(p) for p in self._view(entry["positions"])
             )
             compiled = CompiledNet.from_intervals(
                 entry["net"], positions, intervals
+            )
+        return ArenaJob(
+            case=case, technology=entry["technology"], compiled=compiled
+        )
+
+    def _interval_view(self, meta: Dict[str, Any]) -> WireInterval:
+        return WireInterval(
+            upstream=meta["upstream"],
+            downstream=meta["downstream"],
+            piece_resistance=self._view(meta["piece_resistance"]),
+            piece_capacitance=self._view(meta["piece_capacitance"]),
+            piece_half_capacitance=self._view(meta["piece_half_capacitance"]),
+            resistance=meta["resistance"],
+            capacitance=meta["capacitance"],
+            delay_constant=meta["delay_constant"],
+        )
+
+    def _tree_job(self, entry: Dict[str, Any]) -> ArenaJob:
+        """Rebuild a tree job: the compiled per-edge intervals are views."""
+        case = TreeCase(
+            tree=entry["tree"],
+            tau_min=entry["tau_min"],
+            targets=tuple(float(t) for t in self._view(entry["targets"])),
+            site_pitch=entry["site_pitch"],
+            max_states_per_node=entry["max_states_per_node"],
+        )
+        compiled: Optional[CompiledTree] = None
+        if "edges" in entry:
+            edges = {
+                meta["child"]: CompiledTreeEdge(
+                    parent=meta["parent"],
+                    child=meta["child"],
+                    length=meta["length"],
+                    sites=tuple(float(s) for s in self._view(meta["sites"])),
+                    intervals=tuple(
+                        self._interval_view(interval_meta)
+                        for interval_meta in meta["intervals"]
+                    ),
+                )
+                for meta in entry["edges"]
+            }
+            compiled = CompiledTree.from_edges(
+                entry["tree"], entry["site_pitch"], edges
             )
         return ArenaJob(
             case=case, technology=entry["technology"], compiled=compiled

@@ -72,6 +72,9 @@ from repro.dp.state import DpSolution
 from repro.engine.compiled import CompiledNet
 from repro.net.io import net_to_dict
 from repro.net.twopin import TwoPinNet
+from repro.tree.buffering import TreeBufferAssignment, TreeDpStatistics, TreeSolution
+from repro.tree.io import tree_to_dict
+from repro.tree.rctree import RoutingTree
 from repro.utils.canonical import stable_digest
 from repro.utils.disklru import DiskLruBudget
 from repro.utils.validation import require
@@ -85,6 +88,9 @@ __all__ = [
     "dp_result_to_payload",
     "net_fingerprint",
     "resolve_window_cache",
+    "tree_fingerprint",
+    "tree_solutions_from_payload",
+    "tree_solutions_to_payload",
 ]
 
 #: Bump when the on-disk frontier payload layout changes.
@@ -108,6 +114,29 @@ def net_fingerprint(net: TwoPinNet) -> str:
     return cached
 
 
+#: Memoized per-tree fingerprints.  Trees are mutable, so the memo is keyed
+#: by identity (default object hash) — the engine never mutates a tree after
+#: first solving it, which is the same point the fingerprint is first taken.
+_TREE_FINGERPRINTS: "weakref.WeakKeyDictionary[RoutingTree, str]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def tree_fingerprint(tree: RoutingTree) -> str:
+    """Process-stable hex fingerprint of a tree's canonical serialization.
+
+    Built over :func:`repro.tree.io.tree_to_dict`, which preserves edge
+    insertion order — order is semantic for the tree DP (sibling merge
+    order steers the low bits of merged capacitances), so order-distinct
+    trees deliberately get distinct fingerprints.
+    """
+    cached = _TREE_FINGERPRINTS.get(tree)
+    if cached is None:
+        cached = stable_digest(tree_to_dict(tree))
+        _TREE_FINGERPRINTS[tree] = cached
+    return cached
+
+
 def dp_context_fingerprint(
     technology,
     pruning,
@@ -115,6 +144,7 @@ def dp_context_fingerprint(
     elmore_evaluator: str = "compiled",
     dp_core: str = "fused",
     analytical: str = "vectorized",
+    tree_core: str = "fused",
 ) -> str:
     """Fingerprint of everything *besides* (net, library, candidates) a
     power-aware DP result depends on: the technology constants, the pruning
@@ -126,8 +156,11 @@ def dp_context_fingerprint(
     shapes the final-pass library/window; compiled and walked evaluation
     are bit-identical by contract, but the discipline is that every switch
     that *could* steer a cached result joins the key), the DP core
-    (fused/staged — bit-identical by contract, same discipline) and the
-    analytical-loop mode (vectorized/scalar, ditto)."""
+    (fused/staged — bit-identical by contract, same discipline), the
+    analytical-loop mode (vectorized/scalar, ditto) and the tree DP core
+    (reference/fused/batched — bit-identical by contract, and the same
+    context string keys the memoized tree-solution tier, so the knob must
+    join the key)."""
     from repro.engine.cache import technology_fingerprint  # heavy module; defer
 
     return stable_digest(
@@ -143,6 +176,7 @@ def dp_context_fingerprint(
             "elmore_evaluator": elmore_evaluator,
             "dp_core": dp_core,
             "analytical": analytical,
+            "tree_core": tree_core,
         }
     )
 
@@ -198,6 +232,77 @@ def dp_result_from_payload(payload: dict) -> PowerDpResult:
         runtime_seconds=float(raw["runtime_seconds"]),
     )
     return PowerDpResult(frontier=DelayWidthFrontier(points), statistics=statistics)
+
+
+def tree_solutions_to_payload(solutions: Sequence[TreeSolution]) -> list:
+    """JSON-ready payload of per-target tree DP solutions (exact floats)."""
+    payload = []
+    for solution in solutions:
+        statistics = solution.statistics
+        payload.append(
+            {
+                "assignments": [
+                    {
+                        "parent": assignment.parent,
+                        "child": assignment.child,
+                        "distance_from_child": assignment.distance_from_child,
+                        "width": assignment.width,
+                    }
+                    for assignment in solution.assignments
+                ],
+                "worst_delay": solution.worst_delay,
+                "total_width": solution.total_width,
+                "feasible": solution.feasible,
+                "statistics": None
+                if statistics is None
+                else {
+                    field.name: getattr(statistics, field.name)
+                    for field in dataclasses.fields(statistics)
+                },
+            }
+        )
+    return payload
+
+
+def tree_solutions_from_payload(payload: Sequence[dict]) -> "list[TreeSolution]":
+    """Rebuild tree solutions from :func:`tree_solutions_to_payload`.
+
+    Bit-for-bit faithful for the same reason as the net frontier payloads:
+    JSON floats round-trip exactly and the structures are plain records.
+    """
+    solutions = []
+    for entry in payload:
+        raw = entry.get("statistics")
+        statistics = (
+            None
+            if raw is None
+            else TreeDpStatistics(
+                num_edges=int(raw["num_edges"]),
+                num_sites=int(raw["num_sites"]),
+                library_size=int(raw["library_size"]),
+                states_generated=int(raw["states_generated"]),
+                max_front_size=int(raw["max_front_size"]),
+                runtime_seconds=float(raw["runtime_seconds"]),
+            )
+        )
+        solutions.append(
+            TreeSolution(
+                assignments=tuple(
+                    TreeBufferAssignment(
+                        parent=str(item["parent"]),
+                        child=str(item["child"]),
+                        distance_from_child=float(item["distance_from_child"]),
+                        width=float(item["width"]),
+                    )
+                    for item in entry["assignments"]
+                ),
+                worst_delay=float(entry["worst_delay"]),
+                total_width=float(entry["total_width"]),
+                feasible=bool(entry["feasible"]),
+                statistics=statistics,
+            )
+        )
+    return solutions
 
 
 @dataclass(frozen=True)
@@ -489,6 +594,52 @@ class WindowCompilationCache:
             self._save_frontier(key, result)
         return result
 
+    def tree_solutions(
+        self,
+        tree: RoutingTree,
+        context: str,
+        timing_targets: Sequence[float],
+        factory: Callable[[], "list[TreeSolution]"],
+    ) -> "list[TreeSolution]":
+        """Memoized per-target tree DP solutions (the tree analogue of
+        :meth:`final_dp_result`).
+
+        ``context`` must fingerprint every tree-DP input besides the tree
+        and the targets — :func:`dp_context_fingerprint` with its
+        ``tree_core`` knob, extended by the caller with the site pitch and
+        state cap (:class:`~repro.engine.design.DesignEngine` folds those
+        into the digest).  Tree entries share the frontier layer's LRU
+        table, hit/miss counters and persistent tier — tree files are
+        ``frontier-<digest>.json`` with ``"kind": "tree"`` payloads under
+        the same disk budget.
+        """
+        key = (
+            "tree",
+            tree_fingerprint(tree),
+            context,
+            tuple(float(target) for target in timing_targets),
+        )
+        cached = self._frontiers.get(key)
+        if cached is not None:
+            self._frontier_hits += 1
+            self._frontiers.move_to_end(key)
+            return cached  # type: ignore[return-value]
+        self._frontier_misses += 1
+        if self._cache_dir is not None:
+            loaded = self._load_tree_solutions(key)
+            if loaded is not None:
+                self._disk_hits += 1
+                self._frontiers[key] = loaded
+                self._evict_to_capacity(self._frontiers)
+                return loaded
+            self._disk_misses += 1
+        result = factory()
+        self._frontiers[key] = result
+        self._evict_to_capacity(self._frontiers)
+        if self._cache_dir is not None:
+            self._save_tree_solutions(key, result)
+        return result
+
     # ------------------------------------------------------------------ #
     # persistent frontier tier
     # ------------------------------------------------------------------ #
@@ -574,6 +725,75 @@ class WindowCompilationCache:
             path.parent.mkdir(parents=True, exist_ok=True)
             # Per-process temp name: concurrent workers writing the same
             # (deterministic, identical) entry replace atomically.
+            tmp = path.with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            tmp.replace(path)
+        except OSError:  # pragma: no cover - disk persistence is best-effort
+            return
+        self._budget.note_save(path, self._evict_file)
+
+    # ------------------------------------------------------------------ #
+    # persistent tree-solution tier (shares the frontier file namespace)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _tree_digest(key: tuple) -> str:
+        return stable_digest(
+            {
+                "kind": "tree",
+                "tree": key[1],
+                "context": key[2],
+                "targets": list(key[3]),
+            }
+        )
+
+    def _load_tree_solutions(self, key: tuple) -> "Optional[list[TreeSolution]]":
+        digest = self._tree_digest(key)
+        path = self._frontier_path(digest)
+        if not path.is_file():
+            return None
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):  # corrupted cache file
+            self._evict_file(path)
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("format_version") != FRONTIER_FORMAT_VERSION
+            or data.get("kind") != "tree"
+            or data.get("key") != digest
+            or data.get("tree") != key[1]
+            or data.get("context") != key[2]
+            or data.get("targets") != list(key[3])
+        ):
+            self._evict_file(path)
+            return None
+        try:
+            result = tree_solutions_from_payload(data["result"])
+        except (KeyError, TypeError, ValueError):  # structurally broken payload
+            self._evict_file(path)
+            return None
+        try:
+            # Mark the file as recently used for the LRU disk budget.
+            os.utime(path)
+        except OSError:  # pragma: no cover - recency tracking is best-effort
+            pass
+        return result
+
+    def _save_tree_solutions(self, key: tuple, result: "list[TreeSolution]") -> None:
+        """Persist memoized tree solutions (best-effort, atomic replace)."""
+        digest = self._tree_digest(key)
+        path = self._frontier_path(digest)
+        payload = {
+            "format_version": FRONTIER_FORMAT_VERSION,
+            "kind": "tree",
+            "key": digest,
+            "tree": key[1],
+            "context": key[2],
+            "targets": list(key[3]),
+            "result": tree_solutions_to_payload(result),
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(f".tmp{os.getpid()}")
             tmp.write_text(json.dumps(payload), encoding="utf-8")
             tmp.replace(path)

@@ -15,8 +15,13 @@ a working power-aware tree buffering engine:
 """
 
 from repro.tree.rctree import RoutingTree, TreeEdge, TreeSink
-from repro.tree.generator import RandomTreeGenerator, TreeGenerationConfig
-from repro.tree.buffering import TreeBufferAssignment, TreePowerDp, TreeSolution
+from repro.tree.generator import RandomTreeGenerator, TreeGenerationConfig, htree
+from repro.tree.buffering import (
+    TreeBufferAssignment,
+    TreeDpStatistics,
+    TreePowerDp,
+    TreeSolution,
+)
 
 __all__ = [
     "RoutingTree",
@@ -24,7 +29,9 @@ __all__ = [
     "TreeSink",
     "RandomTreeGenerator",
     "TreeGenerationConfig",
+    "htree",
     "TreeBufferAssignment",
+    "TreeDpStatistics",
     "TreePowerDp",
     "TreeSolution",
 ]

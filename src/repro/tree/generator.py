@@ -1,4 +1,4 @@
-"""Random routing-tree generation for the tree-buffering extension."""
+"""Routing-tree generation: random trees and the H-tree clock workload."""
 
 from __future__ import annotations
 
@@ -38,6 +38,57 @@ class TreeGenerationConfig:
         )
         require(len(self.layers) > 0, "layers must not be empty")
         require_positive(self.driver_width, "driver_width")
+
+
+def htree(
+    technology: Technology,
+    levels: int,
+    span: float,
+    *,
+    driver_width: float = 120.0,
+    receiver_width: float = 40.0,
+    layer: str = "metal4",
+    name: Optional[str] = None,
+) -> RoutingTree:
+    """A symmetric H-tree clock distribution network.
+
+    The classic balanced binary recursion: every node fans out to two
+    children, the branch length halves at each level (``span / 2`` at the
+    driver, ``span / 4`` below it, and so on), and all ``2**levels`` sinks
+    sit at equal wire distance from the driver — the structure is zero-skew
+    by construction, so one shared timing target constrains every sink
+    symmetrically.  The workload is fully deterministic (no RNG), making it
+    the reference population of the tree DP benchmarks.
+    """
+    require(levels >= 1, "levels must be >= 1")
+    require_positive(span, "span")
+    tree = RoutingTree(
+        root="driver", driver_width=driver_width, name=name or f"htree{levels}"
+    )
+    routing_layer = technology.layer(layer)
+    counter = 0
+
+    def grow(parent: str, level: int) -> None:
+        nonlocal counter
+        length = span / (2.0 ** (level + 1))
+        for _ in range(2):
+            counter += 1
+            child = f"n{counter}"
+            tree.add_edge(
+                parent,
+                child,
+                length=length,
+                resistance_per_meter=routing_layer.resistance_per_meter,
+                capacitance_per_meter=routing_layer.capacitance_per_meter,
+            )
+            if level + 1 == levels:
+                tree.mark_sink(child, receiver_width)
+            else:
+                grow(child, level + 1)
+
+    grow("driver", 0)
+    tree.validate()
+    return tree
 
 
 class RandomTreeGenerator:

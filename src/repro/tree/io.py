@@ -1,0 +1,71 @@
+"""Canonical (de)serialization of routing trees.
+
+Mirrors :mod:`repro.net.io` for multi-sink trees: the dictionary form is
+JSON-ready, round-trips floats exactly, and preserves edge insertion order.
+Order is **semantic** for trees — the DP merges sibling branches in
+``children()`` order, and float summation order steers the low bits of the
+merged capacitances — so two structurally equal trees built in different
+edge orders are deliberately distinct serializations (and hence distinct
+cache fingerprints).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.tree.rctree import RoutingTree
+
+__all__ = ["FORMAT_VERSION", "tree_to_dict", "tree_from_dict"]
+
+FORMAT_VERSION = 1
+
+
+def tree_to_dict(tree: RoutingTree) -> Dict[str, Any]:
+    """Convert a routing tree to a JSON-serialisable dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": tree.name,
+        "root": tree.root,
+        "driver_width": tree.driver_width,
+        "edges": [
+            {
+                "parent": edge.parent,
+                "child": edge.child,
+                "length": edge.length,
+                "resistance_per_meter": edge.resistance_per_meter,
+                "capacitance_per_meter": edge.capacitance_per_meter,
+            }
+            for edge in tree.edges
+        ],
+        "sinks": [
+            {"node": sink.node, "receiver_width": sink.receiver_width}
+            for sink in tree.sinks
+        ],
+    }
+
+
+def tree_from_dict(data: Dict[str, Any]) -> RoutingTree:
+    """Reconstruct a tree from a dictionary produced by :func:`tree_to_dict`.
+
+    Edges are replayed in serialized order, so ``children()`` order — and
+    with it the DP's merge order — survives the round trip bit-for-bit.
+    """
+    version = data.get("format_version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported tree format version {version!r}")
+    tree = RoutingTree(
+        root=str(data["root"]),
+        driver_width=float(data["driver_width"]),
+        name=str(data.get("name", "tree")),
+    )
+    for entry in data["edges"]:
+        tree.add_edge(
+            str(entry["parent"]),
+            str(entry["child"]),
+            length=float(entry["length"]),
+            resistance_per_meter=float(entry["resistance_per_meter"]),
+            capacitance_per_meter=float(entry["capacitance_per_meter"]),
+        )
+    for entry in data.get("sinks", []):
+        tree.mark_sink(str(entry["node"]), float(entry["receiver_width"]))
+    return tree

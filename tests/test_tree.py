@@ -4,6 +4,8 @@ import pytest
 
 from repro.dp.candidates import uniform_candidates
 from repro.dp.powerdp import PowerAwareDp
+from repro.dp.pruning import PruningConfig
+from repro.engine.compiled import CompiledTree
 from repro.net.segment import WireSegment
 from repro.net.twopin import TwoPinNet
 from repro.tech.library import RepeaterLibrary
@@ -120,6 +122,72 @@ def test_chain_tree_matches_two_pin_dp(tech):
         tree_solution = tree_dp.run(tree, library, target)
         assert tree_solution.feasible
         assert tree_solution.total_width == pytest.approx(chain_point.total_width)
+
+
+@pytest.mark.parametrize("core", ["reference", "fused", "batched"])
+def test_chain_tree_bit_identical_to_two_pin_dp(tech, core):
+    """On a degenerate (single-path) tree every tree core must reproduce the
+    two-pin power DP *bit for bit* — same widths, delays and repeater
+    positions, not just approximately.
+
+    The geometry is exact in binary floating point (segment length
+    ``2**-9`` m, site pitch ``2**-11`` m) so the tree's child-relative site
+    schedule maps onto driver-relative two-pin candidates without rounding,
+    and the two-pin pruning runs at zero tolerance to match the tree DP's
+    exact 3-D dominance."""
+    layer = tech.layer("metal4")
+    pitch = 2.0**-11  # ~488 um, exact in binary
+    segment_length = 2.0**-9  # 4 * pitch
+    segments = 4
+
+    tree = RoutingTree("driver", driver_width=120.0, name="chain")
+    previous = "driver"
+    for index in range(segments):
+        node = f"n{index + 1}"
+        tree.add_edge(previous, node, length=segment_length,
+                      resistance_per_meter=layer.resistance_per_meter,
+                      capacitance_per_meter=layer.capacitance_per_meter)
+        previous = node
+    tree.mark_sink(previous, 60.0)
+    net = TwoPinNet(
+        segments=tuple(
+            WireSegment.on_layer(layer, segment_length) for _ in range(segments)
+        ),
+        driver_width=120.0,
+        receiver_width=60.0,
+    )
+
+    # The tree places sites per edge, child-relative and strictly interior;
+    # hand the two-pin DP exactly those positions, driver-relative.
+    compiled = CompiledTree(tree, pitch)
+    depth = {"driver": 0.0}
+    for edge in tree.edges:
+        depth[edge.child] = depth[edge.parent] + edge.length
+    candidates = sorted(
+        depth[child] - site
+        for child, compiled_edge in compiled.edges.items()
+        for site in compiled_edge.sites
+    )
+
+    library = RepeaterLibrary((60.0, 120.0, 240.0))
+    exact = PruningConfig(delay_tolerance=0.0, width_tolerance=0.0)
+    chain_result = PowerAwareDp(tech, exact).run(net, library, candidates)
+    tree_dp = TreePowerDp(tech, site_pitch=pitch, core=core)
+
+    for factor in (1.05, 1.2, 1.5, 2.0):
+        target = factor * chain_result.min_delay()
+        chain_point = chain_result.best_for_delay(target)
+        solution = tree_dp.run(tree, library, target, compiled=compiled)
+        assert solution.feasible
+        assert solution.total_width == chain_point.total_width
+        assert solution.worst_delay == chain_point.delay
+        positions = sorted(
+            depth[a.child] - a.distance_from_child for a in solution.assignments
+        )
+        assert positions == sorted(chain_point.solution.positions)
+        assert sorted(a.width for a in solution.assignments) == sorted(
+            chain_point.solution.widths
+        )
 
 
 def test_tree_dp_meets_target_on_branchy_tree(tech):
