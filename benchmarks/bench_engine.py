@@ -1,6 +1,7 @@
 """Smoke benchmark of the batch DesignEngine — writes ``BENCH_engine.json``.
 
-Ten sections, all but ``tree_dp`` on the shared protocol-store population:
+Eleven sections, all but ``tree_dp`` on the shared protocol-store
+population:
 
 * **kernels** — the Table-1-style sweep (RIP + three size-10 baselines)
   with the default **vectorized** pruning kernels vs. the **reference**
@@ -49,6 +50,10 @@ Ten sections, all but ``tree_dp`` on the shared protocol-store population:
   ``DesignEngine.design_population(technologies=[...])``, with per-node
   record/state counts so `EngineStatistics` trends are comparable across
   CI runs per technology.
+* **service** — the ``rip serve`` daemon (ISSUE 9) under 32 concurrent
+  HTTP clients: requests/s, p50/p95 latency, micro-batch dedup counters —
+  and the oracle gate that every streamed response is bit-identical to a
+  direct serial ``design_population`` sweep of the same requests.
 
 Usage::
 
@@ -842,6 +847,118 @@ def bench_technologies(store, protocol, technology, workers, tech_names):
     return section
 
 
+def bench_service(store, protocol, technology):
+    """The design service under concurrent HTTP clients, oracle-gated.
+
+    One engine-lifetime serial ``DesignEngine`` behind the asyncio daemon;
+    32 concurrent clients POST the population's nets (cycled, so identical
+    concurrent requests exercise the micro-batcher's dedup).  Every
+    response's records must be bit-identical to a direct serial
+    ``design_population`` sweep of the same parsed requests.
+    """
+    import http.client
+    from concurrent.futures import ThreadPoolExecutor
+    from dataclasses import asdict
+
+    from repro.net.io import net_to_dict
+    from repro.service.schema import parse_request
+    from repro.service.server import serve_in_background
+
+    clients = 32
+    cases = store.cases(protocol)
+    payloads = [
+        {
+            "tenant": "bench",
+            "technology": technology.name,
+            "methods": ["rip"],
+            "net": net_to_dict(case.net),
+            "targets": list(case.targets),
+            "tau_min": case.tau_min,
+        }
+        for case in cases
+    ]
+    bodies = [payloads[i % len(payloads)] for i in range(clients)]
+
+    def strip(record_dict):
+        return {k: v for k, v in record_dict.items() if k != "runtime_seconds"}
+
+    # Direct serial oracle of the same requests (deduplicated by digest).
+    oracle = {}
+    unique = []
+    for body in bodies:
+        request = parse_request(body)
+        if request.digest not in oracle:
+            oracle[request.digest] = None
+            unique.append(request)
+    oracle_engine = DesignEngine(technology, workers=0, store=ProtocolStore())
+    try:
+        population = oracle_engine.design_population(
+            [request.case for request in unique], unique[0].methods()
+        )
+    finally:
+        oracle_engine.close()
+    for request, net_result in zip(unique, population.nets):
+        oracle[request.digest] = [strip(asdict(r)) for r in net_result.records]
+
+    def client(body):
+        started = time.perf_counter()
+        conn = http.client.HTTPConnection("127.0.0.1", bg.port, timeout=300)
+        try:
+            conn.request(
+                "POST", "/design", body=json.dumps(body),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            conn.close()
+        return time.perf_counter() - started, response.status, payload
+
+    engine = DesignEngine(technology, workers=0, store=ProtocolStore())
+    bg = serve_in_background(engine, max_batch=clients)
+    try:
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            outcomes = list(pool.map(client, bodies))
+        wall_clock = time.perf_counter() - started
+        conn = http.client.HTTPConnection("127.0.0.1", bg.port, timeout=30)
+        conn.request("GET", "/metrics")
+        metrics = json.loads(conn.getresponse().read())
+        conn.close()
+    finally:
+        bg.stop()
+
+    identical = True
+    for (latency, status, payload), body in zip(outcomes, bodies):
+        if status != 200 or payload.get("status") != "ok":
+            identical = False
+            continue
+        expected = oracle[parse_request(body).digest]
+        identical &= [strip(r) for r in payload["records"]] == expected
+
+    latencies = sorted(outcome[0] for outcome in outcomes)
+    p50 = latencies[len(latencies) // 2]
+    p95 = latencies[min(len(latencies) - 1, int(len(latencies) * 0.95))]
+    requests_per_second = clients / wall_clock if wall_clock > 0 else 0.0
+    print(
+        f"[service   ] {clients} clients in {wall_clock:5.2f}s  "
+        f"{requests_per_second:6.1f} req/s  p50 {p50 * 1e3:6.1f}ms  "
+        f"p95 {p95 * 1e3:6.1f}ms  dedup {metrics['requests_deduplicated']}  "
+        f"identical: {identical}"
+    )
+    return {
+        "concurrent_clients": clients,
+        "wall_clock_seconds": wall_clock,
+        "requests_per_second": requests_per_second,
+        "p50_latency_ms": p50 * 1e3,
+        "p95_latency_ms": p95 * 1e3,
+        "requests_served": metrics["requests_served"],
+        "requests_deduplicated": metrics["requests_deduplicated"],
+        "batches_drained": metrics["batches_drained"],
+        "records_identical": identical,
+    }
+
+
 def run(num_nets, targets_per_net, workers, tech_names, output):
     technology = NODE_180NM
     protocol = ProtocolConfig(
@@ -863,6 +980,7 @@ def run(num_nets, targets_per_net, workers, tech_names, output):
     tree_dp = bench_tree_dp(technology)
     fast_mode = bench_fast_mode(store, protocol, technology)
     technologies = bench_technologies(store, protocol, technology, workers, tech_names)
+    service = bench_service(store, protocol, technology)
 
     payload = {
         "benchmark": "engine-population-sweep",
@@ -881,6 +999,7 @@ def run(num_nets, targets_per_net, workers, tech_names, output):
         "tree_dp": tree_dp,
         "fast_mode": fast_mode,
         "technologies": technologies,
+        "service": service,
         # Legacy top-level aliases so existing trend tooling keeps parsing.
         "num_designs": kernels["num_designs"],
         "vectorized_wall_clock_seconds": kernels["vectorized_wall_clock_seconds"],
@@ -951,6 +1070,10 @@ def run(num_nets, targets_per_net, workers, tech_names, output):
         raise SystemExit(
             "fused tree DP below the 5x acceptance bar: "
             f"{tree_dp['speedup']:.2f}x"
+        )
+    if not service["records_identical"]:
+        raise SystemExit(
+            "service responses diverged from the direct serial sweep"
         )
     return payload
 

@@ -1,0 +1,190 @@
+"""Concurrent-client smoke test of the real ``rip serve`` daemon — for CI.
+
+Unlike ``tests/test_service.py`` (which runs the service in-process), this
+harness exercises the whole deployment surface: it spawns the actual
+``python -m repro serve`` subprocess, waits for the parseable readiness
+line, probes ``/healthz``, fires concurrent design requests from many
+clients, checks every response against a direct serial
+``DesignEngine.design_population`` sweep of the same requests, reads
+``/metrics``, and shuts the daemon down with SIGTERM.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py [--clients 16]
+        [--nets 3] [--targets 2]
+
+Exits nonzero on any failed probe, divergent record, or unclean shutdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import signal
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine.cache import ProtocolConfig, ProtocolStore  # noqa: E402
+from repro.engine.design import DesignEngine  # noqa: E402
+from repro.net.io import net_to_dict  # noqa: E402
+from repro.service.schema import parse_request  # noqa: E402
+from repro.tech.nodes import NODE_180NM  # noqa: E402
+
+READY_PREFIX = "rip serve: listening on http://"
+
+
+def _strip(record_dict):
+    return {k: v for k, v in record_dict.items() if k != "runtime_seconds"}
+
+
+def _spawn_daemon():
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={
+            **__import__("os").environ,
+            "PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src"),
+            "PYTHONUNBUFFERED": "1",
+        },
+    )
+    deadline = time.perf_counter() + 60.0
+    while time.perf_counter() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"daemon exited before becoming ready (rc={process.poll()})"
+            )
+        sys.stdout.write(f"daemon: {line}")
+        if line.startswith(READY_PREFIX):
+            port = int(line.strip().rsplit(":", 1)[1])
+            return process, port
+    process.kill()
+    raise SystemExit("daemon did not print the readiness line within 60s")
+
+
+def _post(port, body):
+    started = time.perf_counter()
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=300)
+    try:
+        conn.request(
+            "POST", "/design", body=json.dumps(body),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+    finally:
+        conn.close()
+    return time.perf_counter() - started, response.status, payload
+
+
+def _get(port, path):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--nets", type=int, default=3)
+    parser.add_argument("--targets", type=int, default=2)
+    args = parser.parse_args()
+
+    protocol = ProtocolConfig(
+        num_nets=args.nets, targets_per_net=args.targets, seed=13
+    )
+    cases = ProtocolStore().cases(protocol)
+    payloads = [
+        {
+            "tenant": "smoke",
+            "methods": ["rip"],
+            "net": net_to_dict(case.net),
+            "targets": list(case.targets),
+            "tau_min": case.tau_min,
+        }
+        for case in cases
+    ]
+    bodies = [payloads[i % len(payloads)] for i in range(args.clients)]
+
+    # Direct serial oracle of the deduplicated requests.
+    oracle = {}
+    unique = []
+    for body in bodies:
+        request = parse_request(body)
+        if request.digest not in oracle:
+            oracle[request.digest] = None
+            unique.append(request)
+    engine = DesignEngine(NODE_180NM, workers=0, store=ProtocolStore())
+    try:
+        population = engine.design_population(
+            [request.case for request in unique], unique[0].methods()
+        )
+    finally:
+        engine.close()
+    for request, net_result in zip(unique, population.nets):
+        oracle[request.digest] = [_strip(asdict(r)) for r in net_result.records]
+
+    process, port = _spawn_daemon()
+    try:
+        status, body = _get(port, "/healthz")
+        if (status, body) != (200, {"status": "ok"}):
+            raise SystemExit(f"healthz probe failed: {status} {body}")
+        print(f"healthz ok on port {port}")
+
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=args.clients) as pool:
+            outcomes = list(pool.map(lambda body: _post(port, body), bodies))
+        wall_clock = time.perf_counter() - started
+
+        divergent = 0
+        for (latency, status, payload), body in zip(outcomes, bodies):
+            if status != 200 or payload.get("status") != "ok":
+                print(f"BAD response: {status} {payload}", file=sys.stderr)
+                divergent += 1
+                continue
+            expected = oracle[parse_request(body).digest]
+            if [_strip(r) for r in payload["records"]] != expected:
+                print(f"DIVERGENT records for {payload['net']}", file=sys.stderr)
+                divergent += 1
+        if divergent:
+            raise SystemExit(f"{divergent}/{len(bodies)} responses diverged")
+
+        latencies = sorted(outcome[0] for outcome in outcomes)
+        status, metrics = _get(port, "/metrics")
+        if status != 200 or metrics["requests_served"] < args.clients:
+            raise SystemExit(f"metrics probe failed: {status} {metrics}")
+        print(
+            f"{args.clients} clients ok in {wall_clock:.2f}s "
+            f"({args.clients / wall_clock:.1f} req/s, "
+            f"p50 {latencies[len(latencies) // 2] * 1e3:.0f}ms), "
+            f"dedup {metrics['requests_deduplicated']}, "
+            f"batches {metrics['batches_drained']}"
+        )
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            returncode = process.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            raise SystemExit("daemon did not exit on SIGTERM within 30s")
+    if returncode != 0:
+        raise SystemExit(f"daemon exited {returncode} on SIGTERM")
+    print("daemon shut down cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

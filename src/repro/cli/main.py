@@ -13,7 +13,12 @@ Sub-commands:
 * ``rip sweep``         — run an arbitrary population sweep through the
   batch :class:`~repro.engine.DesignEngine` and print/export the raw
   per-(net, target, method) records (with ``REPRO_SANITIZE=1`` it also
-  prints a one-line sanitizer summary);
+  prints a one-line sanitizer summary); exits 3 when any net failed
+  (``--keep-going-exit-zero`` restores the old always-0 behaviour);
+* ``rip serve``         — run the multi-tenant design service daemon
+  (:mod:`repro.service`): an asyncio HTTP server micro-batching
+  concurrent design requests through one engine-lifetime
+  :class:`~repro.engine.DesignEngine`;
 * ``rip lint``          — run the repo's AST invariant linter
   (:mod:`repro.analysis`) over source paths; ``--format=github`` emits
   workflow-command annotations for CI.
@@ -261,7 +266,77 @@ def build_parser() -> argparse.ArgumentParser:
             "equivalence oracle"
         ),
     )
-    sweep.add_argument("--json", default=None, help="write the records as JSON to this path")
+    sweep.add_argument(
+        "--json",
+        default=None,
+        help=(
+            "write the sweep as JSON to this path: "
+            '{"records": [...], "failures": [...]}'
+        ),
+    )
+    sweep.add_argument(
+        "--keep-going-exit-zero",
+        action="store_true",
+        help=(
+            "exit 0 even when nets failed (legacy behaviour for experiment "
+            "scripts; failures are still printed and exported)"
+        ),
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="run the multi-tenant design service daemon"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="bind port (0 picks a free port; the chosen one is printed)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="engine worker processes per sweep (0 = run serially)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "shared design-state directory; per-tenant window-cache "
+            "partitions live under <dir>/tenants/<tenant>/wincache"
+        ),
+    )
+    serve.add_argument(
+        "--max-tenants",
+        type=int,
+        default=8,
+        help="tenant capacity; each tenant gets an equal cache-budget slice",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="admission-control queue depth (full queue => HTTP 429)",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=10.0,
+        help="micro-batching window: how long a batch stays open for more requests",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="maximum requests drained into one design_population sweep",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=60.0,
+        help="per-request residence timeout in seconds (exceeded => HTTP 504)",
+    )
 
     cache = subparsers.add_parser(
         "cache", help="inspect (and optionally GC) the on-disk design-state caches"
@@ -687,16 +762,61 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     infeasible = sum(1 for record in result.records() if not record.feasible)
     print(f"infeasible designs: {infeasible}")
-    for failure in result.failures():
-        print(f"FAILED {failure.technology}/{failure.net_name}: {failure.error}")
+    failures = result.failures()
+    for failure in failures:
+        print(
+            f"FAILED [{failure.failure_kind}] "
+            f"{failure.technology}/{failure.net_name}: {failure.error}"
+        )
     if args.json:
         import json as _json
         from dataclasses import asdict
 
-        payload = [asdict(record) for record in result.records()]
+        payload = {
+            "records": [asdict(record) for record in result.records()],
+            "failures": [
+                {
+                    "technology": failure.technology,
+                    "net_name": failure.net_name,
+                    "failure_kind": failure.failure_kind,
+                    "error": failure.error,
+                }
+                for failure in failures
+            ],
+        }
         with open(args.json, "w", encoding="utf-8") as handle:
             _json.dump(payload, handle, indent=1)
         print(f"wrote {args.json}")
+    if failures and not args.keep_going_exit_zero:
+        print(
+            f"{len(failures)} net(s) failed; exiting 3 "
+            "(pass --keep-going-exit-zero to suppress)",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import run_service
+    from repro.service.tenants import TenantBudgets
+
+    technology = get_node(args.technology)
+    engine = _make_engine(args, technology)
+    budgets = TenantBudgets(
+        max_tenants=args.max_tenants,
+        cache_root=args.cache_dir,
+    )
+    run_service(
+        engine,
+        host=args.host,
+        port=args.port,
+        budgets=budgets,
+        max_queue=args.max_queue,
+        batch_window_seconds=args.batch_window_ms / 1000.0,
+        max_batch=args.max_batch,
+        request_timeout_seconds=args.request_timeout,
+    )
     return 0
 
 
@@ -819,6 +939,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "evaluate": _cmd_evaluate,
         "experiment": _cmd_experiment,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
         "cache": _cmd_cache,
         "lint": _cmd_lint,
     }

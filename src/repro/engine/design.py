@@ -47,7 +47,9 @@ cache behaviour is observable per sweep.
 
 from __future__ import annotations
 
+import pickle
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -90,8 +92,59 @@ __all__ = [
     "PopulationDesignResult",
     "TargetSpec",
     "WindowCacheSpec",
+    "WorkerTaskError",
     "build_htree_cases",
+    "ensure_pool_safe",
 ]
+
+
+class WorkerTaskError(RuntimeError):
+    """Pool-safe wrapper for an exception a worker task could not ship home.
+
+    Exceptions cross the ``ProcessPoolExecutor`` boundary by pickling.  The
+    repo's own exceptions carry ``__reduce__`` (lint rule R6), but a task can
+    also die on a *third-party* exception whose class is unpicklable or whose
+    default reduction replays ``type(exc)(*args)`` into an incompatible
+    ``__init__`` — either way the parent would see an opaque pickling error
+    (``BrokenProcessPool``-adjacent) instead of the real failure.
+    :func:`ensure_pool_safe` converts any such exception into this wrapper,
+    which preserves the original type name, message and a formatted traceback
+    as plain strings.
+    """
+
+    def __init__(self, kind: str, message: str, details: str = "") -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.message = message
+        self.details = details
+
+    def __reduce__(self):
+        return (WorkerTaskError, (self.kind, self.message, self.details))
+
+
+def ensure_pool_safe(error: BaseException) -> BaseException:
+    """Return ``error`` if it survives pickling, else a :class:`WorkerTaskError`.
+
+    The round-trip check covers both failure modes: classes that cannot be
+    pickled at all (e.g. defined in a local scope) fail at ``dumps``, and
+    exceptions whose ``args`` do not replay through ``__init__`` fail at
+    ``loads``.
+    """
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        details = "".join(
+            traceback.format_exception(type(error), error, error.__traceback__)
+        )
+        return WorkerTaskError(type(error).__qualname__, str(error), details)
+
+
+def _describe_failure(error: BaseException) -> str:
+    """One-line ``Type: message`` form recorded on ``NetDesignResult.error``."""
+    message = str(error)
+    name = type(error).__qualname__
+    return f"{name}: {message}" if message else name
 
 
 @dataclass(frozen=True)
@@ -228,12 +281,16 @@ class DesignRecord:
 class NetDesignResult:
     """All records of one net, plus per-method instrumentation.
 
-    ``error`` is set when the net raised
-    :class:`~repro.core.rip.InfeasibleNetError` — the sweep carries on and
-    reports the failure per-net instead of aborting.  A failed net carries
-    no records (rows completed before the failure are dropped), so flat
-    record counts always agree with the table aggregations, which skip
-    failed nets.
+    ``error`` is set when the net's design raised — the sweep carries on
+    and reports the failure per-net instead of aborting.  ``failure_kind``
+    classifies the failure: ``"infeasible"`` for the expected
+    :class:`~repro.core.rip.InfeasibleNetError` (the net genuinely has no
+    solution at some DP stage), ``"crashed"`` for any other exception (a
+    numpy error, a corrupt cache payload, a ``SanitizeError`` ...), whose
+    type and message are recorded in ``error``.  A failed net carries no
+    records (rows completed before the failure are dropped), so flat record
+    counts always agree with the table aggregations, which skip failed
+    nets.
     """
 
     net_name: str
@@ -248,6 +305,8 @@ class NetDesignResult:
     #: ``rip sweep`` aggregates engine statistics per class from this tag.
     population_class: str = "twopin"
     error: Optional[str] = None
+    #: ``"infeasible"`` | ``"crashed"`` when ``error`` is set, else ``None``.
+    failure_kind: Optional[str] = None
     #: Shared-window-cache counter delta attributable to this net's task
     #: (``None`` when the cache is disabled).
     cache_statistics: Optional[CacheStatistics] = None
@@ -327,9 +386,18 @@ class PopulationDesignResult:
             raise KeyError(f"no technology {technology!r} in this result (swept: {known})")
         return tuple(net for net in self.nets if net.technology == technology)
 
-    def failures(self) -> Tuple[NetDesignResult, ...]:
-        """Nets whose design aborted with an infeasibility error."""
-        return tuple(net for net in self.nets if net.failed)
+    def failures(self, kind: Optional[str] = None) -> Tuple[NetDesignResult, ...]:
+        """Nets whose design aborted with a per-net error.
+
+        ``kind`` filters by failure class: ``"infeasible"`` (the net has no
+        solution at some DP stage) or ``"crashed"`` (any other exception,
+        isolated to the net).  ``None`` returns both.
+        """
+        return tuple(
+            net
+            for net in self.nets
+            if net.failed and kind in (None, net.failure_kind)
+        )
 
 
 # --------------------------------------------------------------------------- #
@@ -404,6 +472,7 @@ def _design_case(
     method_runtimes: Dict[str, float] = {}
     states = 0
     error: Optional[str] = None
+    failure_kind: Optional[str] = None
     compile_seconds = 0.0
     # The engine-/process-shared window cache serves every RIP method and
     # every timing target of this task (keys cover the net fingerprint, the
@@ -506,6 +575,15 @@ def _design_case(
         # ``EngineStatistics.num_designs`` and the table aggregations (which
         # skip failed nets) stay consistent with each other.
         error = str(infeasible)
+        failure_kind = "infeasible"
+        records.clear()
+        method_runtimes.clear()
+    except Exception as crashed:
+        # Any *other* exception — a numpy error, a corrupt cache payload, a
+        # SanitizeError — gets the same per-net isolation, with the type
+        # recorded so crashes stay distinguishable from infeasibility.
+        error = _describe_failure(crashed)
+        failure_kind = "crashed"
         records.clear()
         method_runtimes.clear()
 
@@ -528,6 +606,7 @@ def _design_case(
         states_generated=states,
         technology=technology.name,
         error=error,
+        failure_kind=failure_kind,
         cache_statistics=cache_statistics,
         sanitizer_statistics=sanitizer_statistics,
     )
@@ -579,55 +658,70 @@ def _design_tree_case(
     records: List[DesignRecord] = []
     method_runtimes: Dict[str, float] = {}
     states = 0
+    error: Optional[str] = None
+    failure_kind: Optional[str] = None
     stats_before = window_cache.statistics if window_cache is not None else None
     sanitize_before = sanitize.statistics() if sanitize.enabled() else None
 
-    for spec in methods:
-        if spec.kind != "tree":
-            # RIP / two-pin DP methods apply to net population entries only.
-            continue
-        dp = TreePowerDp(
-            technology,
-            site_pitch=case.site_pitch,
-            max_states_per_node=case.max_states_per_node,
-            core=spec.core,
-        )
-        run_started = time.perf_counter()
-        if window_cache is not None:
-            context = _tree_dp_context(technology, pruning, spec, case)
-            solutions = window_cache.tree_solutions(
-                case.tree,
-                context,
-                resolved_targets,
-                lambda: dp.run_many(
-                    case.tree, spec.library, resolved_targets, compiled=compiled
-                ),
+    try:
+        for spec in methods:
+            if spec.kind != "tree":
+                # RIP / two-pin DP methods apply to net population entries only.
+                continue
+            dp = TreePowerDp(
+                technology,
+                site_pitch=case.site_pitch,
+                max_states_per_node=case.max_states_per_node,
+                core=spec.core,
             )
-        else:
-            solutions = dp.run_many(
-                case.tree, spec.library, resolved_targets, compiled=compiled
-            )
-        runtime = time.perf_counter() - run_started
-        method_runtimes[spec.name] = runtime
-        if solutions and solutions[0].statistics is not None:
-            # One DP run answers every target; the run-wide statistics are
-            # attached to each solution, so count them once per method.
-            states += solutions[0].statistics.states_generated
-        for target, solution in zip(resolved_targets, solutions):
-            records.append(
-                DesignRecord(
-                    net_name=case.tree.name,
-                    method=spec.name,
-                    target=target,
-                    target_factor=target / case.tau_min,
-                    feasible=solution.feasible,
-                    total_width=solution.total_width if solution.feasible else None,
-                    delay=solution.worst_delay if solution.feasible else None,
-                    runtime_seconds=runtime,
-                    num_repeaters=len(solution.assignments),
-                    technology=technology.name,
+            run_started = time.perf_counter()
+            if window_cache is not None:
+                context = _tree_dp_context(technology, pruning, spec, case)
+                solutions = window_cache.tree_solutions(
+                    case.tree,
+                    context,
+                    resolved_targets,
+                    lambda: dp.run_many(
+                        case.tree, spec.library, resolved_targets, compiled=compiled
+                    ),
                 )
-            )
+            else:
+                solutions = dp.run_many(
+                    case.tree, spec.library, resolved_targets, compiled=compiled
+                )
+            runtime = time.perf_counter() - run_started
+            method_runtimes[spec.name] = runtime
+            if solutions and solutions[0].statistics is not None:
+                # One DP run answers every target; the run-wide statistics are
+                # attached to each solution, so count them once per method.
+                states += solutions[0].statistics.states_generated
+            for target, solution in zip(resolved_targets, solutions):
+                records.append(
+                    DesignRecord(
+                        net_name=case.tree.name,
+                        method=spec.name,
+                        target=target,
+                        target_factor=target / case.tau_min,
+                        feasible=solution.feasible,
+                        total_width=solution.total_width if solution.feasible else None,
+                        delay=solution.worst_delay if solution.feasible else None,
+                        runtime_seconds=runtime,
+                        num_repeaters=len(solution.assignments),
+                        technology=technology.name,
+                    )
+                )
+    except InfeasibleNetError as infeasible:
+        # Same per-tree isolation and partial-record discipline as
+        # :func:`_design_case`.
+        error = str(infeasible)
+        failure_kind = "infeasible"
+        records.clear()
+        method_runtimes.clear()
+    except Exception as crashed:
+        error = _describe_failure(crashed)
+        failure_kind = "crashed"
+        records.clear()
+        method_runtimes.clear()
 
     cache_statistics = (
         window_cache.statistics.since(stats_before)
@@ -648,6 +742,8 @@ def _design_tree_case(
         states_generated=states,
         technology=technology.name,
         population_class="tree",
+        error=error,
+        failure_kind=failure_kind,
         cache_statistics=cache_statistics,
         sanitizer_statistics=sanitizer_statistics,
     )
@@ -778,23 +874,31 @@ def _design_case_payload(payload) -> NetDesignResult:
         cache_spec,
         arena_name,
     ) = payload
-    compiled: "Optional[CompiledNet | CompiledTree]" = None
-    if arena_name is not None:
-        # ``case`` is a job index; the net/tree, technology, targets,
-        # candidate grid and compiled wire intervals all come from the
-        # shared block.
-        job = _attach_population_arena(arena_name).job(case)
-        case, technology, compiled = job.case, job.technology, job.compiled
-    return _design_any_case(
-        case,
-        methods,
-        targets,
-        technology,
-        rip_config,
-        pruning,
-        _attach_window_cache(cache_spec),
-        compiled=compiled,
-    )
+    try:
+        compiled: "Optional[CompiledNet | CompiledTree]" = None
+        if arena_name is not None:
+            # ``case`` is a job index; the net/tree, technology, targets,
+            # candidate grid and compiled wire intervals all come from the
+            # shared block.
+            job = _attach_population_arena(arena_name).job(case)
+            case, technology, compiled = job.case, job.technology, job.compiled
+        return _design_any_case(
+            case,
+            methods,
+            targets,
+            technology,
+            rip_config,
+            pruning,
+            _attach_window_cache(cache_spec),
+            compiled=compiled,
+        )
+    except Exception as infrastructure_error:
+        # Per-net failures are already isolated inside _design_any_case; an
+        # exception escaping to here is infrastructure-level (arena/cache
+        # attach, result assembly) and legitimately aborts the sweep — but
+        # it must cross the pool as itself or as a picklable wrapper, never
+        # as an opaque pickling failure.
+        raise ensure_pool_safe(infrastructure_error) from None
 
 
 class DesignEngine:
@@ -832,9 +936,12 @@ class DesignEngine:
             cache_dir=str(Path(window_cache_dir)) if window_cache_dir is not None else None,
             max_entries=window_cache_entries,
         )
-        # Engine-lifetime shared cache of the serial path (and of any
-        # in-process consumers); workers build per-process equivalents.
-        self._shared_window_cache: Optional[WindowCompilationCache] = None
+        # Engine-lifetime shared caches of the serial path (and of any
+        # in-process consumers), one per attached spec: the engine's own
+        # default plus, for the design service, one per tenant partition
+        # (``design_population(cache_spec=...)``).  Workers build
+        # per-process equivalents.
+        self._shared_window_caches: Dict[WindowCacheSpec, WindowCompilationCache] = {}
         # Shared-memory population arenas published for worker pools; each
         # sweep removes its own in a ``finally``, so anything still here at
         # :meth:`close` belongs to a pool that crashed mid-task.
@@ -857,12 +964,12 @@ class DesignEngine:
                 arena.close()
             except Exception:  # pragma: no cover - best-effort teardown
                 pass
-        cache = self._shared_window_cache
-        if cache is not None and cache.cache_dir is not None:
-            try:
-                cache.gc()
-            except Exception:  # pragma: no cover - best-effort teardown
-                pass
+        for cache in self._shared_window_caches.values():
+            if cache.cache_dir is not None:
+                try:
+                    cache.gc()
+                except Exception:  # pragma: no cover - best-effort teardown
+                    pass
         if sanitize.enabled():
             # Every arena published by this process must be unlinked by now
             # (sweeps unlink in their ``finally``; the loop above reaped any
@@ -903,16 +1010,30 @@ class DesignEngine:
     @property
     def window_cache(self) -> Optional[WindowCompilationCache]:
         """The engine-lifetime shared cache (serial path; ``None`` = disabled)."""
-        if not self._window_cache_spec.enabled:
+        return self.shared_cache_for(self._window_cache_spec)
+
+    def shared_cache_for(
+        self, spec: WindowCacheSpec
+    ) -> Optional[WindowCompilationCache]:
+        """Create-or-reuse the engine-lifetime shared cache of one spec.
+
+        The engine's default spec backs every plain sweep; the design
+        service passes per-tenant specs (partitioned directories and
+        budgets) so tenants never share cache files or evict each other's
+        entries, while still reusing one engine.
+        """
+        if not spec.enabled:
             return None
-        if self._shared_window_cache is None:
-            self._shared_window_cache = WindowCompilationCache(
-                max_entries=self._window_cache_spec.max_entries,
-                cache_dir=self._window_cache_spec.cache_dir,
-                max_files=self._window_cache_spec.max_files,
-                max_bytes=self._window_cache_spec.max_bytes,
+        cache = self._shared_window_caches.get(spec)
+        if cache is None:
+            cache = WindowCompilationCache(
+                max_entries=spec.max_entries,
+                cache_dir=spec.cache_dir,
+                max_files=spec.max_files,
+                max_bytes=spec.max_bytes,
             )
-        return self._shared_window_cache
+            self._shared_window_caches[spec] = cache
+        return cache
 
     @property
     def store_statistics(self) -> StoreStatistics:
@@ -979,6 +1100,8 @@ class DesignEngine:
         *,
         technologies: Optional[Sequence[Technology]] = None,
         protocol: Optional[ProtocolConfig] = None,
+        technology: Optional[Technology] = None,
+        cache_spec: Optional[WindowCacheSpec] = None,
     ) -> PopulationDesignResult:
         """Design every net of a population with every method.
 
@@ -986,7 +1109,9 @@ class DesignEngine:
 
         * ``design_population(cases, methods, targets)`` — the classic
           single-technology sweep over prebuilt cases (the engine's own
-          technology);
+          technology, or ``technology=`` to design the cases on another
+          node — the design service routes per-request nodes through one
+          engine this way);
         * ``design_population(methods=..., technologies=[...],
           protocol=...)`` — a multi-technology sweep: each node's population
           is built from ``protocol`` (re-anchored per node, via the
@@ -995,7 +1120,10 @@ class DesignEngine:
 
         ``targets=None`` uses each case's own protocol targets; passing a
         :class:`TargetSpec` re-sweeps every net with a custom target grid
-        (Figure 7 uses a denser one).  Records come back technology- then
+        (Figure 7 uses a denser one).  ``cache_spec`` overrides the
+        engine's shared window-cache spec for this sweep only (per-tenant
+        cache partitioning); results are bit-identical either way because
+        the cache is bit-transparent.  Records come back technology- then
         net-major in input order regardless of worker count.
         """
         require(len(methods) > 0, "need at least one method")
@@ -1011,12 +1139,17 @@ class DesignEngine:
                 cases is not None,
                 "design_population needs prebuilt cases (or technologies= and protocol=)",
             )
-            jobs = [(self._technology, case) for case in cases]
-            tech_names = (self._technology.name,)
+            case_technology = technology if technology is not None else self._technology
+            jobs = [(case_technology, case) for case in cases]
+            tech_names = (case_technology.name,)
         else:
             require(
                 cases is None,
                 "pass either prebuilt cases or technologies=, not both",
+            )
+            require(
+                technology is None,
+                "technology= applies to prebuilt cases only, not technologies=",
             )
             require(
                 protocol is not None,
@@ -1036,7 +1169,7 @@ class DesignEngine:
 
         started = time.perf_counter()
         method_tuple = tuple(methods)
-        spec = self._window_cache_spec
+        spec = cache_spec if cache_spec is not None else self._window_cache_spec
         if self._workers > 1 and len(jobs) > 1:
             # Publish the whole population once through one shared-memory
             # block; task payloads carry just the job index, and workers
@@ -1072,8 +1205,9 @@ class DesignEngine:
                 if arena in self._arenas:
                     self._arenas.remove(arena)
         else:
-            # Serial path: every task reuses the engine-lifetime cache.
-            shared = self.window_cache
+            # Serial path: every task reuses the engine-lifetime cache of
+            # the effective spec.
+            shared = self.shared_cache_for(spec)
             results = [
                 _design_any_case(
                     case,

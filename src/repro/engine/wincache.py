@@ -809,6 +809,27 @@ class WindowCompilationCache:
         self._budget.gc(self._evict_file)
         return self._disk_evictions - before
 
+    def disk_usage(self) -> Tuple[int, int]:
+        """``(files, bytes)`` of the persistent tiers in ``cache_dir``.
+
+        Counts both the frontier files this cache owns and the REFINE
+        continuation records sharing the directory — i.e. the whole
+        design-state footprint of the directory.  The design service's
+        ``/metrics`` endpoint reports this per tenant partition.
+        """
+        if self._cache_dir is None or not self._cache_dir.is_dir():
+            return (0, 0)
+        files = 0
+        total = 0
+        for pattern in ("frontier-*.json", "refine-*.json"):
+            for path in self._cache_dir.glob(pattern):
+                try:
+                    total += path.stat().st_size
+                except OSError:  # pragma: no cover - racing eviction
+                    continue
+                files += 1
+        return (files, total)
+
 
 def resolve_window_cache(
     window_cache: "Optional[WindowCompilationCache] | bool",

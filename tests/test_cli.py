@@ -111,7 +111,9 @@ def test_sweep_single_technology(tmp_path, capsys):
     captured = capsys.readouterr()
     assert code == 0
     assert "designed 2 (net, target, method) records" in captured.out
-    records = json.loads(json_path.read_text())
+    payload = json.loads(json_path.read_text())
+    assert payload["failures"] == []
+    records = payload["records"]
     assert len(records) == 2
     assert all(record["technology"] == "cmos180" for record in records)
 
@@ -126,7 +128,9 @@ def test_sweep_multiple_technologies(tmp_path, capsys):
     assert code == 0
     assert "[cmos180]" in captured.out
     assert "[cmos90]" in captured.out
-    records = json.loads(json_path.read_text())
+    payload = json.loads(json_path.read_text())
+    assert payload["failures"] == []
+    records = payload["records"]
     assert sorted({record["technology"] for record in records}) == ["cmos180", "cmos90"]
     assert len(records) == 4
 
@@ -210,7 +214,52 @@ def test_sweep_dp_core_and_analytical_switches(tmp_path, capsys):
     def rows(path):
         return [
             {key: value for key, value in row.items() if key != "runtime_seconds"}
-            for row in json.loads(path.read_text())
+            for row in json.loads(path.read_text())["records"]
         ]
 
     assert rows(default_json) == rows(oracle_json)
+
+
+def test_sweep_exit_codes_reflect_failures(tmp_path, capsys, monkeypatch):
+    """A failed net turns the sweep exit code nonzero (unless suppressed)."""
+    from repro.engine import design as design_module
+
+    class PoisonedRip(design_module.Rip):
+        def prepare(self, net):
+            raise ValueError("poisoned by test")
+
+    monkeypatch.setattr(design_module, "Rip", PoisonedRip)
+    json_path = tmp_path / "records.json"
+    args = [
+        "sweep", "--nets", "1", "--targets", "2",
+        "--methods", "rip", "--json", str(json_path),
+    ]
+    assert main(args) == 3
+    captured = capsys.readouterr()
+    assert "FAILED [crashed]" in captured.out
+    assert "exiting 3" in captured.err
+
+    payload = json.loads(json_path.read_text())
+    assert payload["records"] == []
+    (failure,) = payload["failures"]
+    assert failure["failure_kind"] == "crashed"
+    assert "poisoned by test" in failure["error"]
+    assert failure["technology"] == "cmos180"
+
+    assert main(args + ["--keep-going-exit-zero"]) == 0
+    captured = capsys.readouterr()
+    assert "FAILED [crashed]" in captured.out
+    assert "exiting 3" not in captured.err
+
+
+def test_serve_parser_accepts_service_flags():
+    parser = build_parser()
+    args = parser.parse_args(
+        [
+            "serve", "--port", "0", "--max-tenants", "4",
+            "--batch-window-ms", "5", "--max-queue", "16",
+        ]
+    )
+    assert args.command == "serve"
+    assert args.port == 0
+    assert args.max_tenants == 4
