@@ -1,7 +1,7 @@
 """Smoke benchmark of the batch DesignEngine — writes ``BENCH_engine.json``.
 
-Eleven sections, all but ``tree_dp`` on the shared protocol-store
-population:
+Twelve sections, all but ``tree_dp`` and ``fault_recovery`` on the shared
+protocol-store population:
 
 * **kernels** — the Table-1-style sweep (RIP + three size-10 baselines)
   with the default **vectorized** pruning kernels vs. the **reference**
@@ -54,6 +54,12 @@ population:
   HTTP clients: requests/s, p50/p95 latency, micro-batch dedup counters —
   and the oracle gate that every streamed response is bit-identical to a
   direct serial ``design_population`` sweep of the same requests.
+* **fault_recovery** — the self-healing sweep (ISSUE 10): a 32-net
+  parallel sweep with ``REPRO_FAULTS`` injecting a transient SIGKILL, a
+  repeating SIGKILL and a hang — gated on zero lost results, >= 1 pool
+  rebuild, exactly the injected nets failing (``poisoned``/``timeout``)
+  and every surviving record bit-identical to the all-healthy serial
+  sweep.
 
 Usage::
 
@@ -77,6 +83,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.analysis import faults  # noqa: E402
 from repro.core.refine import RefineConfig  # noqa: E402
 from repro.core.rip import Rip, RipConfig  # noqa: E402
 from repro.dp.powerdp import PowerAwareDp  # noqa: E402
@@ -959,6 +966,113 @@ def bench_service(store, protocol, technology):
     }
 
 
+def bench_fault_recovery(technology):
+    """Self-healing sweep under injected worker faults (ISSUE 10).
+
+    A 32-net parallel sweep with ``REPRO_FAULTS`` injecting a transient
+    SIGKILL (retried on a rebuilt pool), a repeating SIGKILL (quarantined
+    as ``poisoned``) and a hang (reaped at the task deadline as
+    ``timeout``).  The sweep must complete with exactly the injected nets
+    failing, zero lost results, at least one pool rebuild, and every
+    surviving record bit-identical (runtime excluded) to an all-healthy
+    serial sweep of the same population.
+    """
+    from dataclasses import asdict
+
+    chaos_protocol = ProtocolConfig(
+        technology=technology, num_nets=32, targets_per_net=2, seed=2005
+    )
+    store = ProtocolStore()
+    cases = store.cases(chaos_protocol)
+    methods = [
+        MethodSpec.dp_baseline(
+            "dp-g40", RepeaterLibrary.uniform_count(10.0, 40.0, 10)
+        )
+    ]
+
+    oracle_engine = DesignEngine(technology, workers=0, store=ProtocolStore())
+    try:
+        started = time.perf_counter()
+        oracle = oracle_engine.design_population(cases, methods)
+        serial_seconds = time.perf_counter() - started
+    finally:
+        oracle_engine.close()
+
+    def strip(net_result):
+        return [
+            {k: v for k, v in asdict(r).items() if k != "runtime_seconds"}
+            for r in net_result.records
+        ]
+
+    transient, poisoned, hung = "net5", "net9", "net13"
+    injected = {poisoned: "poisoned", hung: "timeout"}
+    spec = ",".join(
+        [
+            f"design.case@{technology.name}/{transient}:sigkill:1",
+            f"design.case@{technology.name}/{poisoned}:sigkill:2",
+            f"design.case@{technology.name}/{hung}:hang:99",
+        ]
+    )
+    previous = os.environ.get(faults.ENV_VAR)
+    os.environ[faults.ENV_VAR] = spec
+    faults.reset()
+    engine = DesignEngine(
+        technology, workers=4, store=ProtocolStore(), task_timeout_s=10.0
+    )
+    try:
+        started = time.perf_counter()
+        population = engine.design_population(cases, methods)
+        chaos_seconds = time.perf_counter() - started
+        recovery = engine.recovery.snapshot()
+    finally:
+        engine.close()
+        if previous is None:
+            os.environ.pop(faults.ENV_VAR, None)
+        else:
+            os.environ[faults.ENV_VAR] = previous
+        faults.reset()
+
+    oracle_by_net = {net.net_name: strip(net) for net in oracle.nets}
+    failure_kinds = {
+        failure.net_name: failure.failure_kind for failure in population.failures()
+    }
+    lost = sum(
+        1
+        for net in population.nets
+        if not net.records and net.failure_kind is None
+    )
+    identical = failure_kinds == injected
+    for net in population.nets:
+        if net.net_name in injected:
+            identical &= net.records == ()
+        else:
+            identical &= strip(net) == oracle_by_net[net.net_name]
+    (retried,) = [net for net in population.nets if net.net_name == transient]
+
+    print(
+        f"[fault-rec ] {len(cases)} nets under chaos in {chaos_seconds:5.2f}s  "
+        f"rebuilds {recovery['rebuilds']}  retries {recovery['retries']}  "
+        f"quarantined {recovery['quarantined']}  timeouts {recovery['timeouts']}  "
+        f"lost {lost}  identical: {identical}"
+    )
+    return {
+        "num_nets": len(cases),
+        "workers": 4,
+        "task_timeout_seconds": 10.0,
+        "injected_spec": spec,
+        "serial_wall_clock_seconds": serial_seconds,
+        "chaos_wall_clock_seconds": chaos_seconds,
+        "pool_rebuilds": recovery["rebuilds"],
+        "retries": recovery["retries"],
+        "quarantined": recovery["quarantined"],
+        "timeouts": recovery["timeouts"],
+        "failure_kinds": failure_kinds,
+        "transient_attempts": retried.attempts,
+        "lost_results": lost,
+        "records_identical": identical,
+    }
+
+
 def run(num_nets, targets_per_net, workers, tech_names, output):
     technology = NODE_180NM
     protocol = ProtocolConfig(
@@ -981,6 +1095,7 @@ def run(num_nets, targets_per_net, workers, tech_names, output):
     fast_mode = bench_fast_mode(store, protocol, technology)
     technologies = bench_technologies(store, protocol, technology, workers, tech_names)
     service = bench_service(store, protocol, technology)
+    fault_recovery = bench_fault_recovery(technology)
 
     payload = {
         "benchmark": "engine-population-sweep",
@@ -1000,6 +1115,7 @@ def run(num_nets, targets_per_net, workers, tech_names, output):
         "fast_mode": fast_mode,
         "technologies": technologies,
         "service": service,
+        "fault_recovery": fault_recovery,
         # Legacy top-level aliases so existing trend tooling keeps parsing.
         "num_designs": kernels["num_designs"],
         "vectorized_wall_clock_seconds": kernels["vectorized_wall_clock_seconds"],
@@ -1074,6 +1190,19 @@ def run(num_nets, targets_per_net, workers, tech_names, output):
     if not service["records_identical"]:
         raise SystemExit(
             "service responses diverged from the direct serial sweep"
+        )
+    if not fault_recovery["records_identical"]:
+        raise SystemExit(
+            "fault-injected sweep diverged from the all-healthy serial sweep"
+        )
+    if fault_recovery["lost_results"] != 0:
+        raise SystemExit(
+            f"fault-injected sweep lost {fault_recovery['lost_results']} results"
+        )
+    if fault_recovery["pool_rebuilds"] < 1:
+        raise SystemExit(
+            "fault-injected sweep never rebuilt the worker pool — the "
+            "injected SIGKILLs did not reach it"
         )
     return payload
 

@@ -1,4 +1,4 @@
-"""Built-in lint rules R1–R6.
+"""Built-in lint rules R1–R7.
 
 Importing this package registers every rule with the
 :mod:`repro.analysis.linter` registry:
@@ -17,12 +17,16 @@ Importing this package registers every rule with the
                               never call it
 ``pool-exception-reduce``     R6 — custom exceptions with ``__init__`` define
                               ``__reduce__`` so they survive the pool
+``fault-site-registered``     R7 — ``maybe_inject``/``maybe_corrupt`` sites are
+                              string literals registered in ``SITES``, and no
+                              registered site goes unexercised
 ========================  =====================================================
 """
 
 from repro.analysis.rules import (  # noqa: F401  (import registers the rules)
     cachekeys,
     determinism,
+    faultsites,
     fingerprint,
     hotalloc,
     pool_exceptions,
@@ -32,6 +36,7 @@ from repro.analysis.rules import (  # noqa: F401  (import registers the rules)
 __all__ = [
     "cachekeys",
     "determinism",
+    "faultsites",
     "fingerprint",
     "hotalloc",
     "pool_exceptions",

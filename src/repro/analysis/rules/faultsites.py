@@ -1,0 +1,164 @@
+"""R7 — fault-site registry discipline (``fault-site-registered``).
+
+The deterministic fault-injection switchboard (:mod:`repro.analysis.faults`)
+only fires at sites spelled out in its module-level ``SITES`` registry —
+``REPRO_FAULTS`` specs are validated against that dict, so an injection
+call naming an unregistered site is dead code that silently never fires,
+and a registered site nobody calls documents coverage the chaos suite does
+not actually have.  Both failure shapes defeat the point of the framework
+(a CI chaos step that *thinks* it is injecting faults but is not).
+
+Rule, per run:
+
+* every ``maybe_inject(...)`` / ``maybe_corrupt(...)`` call must pass the
+  site as a **string literal** (the registry check is textual; a computed
+  site name cannot be validated statically or grepped for);
+* when the run contains the registry module (a ``faults.py`` defining a
+  module-level ``SITES`` dict), every literal site argument must be a key
+  of that dict;
+* conversely, every registered site must be exercised by at least one call
+  somewhere in the run — unused entries are flagged on the registry's own
+  ``SITES`` assignment.  Like R1, this half only activates when the
+  registry module is part of the run, so linting a lone module never
+  false-positives.
+
+The rule ignores the registry module's own function bodies (the
+switchboard implementation manipulates sites dynamically by design).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.linter import LintModule, LintViolation, Rule, register
+
+_INJECT_NAMES = frozenset({"maybe_inject", "maybe_corrupt"})
+_REGISTRY_MODULE = "faults.py"
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _site_argument(node: ast.Call) -> Optional[ast.expr]:
+    if node.args:
+        return node.args[0]
+    for keyword in node.keywords:
+        if keyword.arg == "site":
+            return keyword.value
+    return None
+
+
+def _registry_sites(module: LintModule) -> Optional[Dict[str, ast.AST]]:
+    """``SITES`` keys of a registry module, or ``None`` if it has none."""
+    for node in module.tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(
+            isinstance(target, ast.Name) and target.id == "SITES"
+            for target in targets
+        ):
+            continue
+        if not isinstance(value, ast.Dict):
+            continue
+        sites: Dict[str, ast.AST] = {}
+        for key in value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                sites[key.value] = key
+        return sites
+    return None
+
+
+def _injection_calls(module: LintModule) -> Iterable[ast.Call]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call) and _call_name(node) in _INJECT_NAMES:
+            yield node
+
+
+@register
+class FaultSiteRegisteredRule(Rule):
+    id = "fault-site-registered"
+    title = "fault-injection sites are literal and registered; no dead sites"
+
+    def __init__(self) -> None:
+        self._sites: Optional[Dict[str, ast.AST]] = None
+        self._registry_path: Optional[str] = None
+        self._called_sites: Set[str] = set()
+
+    def begin_run(self, modules: Iterable[LintModule]) -> None:
+        self._sites = None
+        self._registry_path = None
+        self._called_sites = set()
+        pending: List[Tuple[LintModule, ast.Call]] = []
+        for module in modules:
+            if module.name == _REGISTRY_MODULE and self._sites is None:
+                sites = _registry_sites(module)
+                if sites is not None:
+                    self._sites = sites
+                    self._registry_path = module.path
+                    continue  # the switchboard's own bodies are exempt
+            for call in _injection_calls(module):
+                pending.append((module, call))
+        for _module, call in pending:
+            argument = _site_argument(call)
+            if isinstance(argument, ast.Constant) and isinstance(
+                argument.value, str
+            ):
+                self._called_sites.add(argument.value)
+
+    def check(self, module: LintModule) -> Iterable[LintViolation]:
+        if module.path == self._registry_path:
+            # Second half: registered-but-never-exercised sites, reported on
+            # the registry's own key nodes so the fix site is obvious.
+            assert self._sites is not None
+            for site, key_node in sorted(self._sites.items()):
+                if site not in self._called_sites:
+                    yield self.violation(
+                        module,
+                        key_node,
+                        f"fault site {site!r} is registered in SITES but "
+                        "never passed to maybe_inject()/maybe_corrupt() "
+                        "anywhere in this run; the chaos suite silently "
+                        "skips it",
+                    )
+            return
+        for call in _injection_calls(module):
+            argument = _site_argument(call)
+            if argument is None:
+                yield self.violation(
+                    module,
+                    call,
+                    f"{_call_name(call)}() call passes no site argument",
+                )
+                continue
+            if not (
+                isinstance(argument, ast.Constant)
+                and isinstance(argument.value, str)
+            ):
+                yield self.violation(
+                    module,
+                    call,
+                    f"{_call_name(call)}() site must be a string literal "
+                    "matching a SITES registry key; a computed site name "
+                    "cannot be validated and may silently never fire",
+                )
+                continue
+            if self._sites is not None and argument.value not in self._sites:
+                yield self.violation(
+                    module,
+                    call,
+                    f"{_call_name(call)}() names unregistered fault site "
+                    f"{argument.value!r}; REPRO_FAULTS specs are validated "
+                    "against SITES, so this injection can never be enabled "
+                    f"(registered: {', '.join(sorted(self._sites))})",
+                )

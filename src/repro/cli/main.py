@@ -282,6 +282,27 @@ def build_parser() -> argparse.ArgumentParser:
             "scripts; failures are still printed and exported)"
         ),
     )
+    sweep.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help=(
+            "per-task deadline in seconds for the supervised worker pool: a "
+            "hung worker is reaped at the deadline and its net reported as "
+            "FAILED [timeout] (default: no deadline)"
+        ),
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "replay completed results from the sweep journal of an earlier "
+            "identical sweep (bit-for-bit) and execute only the remainder; "
+            "needs a disk-backed cache (--cache-dir or REPRO_CACHE_DIR). "
+            "Sweeps with a disk cache always journal, so a killed driver "
+            "loses at most the in-flight nets"
+        ),
+    )
 
     serve = subparsers.add_parser(
         "serve", help="run the multi-tenant design service daemon"
@@ -336,6 +357,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=60.0,
         help="per-request residence timeout in seconds (exceeded => HTTP 504)",
+    )
+    serve.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help=(
+            "per-task deadline in seconds for the engine's supervised "
+            "worker pool (hung workers are reaped; the net fails with "
+            "kind 'timeout')"
+        ),
     )
 
     cache = subparsers.add_parser(
@@ -530,7 +561,12 @@ def _make_engine(args: argparse.Namespace, technology):
     from repro.engine.design import DesignEngine
 
     store = ProtocolStore(cache_dir=args.cache_dir) if args.cache_dir else None
-    return DesignEngine(technology, workers=args.workers, store=store)
+    return DesignEngine(
+        technology,
+        workers=args.workers,
+        store=store,
+        task_timeout_s=getattr(args, "task_timeout", None),
+    )
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -662,6 +698,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(str(error), file=sys.stderr)
         return 2
     engine = _make_engine(args, technology)
+    # Journal every disk-backed sweep (checkpoint/resume): a killed driver
+    # then loses at most the in-flight nets, and --resume replays the rest
+    # bit-for-bit.  Memory-only runs have nowhere durable to journal to.
+    checkpoint = engine.store.cache_dir is not None
+    if args.resume and not checkpoint:
+        print(
+            "--resume needs a disk-backed cache (--cache-dir or REPRO_CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return 2
     if args.population == "htree":
         if args.tech:
             print("--population htree does not batch multiple --tech nodes", file=sys.stderr)
@@ -676,7 +722,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             span_step=from_microns(args.htree_span_step_um),
             targets=TargetSpec(count=args.targets),
         )
-        result = engine.design_population(cases, methods)
+        result = engine.design_population(
+            cases, methods, checkpoint=checkpoint, resume=args.resume
+        )
         num_nets = len(cases)
     elif args.tech:
         protocol = ProtocolConfig(
@@ -687,7 +735,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         technologies = [get_node(name) for name in dict.fromkeys(args.tech)]
         result = engine.design_population(
-            methods=methods, technologies=technologies, protocol=protocol
+            methods=methods,
+            technologies=technologies,
+            protocol=protocol,
+            checkpoint=checkpoint,
+            resume=args.resume,
         )
         num_nets = args.nets * len(technologies)
     else:
@@ -698,7 +750,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
         cases = engine.build_cases(protocol)
-        result = engine.design_population(cases, methods)
+        result = engine.design_population(
+            cases, methods, checkpoint=checkpoint, resume=args.resume
+        )
         num_nets = len(cases)
 
     stats = result.statistics
@@ -762,11 +816,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     infeasible = sum(1 for record in result.records() if not record.feasible)
     print(f"infeasible designs: {infeasible}")
+    recovery = engine.recovery.snapshot()
+    if any(recovery[field] for field in ("rebuilds", "retries", "quarantined", "timeouts")):
+        print(
+            f"recovery: {recovery['rebuilds']} pool rebuilds, "
+            f"{recovery['retries']} retries, "
+            f"{recovery['quarantined']} quarantined, "
+            f"{recovery['timeouts']} timeouts"
+        )
     failures = result.failures()
     for failure in failures:
+        attempts = (
+            f" (attempts={failure.attempts})" if failure.attempts != 1 else ""
+        )
         print(
             f"FAILED [{failure.failure_kind}] "
-            f"{failure.technology}/{failure.net_name}: {failure.error}"
+            f"{failure.technology}/{failure.net_name}{attempts}: {failure.error}"
         )
     if args.json:
         import json as _json
@@ -779,6 +844,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     "technology": failure.technology,
                     "net_name": failure.net_name,
                     "failure_kind": failure.failure_kind,
+                    "attempts": failure.attempts,
                     "error": failure.error,
                 }
                 for failure in failures

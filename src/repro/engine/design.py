@@ -50,12 +50,11 @@ from __future__ import annotations
 import pickle
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis import sanitize
+from repro.analysis import faults, sanitize
 from repro.analysis.sanitize import SanitizerStatistics
 from repro.core.rip import InfeasibleNetError, Rip, RipConfig
 from repro.dp.powerdp import PowerAwareDp
@@ -67,14 +66,24 @@ from repro.engine.cache import (
     StoreStatistics,
     TreeCase,
     default_store,
+    technology_fingerprint,
     timing_targets,
 )
 from repro.engine.compiled import CompiledNet, CompiledTree
 from repro.engine.shm import SharedPopulationArena
+from repro.engine.supervisor import (
+    RecoveryMonitor,
+    RetryPolicy,
+    SupervisedExecutor,
+    SweepJournal,
+    TaskOutcome,
+)
 from repro.engine.wincache import (
     CacheStatistics,
     WindowCompilationCache,
     dp_context_fingerprint,
+    net_fingerprint,
+    tree_fingerprint,
 )
 from repro.tech.library import RepeaterLibrary
 from repro.tech.technology import Technology
@@ -287,10 +296,13 @@ class NetDesignResult:
     :class:`~repro.core.rip.InfeasibleNetError` (the net genuinely has no
     solution at some DP stage), ``"crashed"`` for any other exception (a
     numpy error, a corrupt cache payload, a ``SanitizeError`` ...), whose
-    type and message are recorded in ``error``.  A failed net carries no
-    records (rows completed before the failure are dropped), so flat record
-    counts always agree with the table aggregations, which skip failed
-    nets.
+    type and message are recorded in ``error``; the supervised parallel
+    path adds ``"poisoned"`` (the task collapsed the worker pool on its
+    final allowed attempt — SIGKILL/OOM/segfault) and ``"timeout"`` (the
+    task exceeded the engine's per-task deadline and its worker was
+    reaped).  A failed net carries no records (rows completed before the
+    failure are dropped), so flat record counts always agree with the
+    table aggregations, which skip failed nets.
     """
 
     net_name: str
@@ -305,8 +317,13 @@ class NetDesignResult:
     #: ``rip sweep`` aggregates engine statistics per class from this tag.
     population_class: str = "twopin"
     error: Optional[str] = None
-    #: ``"infeasible"`` | ``"crashed"`` when ``error`` is set, else ``None``.
+    #: ``"infeasible"`` | ``"crashed"`` | ``"poisoned"`` | ``"timeout"``
+    #: when ``error`` is set, else ``None``.
     failure_kind: Optional[str] = None
+    #: How many times the supervised pool submitted this net's task (1 for
+    #: serial sweeps and untroubled parallel tasks; 2 when the first
+    #: attempt collapsed the pool and the isolation retry succeeded).
+    attempts: int = 1
     #: Shared-window-cache counter delta attributable to this net's task
     #: (``None`` when the cache is disabled).
     cache_statistics: Optional[CacheStatistics] = None
@@ -390,8 +407,10 @@ class PopulationDesignResult:
         """Nets whose design aborted with a per-net error.
 
         ``kind`` filters by failure class: ``"infeasible"`` (the net has no
-        solution at some DP stage) or ``"crashed"`` (any other exception,
-        isolated to the net).  ``None`` returns both.
+        solution at some DP stage), ``"crashed"`` (any other exception,
+        isolated to the net), ``"poisoned"`` (the net's task collapsed the
+        supervised worker pool on its final attempt) or ``"timeout"`` (the
+        task exceeded the per-task deadline).  ``None`` returns all.
         """
         return tuple(
             net
@@ -483,6 +502,10 @@ def _design_case(
     sanitize_before = sanitize.statistics() if sanitize.enabled() else None
 
     try:
+        # Deterministic fault injection (REPRO_FAULTS): crash/sigkill/hang
+        # escape to the supervised pool; exception-mode lands in the per-net
+        # isolation below as a "crashed" failure.
+        faults.maybe_inject("design.case")
         for spec in methods:
             if spec.kind == "tree":
                 # Tree methods apply to tree population entries only.
@@ -664,6 +687,9 @@ def _design_tree_case(
     sanitize_before = sanitize.statistics() if sanitize.enabled() else None
 
     try:
+        # Same fault-injection site as the two-pin task: the "design.case"
+        # registry entry covers both population classes.
+        faults.maybe_inject("design.case")
         for spec in methods:
             if spec.kind != "tree":
                 # RIP / two-pin DP methods apply to net population entries only.
@@ -863,7 +889,7 @@ def _init_worker(spec: WindowCacheSpec, arena_name: Optional[str] = None) -> Non
     _attach_population_arena(arena_name)
 
 
-def _design_case_payload(payload) -> NetDesignResult:
+def _design_case_payload(payload, attempt: int = 1) -> NetDesignResult:
     (
         case,
         methods,
@@ -873,6 +899,7 @@ def _design_case_payload(payload) -> NetDesignResult:
         pruning,
         cache_spec,
         arena_name,
+        task_key,
     ) = payload
     try:
         compiled: "Optional[CompiledNet | CompiledTree]" = None
@@ -882,16 +909,21 @@ def _design_case_payload(payload) -> NetDesignResult:
             # shared block.
             job = _attach_population_arena(arena_name).job(case)
             case, technology, compiled = job.case, job.technology, job.compiled
-        return _design_any_case(
-            case,
-            methods,
-            targets,
-            technology,
-            rip_config,
-            pruning,
-            _attach_window_cache(cache_spec),
-            compiled=compiled,
-        )
+        # The ambient (task key, attempt) lets every fault-injection site
+        # below this frame (the design task, the kernels boundary, the
+        # wincache disk tier) match `site@key` specs and apply the
+        # attempt-aware firing budget.
+        with faults.task_context(task_key, attempt):
+            return _design_any_case(
+                case,
+                methods,
+                targets,
+                technology,
+                rip_config,
+                pruning,
+                _attach_window_cache(cache_spec),
+                compiled=compiled,
+            )
     except Exception as infrastructure_error:
         # Per-net failures are already isolated inside _design_any_case; an
         # exception escaping to here is infrastructure-level (arena/cache
@@ -899,6 +931,143 @@ def _design_case_payload(payload) -> NetDesignResult:
         # it must cross the pool as itself or as a picklable wrapper, never
         # as an opaque pickling failure.
         raise ensure_pool_safe(infrastructure_error) from None
+
+
+# --------------------------------------------------------------------------- #
+# sweep journal glue: task keys, sweep identity, result (de)serialization
+# --------------------------------------------------------------------------- #
+def _case_name(case: "NetCase | TreeCase") -> str:
+    return case.tree.name if isinstance(case, TreeCase) else case.net.name
+
+
+def _job_task_key(technology: Technology, case: "NetCase | TreeCase") -> str:
+    """Stable per-task identifier of one (technology, case) job.
+
+    Doubles as the ``REPRO_FAULTS`` task key (``site@cmos180/net3``) and the
+    sweep journal's entry key, so fault specs and journal replays address
+    tasks the same way the CLI reports them.
+    """
+    return technology.name + "/" + _case_name(case)
+
+
+def _sweep_components(
+    jobs: Sequence[Tuple[Technology, "NetCase | TreeCase"]],
+    methods: Sequence[MethodSpec],
+    targets: Optional[TargetSpec],
+    rip_config: RipConfig,
+    pruning: PruningConfig,
+) -> Dict[str, Any]:
+    """The full sweep identity a :class:`SweepJournal` is keyed by.
+
+    Covers everything a sweep's records are a function of — population
+    fingerprints (net/tree geometry, tau_min, per-case targets), the swept
+    technologies' constants, the method list (libraries, cores, per-method
+    RIP overrides) and the engine's RIP/pruning configuration — so a journal
+    can never replay results into a differently-configured sweep.
+    """
+    technologies: Dict[str, Any] = {}
+    population: List[Dict[str, Any]] = []
+    for technology, case in jobs:
+        if technology.name not in technologies:
+            technologies[technology.name] = technology_fingerprint(technology)
+        if isinstance(case, TreeCase):
+            entry: Dict[str, Any] = {
+                "class": "tree",
+                "fingerprint": tree_fingerprint(case.tree),
+                "site_pitch": case.site_pitch,
+                "max_states_per_node": case.max_states_per_node,
+            }
+        else:
+            entry = {
+                "class": "twopin",
+                "fingerprint": net_fingerprint(case.net),
+                "candidates": list(case.candidates),
+            }
+        entry["technology"] = technology.name
+        entry["tau_min"] = case.tau_min
+        entry["targets"] = list(case.targets)
+        population.append(entry)
+    return {
+        "population": population,
+        "technologies": technologies,
+        "methods": [
+            {
+                "name": spec.name,
+                "kind": spec.kind,
+                "library": (
+                    list(spec.library.widths) if spec.library is not None else None
+                ),
+                "rip": asdict(spec.rip) if spec.rip is not None else None,
+                "traversal": spec.traversal,
+                "core": spec.core,
+            }
+            for spec in methods
+        ],
+        "targets": asdict(targets) if targets is not None else None,
+        "rip_config": asdict(rip_config),
+        "pruning": asdict(pruning),
+    }
+
+
+def _net_result_to_payload(result: NetDesignResult) -> Dict[str, Any]:
+    """JSON-safe journal payload of one completed task (exact round-trip).
+
+    Floats survive JSON bit-for-bit (shortest-round-trip repr), so a
+    replayed :class:`NetDesignResult` compares equal to the recorded one —
+    the property the ``--resume`` bit-identity tests assert.
+    """
+    return {
+        "net_name": result.net_name,
+        "tau_min": result.tau_min,
+        "targets": list(result.targets),
+        "records": [asdict(record) for record in result.records],
+        "method_runtimes": dict(result.method_runtimes),
+        "states_generated": result.states_generated,
+        "technology": result.technology,
+        "population_class": result.population_class,
+        "error": result.error,
+        "failure_kind": result.failure_kind,
+        "attempts": result.attempts,
+        "cache_statistics": (
+            asdict(result.cache_statistics)
+            if result.cache_statistics is not None
+            else None
+        ),
+        "sanitizer_statistics": (
+            asdict(result.sanitizer_statistics)
+            if result.sanitizer_statistics is not None
+            else None
+        ),
+    }
+
+
+def _net_result_from_payload(payload: Dict[str, Any]) -> NetDesignResult:
+    """Rebuild a :class:`NetDesignResult` from its journal payload."""
+    return NetDesignResult(
+        net_name=payload["net_name"],
+        tau_min=payload["tau_min"],
+        targets=tuple(payload["targets"]),
+        records=tuple(
+            DesignRecord(**record) for record in payload["records"]
+        ),
+        method_runtimes=dict(payload["method_runtimes"]),
+        states_generated=payload["states_generated"],
+        technology=payload["technology"],
+        population_class=payload["population_class"],
+        error=payload["error"],
+        failure_kind=payload["failure_kind"],
+        attempts=payload["attempts"],
+        cache_statistics=(
+            CacheStatistics(**payload["cache_statistics"])
+            if payload["cache_statistics"] is not None
+            else None
+        ),
+        sanitizer_statistics=(
+            SanitizerStatistics(**payload["sanitizer_statistics"])
+            if payload["sanitizer_statistics"] is not None
+            else None
+        ),
+    )
 
 
 class DesignEngine:
@@ -915,12 +1084,19 @@ class DesignEngine:
         window_cache: bool = True,
         window_cache_dir: "Optional[str]" = None,
         window_cache_entries: int = 512,
+        task_timeout_s: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         require(workers >= 0, "workers must be >= 0")
+        if task_timeout_s is not None:
+            require_positive(task_timeout_s, "task_timeout_s")
         self._technology = technology
         self._rip_config = rip_config or RipConfig()
         self._pruning = pruning or self._rip_config.pruning
         self._workers = workers
+        self._task_timeout_s = task_timeout_s
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._recovery = RecoveryMonitor()
         self._store = store if store is not None else default_store()
         self._tech_stores: Dict[str, ProtocolStore] = {technology.name: self._store}
         # The shared design-state directory: an explicit window_cache_dir
@@ -996,6 +1172,22 @@ class DesignEngine:
     def workers(self) -> int:
         """Worker processes used by :meth:`design_population` (0/1 = serial)."""
         return self._workers
+
+    @property
+    def task_timeout_s(self) -> Optional[float]:
+        """Per-task deadline of the supervised pool (``None`` = no deadline)."""
+        return self._task_timeout_s
+
+    @property
+    def recovery(self) -> RecoveryMonitor:
+        """Recovery counters of the supervised pool (rebuilds, retries, ...).
+
+        Shared across all of this engine's sweeps; the design service
+        degrades new requests to 503 + ``Retry-After`` while
+        ``recovery.rebuilding`` is set and surfaces the counters in its
+        ``/metrics`` breaker section.
+        """
+        return self._recovery
 
     @property
     def window_cache_enabled(self) -> bool:
@@ -1092,6 +1284,109 @@ class DesignEngine:
             return self._store.cases(protocol)
         return self.store_for(technology).cases(self.protocol_for(protocol, technology))
 
+    def _run_supervised(
+        self,
+        jobs: Sequence[Tuple[Technology, "NetCase | TreeCase"]],
+        todo: Sequence[int],
+        results: "List[Optional[NetDesignResult]]",
+        job_keys: Sequence[str],
+        method_tuple: Tuple[MethodSpec, ...],
+        targets: Optional[TargetSpec],
+        spec: WindowCacheSpec,
+        journal: Optional[SweepJournal],
+    ) -> None:
+        """Run the ``todo`` jobs through the supervised worker pool.
+
+        Publishes the population once through one shared-memory block;
+        task payloads carry just the job index, and workers attach in the
+        pool initializer (alongside the per-process shared window cache —
+        all backed by the same disk tier when one is set).  The ``finally``
+        unlinks the block even when the sweep aborts on an infrastructure
+        error; arenas that somehow survive are reaped by :meth:`close`.
+
+        Worker death and hangs never abort the sweep: the
+        :class:`SupervisedExecutor` rebuilds the pool (re-verifying the
+        arena's liveness between teardown and rebuild), retries collapse
+        suspects through its serial isolation drain, and converts terminal
+        supervisor failures into per-net ``poisoned``/``timeout`` results.
+        """
+        arena = SharedPopulationArena.publish(jobs)
+        self._arenas.append(arena)
+        payloads = [
+            (
+                index,
+                method_tuple,
+                targets,
+                None,
+                self._rip_config,
+                self._pruning,
+                spec,
+                arena.name,
+                job_keys[index],
+            )
+            for index in todo
+        ]
+
+        def settle(run_index: int, outcome: TaskOutcome) -> None:
+            global_index = todo[run_index]
+            if outcome.ok:
+                result = outcome.value
+                if outcome.attempts != result.attempts:
+                    result = replace(result, attempts=outcome.attempts)
+                if journal is not None:
+                    journal.record(
+                        job_keys[global_index], _net_result_to_payload(result)
+                    )
+            else:
+                # Supervisor-terminal failure: synthesize the per-net result
+                # parent-side (the worker never returned one).  Deliberately
+                # not journaled — poisoned/timeout describe the environment,
+                # not the net, so a resumed sweep retries these tasks.
+                job_technology, case = jobs[global_index]
+                failure = outcome.failure
+                resolved = (
+                    case.targets
+                    if targets is None
+                    else targets.targets_for(case.tau_min)
+                )
+                result = NetDesignResult(
+                    net_name=_case_name(case),
+                    tau_min=case.tau_min,
+                    targets=tuple(resolved),
+                    records=(),
+                    method_runtimes={},
+                    states_generated=0,
+                    technology=job_technology.name,
+                    population_class=(
+                        "tree" if isinstance(case, TreeCase) else "twopin"
+                    ),
+                    error=failure.detail,
+                    failure_kind=failure.kind,
+                    attempts=failure.attempts,
+                )
+            results[global_index] = result
+
+        executor = SupervisedExecutor(
+            max_workers=self._workers,
+            initializer=_init_worker,
+            initargs=(spec, arena.name),
+            retry=self._retry,
+            task_timeout_s=self._task_timeout_s,
+            monitor=self._recovery,
+            on_rebuild=arena.verify_live,
+        )
+        try:
+            executor.run(
+                _design_case_payload,
+                payloads,
+                keys=[job_keys[index] for index in todo],
+                on_result=settle,
+            )
+        finally:
+            arena.close()
+            if arena in self._arenas:
+                self._arenas.remove(arena)
+
     def design_population(
         self,
         cases: Optional[Sequence[NetCase]] = None,
@@ -1102,6 +1397,9 @@ class DesignEngine:
         protocol: Optional[ProtocolConfig] = None,
         technology: Optional[Technology] = None,
         cache_spec: Optional[WindowCacheSpec] = None,
+        checkpoint: bool = False,
+        resume: bool = False,
+        journal_dir: "Optional[str | Path]" = None,
     ) -> PopulationDesignResult:
         """Design every net of a population with every method.
 
@@ -1125,6 +1423,15 @@ class DesignEngine:
         cache partitioning); results are bit-identical either way because
         the cache is bit-transparent.  Records come back technology- then
         net-major in input order regardless of worker count.
+
+        ``checkpoint=True`` streams every completed per-net result into a
+        :class:`SweepJournal` under the store's cache directory (or
+        ``journal_dir=``), keyed by the full sweep identity;
+        ``resume=True`` replays validated journal entries bit-for-bit and
+        executes only the remainder, so a killed driver loses at most the
+        in-flight tasks.  Supervisor-terminal failures (``poisoned``/
+        ``timeout``) are environment-shaped, not properties of the net, so
+        they are never journaled — a resumed sweep retries those nets.
         """
         require(len(methods) > 0, "need at least one method")
         names = [spec.name for spec in methods]
@@ -1170,56 +1477,64 @@ class DesignEngine:
         started = time.perf_counter()
         method_tuple = tuple(methods)
         spec = cache_spec if cache_spec is not None else self._window_cache_spec
-        if self._workers > 1 and len(jobs) > 1:
-            # Publish the whole population once through one shared-memory
-            # block; task payloads carry just the job index, and workers
-            # attach in the pool initializer (alongside the per-process
-            # shared window cache — all backed by the same disk tier when
-            # one is set).  The ``finally`` unlinks the block even when a
-            # worker dies mid-task (BrokenProcessPool); arenas that somehow
-            # survive are reaped by :meth:`close`.
-            arena = SharedPopulationArena.publish(jobs)
-            self._arenas.append(arena)
-            payloads = [
-                (
-                    index,
-                    method_tuple,
-                    targets,
-                    None,
-                    self._rip_config,
-                    self._pruning,
-                    spec,
-                    arena.name,
+        job_keys = [_job_task_key(job_technology, case) for job_technology, case in jobs]
+
+        journal: Optional[SweepJournal] = None
+        results: List[Optional[NetDesignResult]] = [None] * len(jobs)
+        if checkpoint or resume:
+            directory = journal_dir
+            if directory is None and self._store.cache_dir is not None:
+                directory = self._store.cache_dir / "journal"
+            require(
+                directory is not None,
+                "checkpoint/resume needs a disk-backed store or journal_dir=",
+            )
+            require(
+                len(set(job_keys)) == len(job_keys),
+                "checkpoint/resume needs unique (technology, net) names",
+            )
+            journal = SweepJournal(
+                directory,
+                _sweep_components(
+                    jobs, method_tuple, targets, self._rip_config, self._pruning
+                ),
+            )
+            entries = journal.begin(resume=resume)
+            for index, task_key in enumerate(job_keys):
+                payload = entries.get(task_key)
+                if payload is not None:
+                    results[index] = _net_result_from_payload(payload)
+        todo = [index for index in range(len(jobs)) if results[index] is None]
+
+        try:
+            if self._workers > 1 and len(todo) > 1:
+                self._run_supervised(
+                    jobs, todo, results, job_keys, method_tuple, targets, spec, journal
                 )
-                for index in range(len(jobs))
-            ]
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=self._workers,
-                    initializer=_init_worker,
-                    initargs=(spec, arena.name),
-                ) as pool:
-                    results = list(pool.map(_design_case_payload, payloads))
-            finally:
-                arena.close()
-                if arena in self._arenas:
-                    self._arenas.remove(arena)
-        else:
-            # Serial path: every task reuses the engine-lifetime cache of
-            # the effective spec.
-            shared = self.shared_cache_for(spec)
-            results = [
-                _design_any_case(
-                    case,
-                    method_tuple,
-                    targets,
-                    technology,
-                    self._rip_config,
-                    self._pruning,
-                    shared,
-                )
-                for technology, case in jobs
-            ]
+            else:
+                # Serial path: every task reuses the engine-lifetime cache of
+                # the effective spec.
+                shared = self.shared_cache_for(spec)
+                for index in todo:
+                    job_technology, case = jobs[index]
+                    with faults.task_context(job_keys[index]):
+                        result = _design_any_case(
+                            case,
+                            method_tuple,
+                            targets,
+                            job_technology,
+                            self._rip_config,
+                            self._pruning,
+                            shared,
+                        )
+                    if journal is not None:
+                        journal.record(
+                            job_keys[index], _net_result_to_payload(result)
+                        )
+                    results[index] = result
+        finally:
+            if journal is not None:
+                journal.close()
         wall_clock = time.perf_counter() - started
         states = sum(result.states_generated for result in results)
         num_designs = sum(len(result.records) for result in results)

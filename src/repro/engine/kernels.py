@@ -51,6 +51,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis import faults
+
 __all__ = [
     "DpScratch",
     "bucket_prune",
@@ -699,6 +701,10 @@ def fused_level(
     reduced candidate set; the fallback expands in full.  Both paths give
     bit-identical survivors in identical order — see the module docstring.
     """
+    # Fault-injection hook at the hot compiled-engine boundary every
+    # two-pin DP method crosses (a no-op dict probe when REPRO_FAULTS is
+    # unset; allocates nothing, so the hot-alloc discipline holds).
+    faults.maybe_inject("kernels.fused-level")
     _traverse_in_place(scratch, interval, caps, delays, exact_traversal)
     count = len(caps)
     branches = len(cap_lut) + 1

@@ -264,6 +264,30 @@ class SharedPopulationArena:
         """Whether this process's mapping has been released."""
         return self._shm is None
 
+    def verify_live(self) -> None:
+        """Raise unless the OS shared-memory block is still attachable.
+
+        The supervised pool calls this between tearing a collapsed pool
+        down and building the fresh one: rebuilt workers re-attach the
+        arena by name in their initializer, so a vanished block (an
+        over-eager resource tracker, a stray unlink) must fail loudly here
+        — in the parent, with a clear message — rather than as an opaque
+        initializer crash loop in the new pool.  The probe attaches
+        untracked (bpo-38119) and never unlinks, so the publisher's
+        ``track_shm_created``/``track_shm_unlinked`` accounting is
+        untouched and stays balanced across any number of rebuilds.
+        """
+        name = self.name  # raises ValueError when this mapping is closed
+        try:
+            with _untracked_attach():
+                probe = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError as missing:
+            raise RuntimeError(
+                f"population arena {name!r} vanished while the worker pool "
+                "was being rebuilt; the sweep cannot continue"
+            ) from missing
+        probe.close()
+
     def __len__(self) -> int:
         return len(self._jobs)
 

@@ -65,6 +65,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Tuple, TypeVar
 
+from repro.analysis import faults
 from repro.dp.candidates import window_candidates
 from repro.dp.frontier import DelayWidthFrontier, FrontierPoint
 from repro.dp.powerdp import DpStatistics, PowerDpResult
@@ -673,7 +674,12 @@ class WindowCompilationCache:
         if not path.is_file():
             return None
         try:
-            data = json.loads(path.read_text(encoding="utf-8"))
+            # The fault switchboard sits between reading and validating —
+            # a "corrupt-cache-read" spec exercises the eviction below.
+            text = faults.maybe_corrupt(
+                "wincache.disk-read", path.read_text(encoding="utf-8")
+            )
+            data = json.loads(text)
         except (OSError, ValueError):  # corrupted cache file
             self._evict_file(path)
             return None
@@ -752,7 +758,11 @@ class WindowCompilationCache:
         if not path.is_file():
             return None
         try:
-            data = json.loads(path.read_text(encoding="utf-8"))
+            # Same corrupt-cache-read site as the two-pin frontier tier.
+            text = faults.maybe_corrupt(
+                "wincache.disk-read", path.read_text(encoding="utf-8")
+            )
+            data = json.loads(text)
         except (OSError, ValueError):  # corrupted cache file
             self._evict_file(path)
             return None

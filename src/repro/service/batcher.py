@@ -31,6 +31,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis import faults
 from repro.engine.design import DesignEngine
 from repro.service.schema import DesignRequest, response_payload
 from repro.service.tenants import TenantRegistry
@@ -179,6 +180,10 @@ class MicroBatcher:
             self.requests_served += len(all_waiters)
             self.requests_deduplicated += len(all_waiters) - len(unique)
             try:
+                # Fault-injection hook before the engine sweep of one
+                # drained batch: exception-mode rejects every waiter of the
+                # group (the sweep-failure path the breaker tests exercise).
+                faults.maybe_inject("service.batch")
                 spec = self._registry.admit(group.tenant)
                 technology = get_node(group.technology_name)
                 methods = unique[0].methods()

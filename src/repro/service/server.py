@@ -27,8 +27,11 @@ three routes:
 
 Admission control is layered: the batcher's bounded queue rejects bursts
 (``429``), the tenant registry rejects tenants beyond capacity (``429``),
-and ``asyncio.wait_for`` bounds each request's residence time (``504`` /
-a ``timeout`` line).  Timing uses the event loop's monotonic clock only —
+``asyncio.wait_for`` bounds each request's residence time (``504`` /
+a ``timeout`` line), and while the engine's supervised worker pool is
+rebuilding after a collapse new design requests degrade to ``503`` +
+``Retry-After`` (the recovery counters appear in ``/metrics`` under
+``recovery``).  Timing uses the event loop's monotonic clock only —
 wall-clock time never feeds results (determinism rule R4).
 """
 
@@ -63,8 +66,13 @@ _REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
     504: "Gateway Timeout",
 }
+
+#: ``Retry-After`` (seconds) sent with 503 while the pool is rebuilding —
+#: rebuilds re-run the worker initializer and finish well within this.
+RETRY_AFTER_SECONDS = 1
 
 
 class DesignService:
@@ -151,6 +159,10 @@ class DesignService:
                 asdict(sanitize.statistics()) if sanitize.enabled() else None
             ),
             "tenants": self._registry.usage(self._engine),
+            # Breaker section: the supervised pool's recovery counters
+            # (rebuilds/retries/quarantined/timeouts + the live rebuilding
+            # flag driving the 503 degradation).
+            "recovery": self._engine.recovery.snapshot(),
         }
         return payload
 
@@ -197,6 +209,17 @@ class DesignService:
         writer: asyncio.StreamWriter,
         headers: Dict[str, str],
     ) -> None:
+        if self._engine.recovery.rebuilding:
+            # The supervised pool is mid-rebuild after a worker collapse:
+            # shed new work with an explicit retry hint instead of queueing
+            # behind an engine that is busy recovering.
+            await _respond(
+                writer,
+                503,
+                {"error": "worker pool is rebuilding; retry shortly"},
+                extra_headers={"Retry-After": str(RETRY_AFTER_SECONDS)},
+            )
+            return
         length_text = headers.get("content-length")
         if length_text is None:
             await _respond(writer, 411, {"error": "Content-Length required"})
@@ -348,14 +371,24 @@ async def _read_headers(reader: asyncio.StreamReader) -> Optional[Dict[str, str]
 
 
 async def _respond(
-    writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any]
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Dict[str, Any],
+    *,
+    extra_headers: Optional[Dict[str, str]] = None,
 ) -> None:
     body = json.dumps(payload).encode("utf-8")
     reason = _REASONS.get(status, "Unknown")
+    extras = ""
+    if extra_headers:
+        extras = "".join(
+            f"{name}: {value}\r\n" for name, value in extra_headers.items()
+        )
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extras}"
         f"Connection: close\r\n\r\n"
     ).encode("ascii")
     writer.write(head + body)

@@ -1,0 +1,22 @@
+"""Positive fixture for R7 (fault-site-registered): computed and missing
+site arguments.  (The unknown-site and registered-but-unused halves need
+the ``faults.py`` registry module in the same run; they are exercised by
+dedicated tests, not fixtures, mirroring the R1 activation gate.)"""
+
+from repro.analysis import faults
+
+SITE_PREFIX = "design"
+
+
+def run_case(case):
+    faults.maybe_inject(SITE_PREFIX + ".case")  # expect: fault-site-registered
+    return case
+
+
+def read_cache(path):
+    text = faults.maybe_corrupt(f"wincache.{path.suffix}", path.read_text())  # expect: fault-site-registered
+    return text
+
+
+def bare_call():
+    faults.maybe_inject()  # expect: fault-site-registered

@@ -1,0 +1,13 @@
+"""Negative fixture for R7 (fault-site-registered): literal site names
+(validated against the registry only when ``faults.py`` is in the run)."""
+
+from repro.analysis import faults
+
+
+def run_case(case):
+    faults.maybe_inject("design.case")
+    return case
+
+
+def read_cache(path):
+    return faults.maybe_corrupt("wincache.disk-read", path.read_text())

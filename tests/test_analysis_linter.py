@@ -1,6 +1,6 @@
 """Tests for the repro.analysis AST linter (ISSUE 7).
 
-Every rule R1-R6 is exercised against a positive (violating) and negative
+Every rule R1-R7 is exercised against a positive (violating) and negative
 (clean) snippet under ``tests/lint_fixtures/``; the positive fixtures mark
 each expected hit with a trailing ``# expect: <rule-id>`` comment, and the
 test asserts the linter reports exactly that ``(rule, line)`` set — no
@@ -39,6 +39,7 @@ RULE_IDS = frozenset(
         "determinism",
         "shm-ownership",
         "pool-exception-reduce",
+        "fault-site-registered",
     }
 )
 
@@ -144,6 +145,53 @@ def test_fingerprint_rule_inactive_without_dp_context_builder(tmp_path):
         "    traversal: str = 'iterative'\n"
     )
     assert lint_paths([path]) == []
+
+
+_REGISTRY_SNIPPET = (
+    "SITES = {\n"
+    "    'design.case': 'per-net design task',\n"
+    "    'wincache.disk-read': 'disk tier read',\n"
+    "}\n"
+)
+
+
+def test_fault_site_unknown_site_needs_registry_in_run(tmp_path):
+    # A literal-but-unregistered site is only flaggable when the run
+    # contains the faults.py SITES registry (mirrors the R1 gate).
+    caller = tmp_path / "caller.py"
+    caller.write_text(
+        "from repro.analysis import faults\n"
+        "\n"
+        "\n"
+        "def go():\n"
+        "    faults.maybe_inject('design.caes')\n"  # typo'd site
+    )
+    assert lint_paths([caller], rules=["fault-site-registered"]) == []
+    registry = tmp_path / "faults.py"
+    registry.write_text(_REGISTRY_SNIPPET)
+    violations = lint_paths([caller, registry], rules=["fault-site-registered"])
+    assert {(v.rule, Path(v.path).name) for v in violations} == {
+        ("fault-site-registered", "caller.py"),
+        # 'wincache.disk-read' is registered but never called in this run.
+        ("fault-site-registered", "faults.py"),
+    }
+    assert any("unregistered fault site 'design.caes'" in v.message for v in violations)
+    assert any("never passed to maybe_inject" in v.message for v in violations)
+
+
+def test_fault_site_exercised_registry_is_clean(tmp_path):
+    caller = tmp_path / "caller.py"
+    caller.write_text(
+        "from repro.analysis import faults\n"
+        "\n"
+        "\n"
+        "def go(path):\n"
+        "    faults.maybe_inject('design.case')\n"
+        "    return faults.maybe_corrupt('wincache.disk-read', path.read_text())\n"
+    )
+    registry = tmp_path / "faults.py"
+    registry.write_text(_REGISTRY_SNIPPET)
+    assert lint_paths([caller, registry], rules=["fault-site-registered"]) == []
 
 
 def test_violations_sorted_and_rendered():

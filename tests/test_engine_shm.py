@@ -14,7 +14,6 @@ import signal
 
 import numpy as np
 import pytest
-from concurrent.futures.process import BrokenProcessPool
 
 import repro.engine.design as design_module
 from repro.engine.cache import ProtocolConfig, ProtocolStore
@@ -154,10 +153,11 @@ def test_pool_path_matches_serial_and_reaps_arena(cases):
 def test_engine_close_unlinks_crashed_pool_arena(cases):
     """A worker killed mid-task must not leak the shared block.
 
-    The pool path's ``finally`` unlinks the arena even when the sweep dies
-    with ``BrokenProcessPool``; anything that somehow survives is reaped by
-    ``close()``/``__exit__``.  Simulated by SIGKILLing the worker from
-    inside the (fork-inherited, monkeypatched) task function.
+    Every task SIGKILLs its worker, so the supervisor quarantines each net
+    as ``poisoned`` across pool rebuilds instead of aborting the sweep; the
+    sweep's ``finally`` still unlinks the arena, and anything that somehow
+    survives is reaped by ``close()``/``__exit__``.  Simulated by SIGKILLing
+    the worker from inside the (fork-inherited, monkeypatched) task function.
     """
     published = []
     real_publish = SharedPopulationArena.publish.__func__
@@ -176,9 +176,11 @@ def test_engine_close_unlinks_crashed_pool_arena(cases):
     design_module._design_case = suicide
     try:
         with DesignEngine(NODE_180NM, workers=2, store=ProtocolStore()) as engine:
-            with pytest.raises(BrokenProcessPool):
-                engine.design_population(cases, _methods())
-            # The sweep's ``finally`` reaped the arena despite the crash.
+            population = engine.design_population(cases, _methods())
+            assert all(net.failure_kind == "poisoned" for net in population.nets)
+            assert all(net.attempts == 2 for net in population.nets)
+            assert engine.recovery.snapshot()["rebuilds"] >= 1
+            # The sweep's ``finally`` reaped the arena despite the crashes.
             assert engine._arenas == []
         assert len(published) == 1
     finally:

@@ -274,6 +274,40 @@ def test_tenant_capacity_is_429(tech, payloads):
         bg.stop()
 
 
+def test_rebuilding_pool_degrades_to_503_with_retry_after(tech, payloads):
+    """While the engine's worker pool is being rebuilt after a collapse, new
+    design requests are shed with 503 + Retry-After instead of queueing
+    behind a pool that cannot serve them; /metrics exposes the breaker."""
+    engine = _engine(tech)
+    bg = serve_in_background(engine)
+    try:
+        engine.recovery.set_rebuilding(True)
+        conn = http.client.HTTPConnection("127.0.0.1", bg.port, timeout=30)
+        conn.request(
+            "POST", "/design", body=json.dumps(payloads[0]),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        body = response.read()
+        assert response.status == 503
+        assert response.getheader("Retry-After") == "1"
+        assert "rebuilding" in json.loads(body)["error"]
+        conn.close()
+
+        status, metrics = _get(bg.port, "/metrics")
+        assert status == 200
+        assert metrics["recovery"]["rebuilding"] is True
+        assert set(metrics["recovery"]) >= {
+            "rebuilds", "retries", "quarantined", "timeouts", "rebuilding"
+        }
+
+        engine.recovery.set_rebuilding(False)
+        status, _body = _post(bg.port, "/design", payloads[0])
+        assert status == 200
+    finally:
+        bg.stop()
+
+
 def test_request_timeout_is_504(tech, payloads):
     bg = serve_in_background(
         _engine(tech), request_timeout_seconds=0.001, batch_window_seconds=0.05
